@@ -1,0 +1,59 @@
+//! One bench target per evaluation figure: each regenerates the paper's
+//! figure pipeline (workload draw → measured on the testbed → predicted
+//! through PNFS → error statistics) at one repetition per size, and
+//! reports the wall time of the whole regeneration.
+//!
+//! `experiments --all` produces the human-readable tables; these benches
+//! track that the *full evaluation* stays cheap enough to rerun at will —
+//! the reproduction's analogue of the paper's overnight Grid'5000
+//! reservations compressing into seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::figures::{figures, run_figure, Lab};
+use experiments::summarize;
+use experiments::validation::run_validation;
+
+fn bench_each_figure(c: &mut Criterion) {
+    let lab = Lab::new();
+    let mut group = c.benchmark_group("figure_regeneration");
+    group.sample_size(10);
+    for spec in figures() {
+        group.bench_with_input(BenchmarkId::from_parameter(spec.id), &spec, |b, spec| {
+            b.iter(|| run_figure(&lab, spec, 1, 42));
+        });
+    }
+    group.finish();
+}
+
+fn bench_whole_evaluation(c: &mut Criterion) {
+    let lab = Lab::new();
+    let mut group = c.benchmark_group("whole_evaluation");
+    group.sample_size(10);
+    group.bench_function("all_figures_1rep_plus_summary", |b| {
+        b.iter(|| {
+            let datas: Vec<_> = figures()
+                .iter()
+                .map(|spec| run_figure(&lab, spec, 1, 42))
+                .collect();
+            summarize(&datas)
+        });
+    });
+    group.finish();
+}
+
+fn bench_validation_figure(c: &mut Criterion) {
+    let lab = Lab::new();
+    let mut group = c.benchmark_group("figV_validation");
+    group.sample_size(10);
+    group.bench_function("packet_vs_fluid_sagittaire_1x10", |b| {
+        b.iter(|| run_validation(&lab, 42));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_each_figure, bench_whole_evaluation, bench_validation_figure
+}
+criterion_main!(benches);

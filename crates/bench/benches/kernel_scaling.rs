@@ -1,0 +1,84 @@
+//! Flow-level kernel scalability: events and re-sharing cost as the
+//! number of concurrent flows grows. This is what makes simulation-driven
+//! forecasting *online-usable* — the paper's core speed argument against
+//! packet-level simulators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use g5k::{synth, to_simflow, Flavor};
+use simflow::{NetworkConfig, SimTime, Simulation};
+
+fn bench_concurrent_flows(c: &mut Criterion) {
+    let api = synth::standard();
+    let platform = to_simflow(&api, Flavor::G5kTest);
+    let hosts: Vec<_> = platform.hosts().collect();
+
+    let mut group = c.benchmark_group("kernel_concurrent_flows");
+    for n in [10usize, 50, 100, 400] {
+        group.bench_with_input(BenchmarkId::new("flows", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::new(&platform, NetworkConfig::default());
+                for i in 0..n {
+                    let src = hosts[i % hosts.len()];
+                    let dst = hosts[(i * 7 + 13) % hosts.len()];
+                    if src != dst {
+                        sim.add_transfer(src, dst, 1e8).unwrap();
+                    }
+                }
+                sim.run().unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_staggered_arrivals(c: &mut Criterion) {
+    // arrivals spread over time force one re-share per event — the worst
+    // case for the kernel's O(events × flows) loop
+    let api = synth::standard();
+    let platform = to_simflow(&api, Flavor::G5kTest);
+    let hosts: Vec<_> = platform.hosts().collect();
+
+    c.bench_function("kernel_staggered_200", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(&platform, NetworkConfig::default());
+            for i in 0..200usize {
+                let src = hosts[i % hosts.len()];
+                let dst = hosts[(i * 11 + 29) % hosts.len()];
+                if src != dst {
+                    sim.add_transfer_at(src, dst, 5e7, SimTime::from_secs(0.01 * i as f64))
+                        .unwrap();
+                }
+            }
+            sim.run().unwrap()
+        });
+    });
+}
+
+fn bench_mixed_workflow(c: &mut Criterion) {
+    // transfers + compute tasks sharing the same solver (§VI extension)
+    let api = synth::standard();
+    let platform = to_simflow(&api, Flavor::G5kTest);
+    let hosts: Vec<_> = platform.hosts().collect();
+
+    c.bench_function("kernel_mixed_100t_100c", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(&platform, NetworkConfig::default());
+            for i in 0..100usize {
+                let src = hosts[i % hosts.len()];
+                let dst = hosts[(i * 7 + 13) % hosts.len()];
+                if src != dst {
+                    sim.add_transfer(src, dst, 1e8).unwrap();
+                }
+                sim.add_compute(hosts[(i * 3) % hosts.len()], 1e10);
+            }
+            sim.run().unwrap()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_concurrent_flows, bench_staggered_arrivals, bench_mixed_workflow
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! The max-min solver in isolation: progressive filling cost versus flow
+//! and resource counts. Each PNFS request re-solves on every kernel
+//! event, so this inner loop bounds everything else.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simflow::model::SharingProblem;
+
+fn make_problem(n_flows: usize, n_resources: usize, links_per_flow: usize) -> SharingProblem {
+    let mut p = SharingProblem::with_capacities(vec![1.25e8; n_resources]);
+    for i in 0..n_flows {
+        let resources: Vec<u32> = (0..links_per_flow)
+            .map(|k| ((i * 7 + k * 13) % n_resources) as u32)
+            .collect();
+        let weight = 1e-4 + 1e-6 * (i % 10) as f64;
+        let cap = if i % 3 == 0 { 2e7 } else { f64::INFINITY };
+        p.add_flow(resources, weight, cap);
+    }
+    p
+}
+
+fn bench_solver_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxmin_solve");
+    for (flows, resources) in [(10, 20), (60, 120), (200, 400), (1000, 2000)] {
+        let p = make_problem(flows, resources, 4);
+        group.bench_with_input(
+            BenchmarkId::new("flows", flows),
+            &p,
+            |b, p| b.iter(|| std::hint::black_box(p).solve()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_bottleneck(c: &mut Criterion) {
+    // everyone through one link: maximal per-iteration work, one iteration
+    let mut p = SharingProblem::with_capacities(vec![1.25e9]);
+    for i in 0..500 {
+        p.add_flow(vec![0], 1e-4 + 1e-7 * i as f64, f64::INFINITY);
+    }
+    c.bench_function("maxmin_single_bottleneck_500", |b| {
+        b.iter(|| std::hint::black_box(&p).solve())
+    });
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    // a chain of ever-tighter bottlenecks: one flow frozen per iteration,
+    // the solver's worst case (quadratic-ish)
+    let n = 200;
+    let caps: Vec<f64> = (0..n).map(|i| 1e6 * (i + 1) as f64).collect();
+    let mut p = SharingProblem::with_capacities(caps);
+    for i in 0..n {
+        // flow i crosses resources i..n: earlier resources are tighter
+        let resources: Vec<u32> = (i as u32..n as u32).collect();
+        p.add_flow(resources, 1.0, f64::INFINITY);
+    }
+    c.bench_function("maxmin_cascade_200", |b| {
+        b.iter(|| std::hint::black_box(&p).solve())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_solver_scaling, bench_single_bottleneck, bench_cascade
+}
+criterion_main!(benches);

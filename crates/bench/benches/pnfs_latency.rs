@@ -1,0 +1,83 @@
+//! §IV-C.2 performance claim: "a typical request to a local Pilgrim
+//! instance ... for a prediction involving 30 concurrent transfers on
+//! Grid'5000 takes less than 0.1 s".
+//!
+//! Benches the full PNFS request path (simulation instantiation included)
+//! for 1/10/30/60 concurrent transfers over the whole three-site
+//! `g5k_test` platform, plus the same 30-transfer request through an
+//! actual HTTP round trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use g5k::{synth, to_simflow, Flavor};
+use pilgrim_core::{Pnfs, TransferRequest};
+use simflow::NetworkConfig;
+
+fn requests(n: usize) -> Vec<TransferRequest> {
+    (0..n)
+        .map(|i| TransferRequest {
+            src: format!("graphene-{}.nancy.grid5000.fr", (i % 60) + 1),
+            dst: format!("sagittaire-{}.lyon.grid5000.fr", (i % 60) + 1),
+            size: 5e8,
+        })
+        .collect()
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let api = synth::standard();
+    let mut pnfs = Pnfs::new(NetworkConfig::default());
+    pnfs.register_platform("g5k_test", to_simflow(&api, Flavor::G5kTest));
+
+    let mut group = c.benchmark_group("pnfs_predict");
+    for n in [1usize, 10, 30, 60] {
+        let reqs = requests(n);
+        group.bench_with_input(BenchmarkId::new("transfers", n), &reqs, |b, reqs| {
+            b.iter(|| pnfs.predict("g5k_test", std::hint::black_box(reqs)).unwrap());
+        });
+    }
+    group.finish();
+
+    // the paper's claim, asserted: 30 transfers < 0.1 s end to end
+    let reqs = requests(30);
+    let t0 = std::time::Instant::now();
+    let _ = pnfs.predict("g5k_test", &reqs).unwrap();
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert!(elapsed < 0.1, "30-transfer prediction took {elapsed}s (paper: < 0.1 s)");
+    println!("single 30-transfer prediction: {:.2} ms (paper: < 100 ms)", elapsed * 1e3);
+}
+
+fn bench_http_round_trip(c: &mut Criterion) {
+    use pilgrim_core::http::{http_get, Server};
+    use pilgrim_core::{Metrology, PilgrimService};
+
+    let api = synth::standard();
+    let mut pnfs = Pnfs::new(NetworkConfig::default());
+    pnfs.register_platform("g5k_test", to_simflow(&api, Flavor::G5kTest));
+    let service = PilgrimService::new(Metrology::new(), pnfs);
+    let server = Server::start("127.0.0.1:0", 4, service.into_handler()).unwrap();
+    let addr = server.addr();
+
+    let query: String = format!(
+        "/pilgrim/predict_transfers/g5k_test?{}",
+        (0..30)
+            .map(|i| format!(
+                "transfer=graphene-{}.nancy.grid5000.fr,sagittaire-{}.lyon.grid5000.fr,5e8",
+                i + 1,
+                i + 1
+            ))
+            .collect::<Vec<_>>()
+            .join("&")
+    );
+    c.bench_function("pnfs_http_round_trip_30", |b| {
+        b.iter(|| {
+            let (status, _) = http_get(addr, &query).unwrap();
+            assert_eq!(status, 200);
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_predict, bench_http_round_trip
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! The hierarchical-routing ablation (§IV-C): "Before the introduction of
+//! AS, routing was not hierarchical, thus we had to model Grid'5000 as a
+//! 'flat' platform, leading to a huge routing table which would consume a
+//! lot of memory, to the point that it was impossible to wholly simulate
+//! Grid'5000."
+//!
+//! Benches platform construction and route resolution for the
+//! hierarchical `g5k_test` model versus the flat full-table model, and
+//! prints the stored-entry memory proxy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use g5k::{synth, to_simflow, Flavor};
+
+fn bench_build(c: &mut Criterion) {
+    let api = synth::standard();
+    let mut group = c.benchmark_group("platform_build");
+    group.sample_size(10);
+    group.bench_function("hierarchical_g5k_test", |b| {
+        b.iter(|| to_simflow(std::hint::black_box(&api), Flavor::G5kTest));
+    });
+    group.bench_function("flat_full_table", |b| {
+        b.iter(|| to_simflow(std::hint::black_box(&api), Flavor::FlatFull));
+    });
+    group.finish();
+
+    let hier = to_simflow(&api, Flavor::G5kTest);
+    let flat = to_simflow(&api, Flavor::FlatFull);
+    println!(
+        "stored route entries — hierarchical: {} | flat: {} ({}×)",
+        hier.stored_route_entries(),
+        flat.stored_route_entries(),
+        flat.stored_route_entries() / hier.stored_route_entries().max(1),
+    );
+}
+
+fn bench_resolution(c: &mut Criterion) {
+    let api = synth::standard();
+    let hier = to_simflow(&api, Flavor::G5kTest);
+    let flat = to_simflow(&api, Flavor::FlatFull);
+    let hier_hosts: Vec<_> = hier.hosts().collect();
+    let flat_hosts: Vec<_> = flat.hosts().collect();
+
+    let mut group = c.benchmark_group("route_resolution_1k_pairs");
+    group.bench_function("hierarchical", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..1000 {
+                let a = hier_hosts[(i * 17) % hier_hosts.len()];
+                let z = hier_hosts[(i * 31 + 7) % hier_hosts.len()];
+                if a != z {
+                    total += hier.route_hosts(a, z).unwrap().links.len();
+                }
+            }
+            total
+        });
+    });
+    group.bench_function("flat", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..1000 {
+                let a = flat_hosts[(i * 17) % flat_hosts.len()];
+                let z = flat_hosts[(i * 31 + 7) % flat_hosts.len()];
+                if a != z {
+                    total += flat.route_hosts(a, z).unwrap().links.len();
+                }
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_build, bench_resolution
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Metrology substrate performance: RRD update throughput, stitched
+//! fetches, and codec round trips. The paper's metrology service fronts
+//! whole Ganglia trees, so these paths see every monitored metric of a
+//! site.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrd::{decode, encode, ArchiveSpec, Cf, Database, DsKind};
+
+fn ganglia_style_db() -> Database {
+    // a typical Ganglia layout: 15 s samples, hour of fine data, day of
+    // 2-minute data, month of hourly data
+    Database::new(
+        15,
+        DsKind::Gauge,
+        120,
+        &[
+            ArchiveSpec { cf: Cf::Average, steps_per_row: 1, rows: 240 },
+            ArchiveSpec { cf: Cf::Average, steps_per_row: 8, rows: 720 },
+            ArchiveSpec { cf: Cf::Average, steps_per_row: 240, rows: 744 },
+            ArchiveSpec { cf: Cf::Max, steps_per_row: 240, rows: 744 },
+        ],
+    )
+}
+
+fn filled(days: i64) -> Database {
+    let mut db = ganglia_style_db();
+    db.update(0, 100.0).unwrap();
+    let steps = days * 86_400 / 15;
+    for k in 1..=steps {
+        db.update(k * 15, 100.0 + (k % 97) as f64).unwrap();
+    }
+    db
+}
+
+fn bench_update(c: &mut Criterion) {
+    c.bench_function("rrd_update_1k_samples", |b| {
+        b.iter(|| {
+            let mut db = ganglia_style_db();
+            db.update(0, 100.0).unwrap();
+            for k in 1..=1000i64 {
+                db.update(k * 15, 100.0 + (k % 7) as f64).unwrap();
+            }
+            db
+        });
+    });
+}
+
+fn bench_fetch(c: &mut Criterion) {
+    let db = filled(7);
+    let now = 7 * 86_400;
+    c.bench_function("rrd_fetch_best_last_hour", |b| {
+        b.iter(|| std::hint::black_box(&db).fetch_best(now - 3600, now));
+    });
+    c.bench_function("rrd_fetch_best_whole_week", |b| {
+        b.iter(|| std::hint::black_box(&db).fetch_best(0, now));
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let db = filled(7);
+    let bytes = encode(&db);
+    println!("encoded 7-day RRD: {} bytes", bytes.len());
+    c.bench_function("rrd_encode", |b| b.iter(|| encode(std::hint::black_box(&db))));
+    c.bench_function("rrd_decode", |b| {
+        b.iter(|| decode(std::hint::black_box(&bytes)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_update, bench_fetch, bench_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+use packetsim::net::NetworkBuilder;
+use packetsim::{FlowSpec, PacketSim, TcpConfig};
+fn main() {
+    let mut b = NetworkBuilder::new();
+    let sw = b.add_switch("sw");
+    let mut hosts = Vec::new();
+    for i in 0..6 {
+        let h = b.add_host(&format!("h{i}"));
+        b.duplex_link(h, sw, 74812471.14093032, 9.207944927253593e-5, 5e5);
+        hosts.push(h);
+    }
+    let net = b.build();
+    let sim = PacketSim::new(&net, TcpConfig::default());
+    let f = FlowSpec { src: net.node_by_name("h0").unwrap(), dst: net.node_by_name("h3").unwrap(), bytes: 3348906.7696246062, start: 0.0 };
+    let r = sim.run(&[f]);
+    println!("completion={:?} rtx={} drops={}", r[0].completion, r[0].retransmits, r[0].drops);
+}

@@ -1,0 +1,4 @@
+//! Shared fixtures for the Criterion benches. See the individual bench
+//! targets: `pnfs_latency` (the paper's < 0.1 s claim), `kernel_scaling`,
+//! `routing_ablation` (flat vs hierarchical), `maxmin`, `rrd_fetch`, and
+//! `figures` (scaled-down regenerations of figures 3–11).

@@ -1,0 +1,262 @@
+//! Latency calibration from metrology data — the paper's §VI plan,
+//! implemented: "We will try to improve the generation of the Grid'5000
+//! simgrid platform model: ... use automatic link latency measurements
+//! instead of arbitrary values" fed by "periodic measures in SmokePing or
+//! Cacti, thanks to the Pilgrim metrology service".
+//!
+//! The convention mirrors a SmokePing tree served through the metrology
+//! API:
+//!
+//! * `smokeping/<site>/intra.rtt.rrd` — RTT between two nodes of the
+//!   site's LAN, seconds;
+//! * `smokeping/<a>-<b>/rtt.rrd` — RTT between the `<a>` and `<b>` site
+//!   routers (sorted names), seconds.
+//!
+//! [`calibrate`] turns the recent medians of those series into
+//! [`Latencies`] for [`g5k::to_simflow_calibrated`]: intra-site links get
+//! half the LAN RTT (one NIC hop each way), backbone links get half the
+//! inter-site RTT minus the two LAN crossings.
+
+use g5k::{Latencies, RefApi};
+
+use crate::metrology::{Metrology, MetrologyError};
+
+/// Where calibration probes live in the metrology tree.
+pub fn intra_probe_path(site: &str) -> String {
+    format!("smokeping/{site}/intra.rtt.rrd")
+}
+
+/// Path of the inter-site probe for a (sorted) site pair.
+pub fn inter_probe_path(a: &str, b: &str) -> String {
+    let (a, b) = if a <= b { (a, b) } else { (b, a) };
+    format!("smokeping/{a}-{b}/rtt.rrd")
+}
+
+/// Median of the known samples in `(begin, end]`, if any.
+fn median_rtt(
+    metrology: &Metrology,
+    path: &str,
+    begin: i64,
+    end: i64,
+) -> Result<Option<f64>, MetrologyError> {
+    let mut values: Vec<f64> = metrology
+        .fetch(path, begin, end)?
+        .into_iter()
+        .map(|(_, v)| v)
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    if values.is_empty() {
+        return Ok(None);
+    }
+    values.sort_by(f64::total_cmp);
+    Ok(Some(values[values.len() / 2]))
+}
+
+/// Builds [`Latencies`] from the metrology tree. Sites or pairs without
+/// probe data silently keep the paper's hard-coded defaults — calibration
+/// degrades gracefully as coverage grows.
+pub fn calibrate(
+    api: &RefApi,
+    metrology: &Metrology,
+    begin: i64,
+    end: i64,
+) -> Latencies {
+    let mut lat = Latencies::default();
+    for site in &api.sites {
+        if let Ok(Some(rtt)) = median_rtt(metrology, &intra_probe_path(&site.name), begin, end)
+        {
+            // LAN RTT covers one NIC hop out and back: the per-link
+            // one-way latency is a quarter... no — the modeled intra-site
+            // route host→host crosses two NIC links one way, so RTT ≈
+            // 4 × link latency.
+            lat.set_intra(&site.name, (rtt / 4.0).max(1e-7));
+        }
+    }
+    for bb in &api.backbone {
+        if let Ok(Some(rtt)) =
+            median_rtt(metrology, &inter_probe_path(&bb.a, &bb.b), begin, end)
+        {
+            // router-to-router RTT: one backbone link each way
+            lat.set_inter(&bb.a, &bb.b, (rtt / 2.0).max(1e-7));
+        }
+    }
+    lat
+}
+
+/// Demo/test helper: seeds the metrology tree with probe RRDs whose
+/// values are *measured* on the ground-truth network (as a SmokePing
+/// deployment on the testbed would), with optional jitter.
+pub fn seed_probes_from_network(
+    metrology: &Metrology,
+    api: &RefApi,
+    network: &packetsim_probe::ProbeSource<'_>,
+    samples: usize,
+    jitter: f64,
+    seed: u64,
+) {
+    use rrd::{ArchiveSpec, Cf, Database, DsKind};
+
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next_jitter = move || {
+        // xorshift-based multiplicative jitter in [1-jitter, 1+jitter]
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+        1.0 + jitter * (2.0 * u - 1.0)
+    };
+
+    let mut make_db = |base_rtt: f64| {
+        let mut db = Database::new(
+            60,
+            DsKind::Gauge,
+            300,
+            &[ArchiveSpec { cf: Cf::Average, steps_per_row: 1, rows: 1440 }],
+        );
+        db.update(0, base_rtt).unwrap();
+        for k in 1..=samples as i64 {
+            db.update(k * 60, base_rtt * next_jitter()).unwrap();
+        }
+        db
+    };
+
+    for site in &api.sites {
+        if let Some(rtt) = network.intra_site_rtt(api, &site.name) {
+            metrology.insert(&intra_probe_path(&site.name), make_db(rtt));
+        }
+    }
+    for bb in &api.backbone {
+        if let Some(rtt) = network.inter_site_rtt(&bb.a, &bb.b) {
+            metrology.insert(&inter_probe_path(&bb.a, &bb.b), make_db(rtt));
+        }
+    }
+}
+
+/// A thin probing facade over the ground-truth network, so calibration
+/// code does not depend on packetsim internals.
+pub mod packetsim_probe {
+    use g5k::RefApi;
+
+    /// Measures RTTs on a packet network the way `ping` would.
+    pub struct ProbeSource<'n> {
+        /// The network being probed.
+        pub network: &'n packetsim::Network,
+    }
+
+    impl<'n> ProbeSource<'n> {
+        /// RTT between the first two nodes of the site's first cluster.
+        pub fn intra_site_rtt(&self, api: &RefApi, site: &str) -> Option<f64> {
+            let s = api.site(site)?;
+            let c = s.clusters.first()?;
+            if c.nodes < 2 {
+                return None;
+            }
+            let a = self.network.node_by_name(&s.fqdn(c, 1))?;
+            let b = self.network.node_by_name(&s.fqdn(c, 2))?;
+            Some(self.network.path_latency(a, b)? * 2.0)
+        }
+
+        /// RTT between two site routers.
+        pub fn inter_site_rtt(&self, a: &str, b: &str) -> Option<f64> {
+            let ga = self.network.node_by_name(&format!("gw.{a}"))?;
+            let gb = self.network.node_by_name(&format!("gw.{b}"))?;
+            Some(self.network.path_latency(ga, gb)? * 2.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::packetsim_probe::ProbeSource;
+    use super::*;
+    use g5k::{synth, to_packetsim, to_simflow_calibrated, Flavor};
+
+    fn seeded_metrology(api: &RefApi) -> Metrology {
+        let tnet = to_packetsim(api);
+        let metrology = Metrology::new();
+        let probe = ProbeSource { network: &tnet.network };
+        seed_probes_from_network(&metrology, api, &probe, 30, 0.05, 42);
+        metrology
+    }
+
+    #[test]
+    fn probes_land_in_the_tree() {
+        let api = synth::standard();
+        let m = seeded_metrology(&api);
+        assert_eq!(m.list("smokeping").len(), 3 + 3, "3 sites + 3 pairs");
+        assert!(m.fetch(&intra_probe_path("lyon"), 0, 2000).unwrap().len() > 10);
+    }
+
+    #[test]
+    fn calibration_recovers_true_latencies() {
+        let api = synth::standard();
+        let m = seeded_metrology(&api);
+        let lat = calibrate(&api, &m, 0, 30 * 60);
+        // true LAN hop is 2e-5 per link (packetsim_conv), so intra RTT =
+        // 4 × 2e-5 = 8e-5 and the calibrated per-link value ≈ 2e-5 —
+        // 5× below the paper's hard-coded 1e-4
+        let intra = lat.intra("lyon");
+        assert!(
+            (1.5e-5..3.0e-5).contains(&intra),
+            "calibrated intra {intra}"
+        );
+        let inter = lat.inter("lyon", "nancy");
+        assert!(
+            (2.0e-3..2.6e-3).contains(&inter),
+            "calibrated backbone {inter}"
+        );
+    }
+
+    #[test]
+    fn calibrated_platform_shrinks_latency_overestimation() {
+        let api = synth::standard();
+        let m = seeded_metrology(&api);
+        let lat = calibrate(&api, &m, 0, 30 * 60);
+
+        let hardcoded = to_simflow_calibrated(&api, Flavor::G5kTest, &Default::default());
+        let calibrated = to_simflow_calibrated(&api, Flavor::G5kTest, &lat);
+        let tnet = to_packetsim(&api);
+
+        let (a, b) = (
+            "graphene-1.nancy.grid5000.fr",
+            "graphene-144.nancy.grid5000.fr",
+        );
+        let true_lat = tnet
+            .network
+            .path_latency(
+                tnet.network.node_by_name(a).unwrap(),
+                tnet.network.node_by_name(b).unwrap(),
+            )
+            .unwrap();
+        let hard = hardcoded
+            .route_hosts(
+                hardcoded.host_by_name(a).unwrap(),
+                hardcoded.host_by_name(b).unwrap(),
+            )
+            .unwrap()
+            .latency;
+        let cal = calibrated
+            .route_hosts(
+                calibrated.host_by_name(a).unwrap(),
+                calibrated.host_by_name(b).unwrap(),
+            )
+            .unwrap()
+            .latency;
+        assert!(
+            (cal - true_lat).abs() < (hard - true_lat).abs() / 3.0,
+            "calibrated {cal} vs hardcoded {hard}, truth {true_lat}"
+        );
+    }
+
+    #[test]
+    fn missing_probes_keep_defaults() {
+        let api = synth::standard();
+        let m = Metrology::new(); // empty: no probes at all
+        let lat = calibrate(&api, &m, 0, 1000);
+        assert_eq!(lat.intra("lyon"), g5k::simflow_conv::MODEL_INTRA_SITE_LATENCY);
+        assert_eq!(
+            lat.inter("lyon", "nancy"),
+            g5k::simflow_conv::MODEL_BACKBONE_LATENCY
+        );
+    }
+}

@@ -1,0 +1,362 @@
+//! A deliberately small HTTP/1.1 layer for the REST services.
+//!
+//! The paper: "These services are implemented as REST-style web-services:
+//! transport is HTTP, requests are HTTP GET whose parameters are embedded
+//! in the requested URI. Answers to requests are JSON formatted
+//! documents." That surface — GET, query parameters, JSON bodies,
+//! connection-close — is all this module implements: a blocking server
+//! with a crossbeam-channel worker pool, and a matching one-call client.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use jsonlite::Value;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// HTTP method (only GET is served).
+    pub method: String,
+    /// Percent-decoded path, without the query string.
+    pub path: String,
+    /// Query parameters in order of appearance (keys may repeat:
+    /// `transfer=…&transfer=…`).
+    pub params: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of a parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a repeatable parameter.
+    pub fn params_named(&self, key: &str) -> Vec<&str> {
+        self.params
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+}
+
+/// A response about to be serialized.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body (JSON for every Pilgrim endpoint).
+    pub body: String,
+    /// Content-Type header value.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn json(v: &Value) -> Response {
+        Response { status: 200, body: v.to_string(), content_type: "application/json" }
+    }
+
+    /// An error status with a `{"error": …}` JSON body.
+    pub fn error(status: u16, message: &str) -> Response {
+        let v = Value::object(vec![("error", Value::from(message))]);
+        Response { status, body: v.to_string(), content_type: "application/json" }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Internal Server Error",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Percent-decodes a URI component (`%XX` and `+` → space).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses `a=1&b=2` into decoded pairs, preserving order and repeats.
+pub fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+fn parse_request(stream: &mut TcpStream) -> Result<Request, String> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let target = parts.next().ok_or("missing target")?.to_string();
+    let version = parts.next().ok_or("missing version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version}"));
+    }
+    // drain headers
+    loop {
+        let mut h = String::new();
+        reader.read_line(&mut h).map_err(|e| e.to_string())?;
+        if h == "\r\n" || h == "\n" || h.is_empty() {
+            break;
+        }
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    Ok(Request { method, path: percent_decode(&path), params: parse_query(&query) })
+}
+
+/// The request handler type shared by all workers.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A running HTTP server.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use `"127.0.0.1:0"` for an ephemeral port) and
+    /// serves `handler` on `workers` threads until [`Server::stop`].
+    pub fn start(addr: &str, workers: usize, handler: Handler) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+
+        for _ in 0..workers.max(1) {
+            let rx = rx.clone();
+            let handler = handler.clone();
+            std::thread::spawn(move || {
+                while let Ok(mut stream) = rx.recv() {
+                    let response = match parse_request(&mut stream) {
+                        Ok(req) if req.method == "GET" => handler(&req),
+                        Ok(req) => {
+                            Response::error(405, &format!("method {} not allowed", req.method))
+                        }
+                        Err(e) => Response::error(400, &format!("bad request: {e}")),
+                    };
+                    let _ = response.write_to(&mut stream);
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+            });
+        }
+
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        let _ = tx.send(s);
+                    }
+                    Err(_) => break,
+                }
+            }
+            // dropping tx terminates the workers
+        });
+
+        Ok(Server { addr: local, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept thread. Idempotent.
+    pub fn stop(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // poke the listener out of accept()
+            let _ = TcpStream::connect(self.addr);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A one-shot HTTP GET, returning `(status, body)`. `path_and_query` must
+/// start with `/`.
+pub fn http_get(addr: SocketAddr, path_and_query: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let req = format!(
+        "GET {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    );
+    stream.write_all(req.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("2012-05-04%2008:00:00"), "2012-05-04 08:00:00");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("%zz"), "%zz"); // invalid escapes pass through
+        assert_eq!(percent_decode("caf%C3%A9"), "café");
+    }
+
+    #[test]
+    fn query_parsing_keeps_repeats_in_order() {
+        let q = parse_query("transfer=a,b,5e8&transfer=c,d,1e6&x");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q[0], ("transfer".into(), "a,b,5e8".into()));
+        assert_eq!(q[1], ("transfer".into(), "c,d,1e6".into()));
+        assert_eq!(q[2], ("x".into(), String::new()));
+    }
+
+    #[test]
+    fn request_param_helpers() {
+        let r = Request {
+            method: "GET".into(),
+            path: "/x".into(),
+            params: parse_query("a=1&b=2&a=3"),
+        };
+        assert_eq!(r.param("a"), Some("1"));
+        assert_eq!(r.params_named("a"), vec!["1", "3"]);
+        assert_eq!(r.param("zz"), None);
+    }
+
+    #[test]
+    fn server_round_trip() {
+        let handler: Handler = Arc::new(|req: &Request| {
+            let v = Value::object(vec![
+                ("path", Value::from(req.path.as_str())),
+                ("begin", Value::from(req.param("begin").unwrap_or(""))),
+            ]);
+            Response::json(&v)
+        });
+        let mut server = Server::start("127.0.0.1:0", 2, handler).unwrap();
+        let (status, body) =
+            http_get(server.addr(), "/pilgrim/rrd/x.rrd?begin=2012-05-04%2008:00:00").unwrap();
+        assert_eq!(status, 200);
+        let v = Value::parse(&body).unwrap();
+        assert_eq!(v["path"].as_str(), Some("/pilgrim/rrd/x.rrd"));
+        assert_eq!(v["begin"].as_str(), Some("2012-05-04 08:00:00"));
+        server.stop();
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let handler: Handler = Arc::new(|_req: &Request| Response::json(&Value::Null));
+        let mut server = Server::start("127.0.0.1:0", 1, handler).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"POST / HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_requests_are_served() {
+        let handler: Handler = Arc::new(|_req: &Request| {
+            std::thread::sleep(Duration::from_millis(20));
+            Response::json(&Value::from(1i64))
+        });
+        let server = Server::start("127.0.0.1:0", 4, handler).unwrap();
+        let addr = server.addr();
+        let t0 = std::time::Instant::now();
+        let threads: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(move || http_get(addr, "/").unwrap().0))
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), 200);
+        }
+        // 4 × 20 ms served in parallel, not 80 ms serially
+        assert!(t0.elapsed() < Duration::from_millis(70));
+    }
+
+    #[test]
+    fn stop_is_idempotent() {
+        let handler: Handler = Arc::new(|_req: &Request| Response::json(&Value::Null));
+        let mut server = Server::start("127.0.0.1:0", 1, handler).unwrap();
+        server.stop();
+        server.stop();
+    }
+}

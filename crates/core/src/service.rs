@@ -1,0 +1,398 @@
+//! The Pilgrim REST endpoints, routing HTTP requests onto the services.
+//!
+//! Endpoints mirror the paper's examples:
+//!
+//! * `GET /pilgrim/rrd/<path>?begin=…&end=…` — metrology fetch; bounds
+//!   accept unix timestamps or `"YYYY-MM-DD HH:MM:SS"`; answers
+//!   `[[ts, value], …]`;
+//! * `GET /pilgrim/predict_transfers/<platform>?transfer=src,dst,size&…`
+//!   — PNFS; answers `[{"src","dst","size","duration"}, …]`;
+//! * `GET /pilgrim/select_fastest/<platform>?hypothesis=src,dst,size[;…]&…`
+//!   — the §VI extension; answers the winning hypothesis;
+//! * `GET /pilgrim/platforms` and `GET /pilgrim/rrds` — discovery.
+
+use std::sync::Arc;
+
+use jsonlite::Value;
+
+use crate::http::{Handler, Request, Response};
+use crate::metrology::{Metrology, MetrologyError};
+use crate::pnfs::{Pnfs, PnfsError, TransferRequest};
+
+/// The assembled Pilgrim application state.
+pub struct PilgrimService {
+    /// Metrology service (RRD access).
+    pub metrology: Metrology,
+    /// Forecast service (platform models + simulation).
+    pub pnfs: Pnfs,
+}
+
+impl PilgrimService {
+    /// Bundles the two services.
+    pub fn new(metrology: Metrology, pnfs: Pnfs) -> Self {
+        PilgrimService { metrology, pnfs }
+    }
+
+    /// Adapts the service into an HTTP handler.
+    pub fn into_handler(self) -> Handler {
+        let svc = Arc::new(self);
+        Arc::new(move |req: &Request| svc.handle(req))
+    }
+
+    /// Routes one request.
+    pub fn handle(&self, req: &Request) -> Response {
+        let path = req.path.trim_end_matches('/');
+        if let Some(rrd_path) = path.strip_prefix("/pilgrim/rrd/") {
+            return self.handle_rrd(rrd_path, req);
+        }
+        if let Some(platform) = path.strip_prefix("/pilgrim/predict_transfers/") {
+            return self.handle_predict(platform, req);
+        }
+        if let Some(platform) = path.strip_prefix("/pilgrim/select_fastest/") {
+            return self.handle_select(platform, req);
+        }
+        if let Some(platform) = path.strip_prefix("/pilgrim/forecast_workflow/") {
+            return self.handle_workflow(platform, req);
+        }
+        match path {
+            "/pilgrim/platforms" => {
+                let names: Vec<Value> =
+                    self.pnfs.platform_names().into_iter().map(Value::from).collect();
+                Response::json(&Value::Array(names))
+            }
+            "/pilgrim/rrds" => {
+                let names: Vec<Value> =
+                    self.metrology.list("").into_iter().map(Value::from).collect();
+                Response::json(&Value::Array(names))
+            }
+            _ => Response::error(404, &format!("no such endpoint: {path}")),
+        }
+    }
+
+    fn handle_rrd(&self, rrd_path: &str, req: &Request) -> Response {
+        let Some(begin) = req.param("begin").and_then(rrd::time::parse_timestamp) else {
+            return Response::error(400, "missing or invalid 'begin'");
+        };
+        let Some(end) = req.param("end").and_then(rrd::time::parse_timestamp) else {
+            return Response::error(400, "missing or invalid 'end'");
+        };
+        match self.metrology.fetch(rrd_path, begin, end) {
+            Ok(points) => Response::json(&Metrology::to_json(&points)),
+            Err(e @ MetrologyError::UnknownRrd(_)) => Response::error(404, &e.to_string()),
+            Err(e) => Response::error(400, &e.to_string()),
+        }
+    }
+
+    fn handle_predict(&self, platform: &str, req: &Request) -> Response {
+        let specs = req.params_named("transfer");
+        if specs.is_empty() {
+            return Response::error(400, "at least one 'transfer' parameter required");
+        }
+        let mut requests = Vec::with_capacity(specs.len());
+        for s in specs {
+            match parse_transfer(s) {
+                Some(t) => requests.push(t),
+                None => {
+                    return Response::error(
+                        400,
+                        &format!("malformed transfer '{s}' (want src,dst,size)"),
+                    )
+                }
+            }
+        }
+        match self.pnfs.predict(platform, &requests) {
+            Ok(preds) => {
+                let arr: Vec<Value> = preds.iter().map(|p| p.to_json()).collect();
+                Response::json(&Value::Array(arr))
+            }
+            Err(e) => pnfs_error_response(e),
+        }
+    }
+
+    fn handle_select(&self, platform: &str, req: &Request) -> Response {
+        let raw = req.params_named("hypothesis");
+        if raw.is_empty() {
+            return Response::error(400, "at least one 'hypothesis' parameter required");
+        }
+        let mut hypotheses = Vec::with_capacity(raw.len());
+        for h in raw {
+            let mut transfers = Vec::new();
+            for part in h.split(';').filter(|p| !p.is_empty()) {
+                match parse_transfer(part) {
+                    Some(t) => transfers.push(t),
+                    None => {
+                        return Response::error(
+                            400,
+                            &format!("malformed transfer '{part}' in hypothesis"),
+                        )
+                    }
+                }
+            }
+            hypotheses.push(transfers);
+        }
+        match self.pnfs.select_fastest(platform, &hypotheses) {
+            Ok(sel) => Response::json(&Value::object(vec![
+                ("best", Value::from(sel.best as i64)),
+                ("makespan", Value::from(sel.best_makespan)),
+                (
+                    "predictions",
+                    Value::Array(sel.predictions.iter().map(|p| p.to_json()).collect()),
+                ),
+                (
+                    "pruned",
+                    Value::Array(sel.pruned.iter().map(|&i| Value::from(i as i64)).collect()),
+                ),
+            ])),
+            Err(e) => pnfs_error_response(e),
+        }
+    }
+
+    /// §VI workflow endpoint. Tasks are declared positionally:
+    /// `task=<name>,compute,<host>,<flops>` or
+    /// `task=<name>,transfer,<src>,<dst>,<bytes>`, with dependencies
+    /// `dep=<task_index>,<depends_on_index>`.
+    fn handle_workflow(&self, platform: &str, req: &Request) -> Response {
+        let Some(p) = self.pnfs.platform(platform) else {
+            return Response::error(404, &format!("unknown platform '{platform}'"));
+        };
+        let mut wf = crate::workflow::Workflow::new();
+        for spec in req.params_named("task") {
+            let parts: Vec<&str> = spec.split(',').map(str::trim).collect();
+            let kind = match parts.as_slice() {
+                [_, "compute", host, flops] => flops
+                    .parse::<f64>()
+                    .ok()
+                    .map(|f| crate::workflow::TaskKind::Compute { host: host.to_string(), flops: f }),
+                [_, "transfer", src, dst, bytes] => bytes.parse::<f64>().ok().map(|b| {
+                    crate::workflow::TaskKind::Transfer {
+                        src: src.to_string(),
+                        dst: dst.to_string(),
+                        bytes: b,
+                    }
+                }),
+                _ => None,
+            };
+            match kind {
+                Some(kind) => {
+                    wf.add(parts[0], kind, &[]);
+                }
+                None => {
+                    return Response::error(
+                        400,
+                        &format!(
+                            "malformed task '{spec}' (want name,compute,host,flops \
+                             or name,transfer,src,dst,bytes)"
+                        ),
+                    )
+                }
+            }
+        }
+        if wf.tasks.is_empty() {
+            return Response::error(400, "at least one 'task' parameter required");
+        }
+        for dep in req.params_named("dep") {
+            let parsed: Option<(usize, usize)> = dep
+                .split_once(',')
+                .and_then(|(a, b)| Some((a.trim().parse().ok()?, b.trim().parse().ok()?)));
+            match parsed {
+                Some((task, on)) if task < wf.tasks.len() && on < wf.tasks.len() => {
+                    wf.tasks[task].deps.push(on);
+                }
+                _ => {
+                    return Response::error(
+                        400,
+                        &format!("malformed dep '{dep}' (want task_index,depends_on_index)"),
+                    )
+                }
+            }
+        }
+        match crate::workflow::forecast(&p, self.pnfs.config(), &wf) {
+            Ok(fc) => Response::json(&fc.to_json()),
+            Err(e) => pnfs_error_response(e),
+        }
+    }
+}
+
+/// Parses the paper's `src,dst,size` tuple (size accepts `5e8` notation).
+fn parse_transfer(s: &str) -> Option<TransferRequest> {
+    let mut parts = s.split(',');
+    let src = parts.next()?.trim();
+    let dst = parts.next()?.trim();
+    let size: f64 = parts.next()?.trim().parse().ok()?;
+    if parts.next().is_some() || src.is_empty() || dst.is_empty() {
+        return None;
+    }
+    Some(TransferRequest { src: src.to_string(), dst: dst.to_string(), size })
+}
+
+fn pnfs_error_response(e: PnfsError) -> Response {
+    match &e {
+        PnfsError::UnknownPlatform(_) | PnfsError::UnknownHost(_) => {
+            Response::error(404, &e.to_string())
+        }
+        _ => Response::error(400, &e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::parse_query;
+    use g5k::{synth, to_simflow, Flavor};
+    use rrd::{ArchiveSpec, Cf, Database, DsKind};
+    use simflow::NetworkConfig;
+
+    fn service() -> PilgrimService {
+        let metrology = Metrology::new();
+        let mut db = Database::new(
+            15,
+            DsKind::Gauge,
+            120,
+            &[ArchiveSpec { cf: Cf::Average, steps_per_row: 1, rows: 240 }],
+        );
+        let t0 = 1_336_111_200i64;
+        db.update(t0 - 15, 168.92).unwrap();
+        for k in 0..8 {
+            db.update(t0 + k * 15, 168.88).unwrap();
+        }
+        metrology.insert("ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd", db);
+
+        let mut pnfs = Pnfs::new(NetworkConfig::default());
+        pnfs.register_platform("g5k_test", to_simflow(&synth::standard(), Flavor::G5kTest));
+        PilgrimService::new(metrology, pnfs)
+    }
+
+    fn get(svc: &PilgrimService, path: &str, query: &str) -> (u16, Value) {
+        let req = Request {
+            method: "GET".into(),
+            path: path.into(),
+            params: parse_query(query),
+        };
+        let resp = svc.handle(&req);
+        (resp.status, Value::parse(&resp.body).expect("json body"))
+    }
+
+    #[test]
+    fn paper_rrd_query() {
+        let svc = service();
+        // the paper's example URL, with its bounds in UTC
+        let (status, v) = get(
+            &svc,
+            "/pilgrim/rrd/ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd",
+            "begin=2012-05-04%2006:00:00&end=2012-05-04%2006:01:00",
+        );
+        assert_eq!(status, 200);
+        let points = v.as_array().unwrap();
+        assert_eq!(points.len(), 4, "{v}");
+        assert_eq!(points[0][0].as_i64(), Some(1_336_111_215));
+    }
+
+    #[test]
+    fn paper_predict_query() {
+        let svc = service();
+        let (status, v) = get(
+            &svc,
+            "/pilgrim/predict_transfers/g5k_test",
+            "transfer=capricorne-36.lyon.grid5000.fr,griffon-50.nancy.grid5000.fr,5e8&\
+             transfer=capricorne-36.lyon.grid5000.fr,capricorne-1.lyon.grid5000.fr,5e8",
+        );
+        assert_eq!(status, 200, "{v}");
+        assert_eq!(v.as_array().unwrap().len(), 2);
+        assert_eq!(v[0]["size"].as_f64(), Some(5e8));
+        assert!(v[0]["duration"].as_f64().unwrap() > v[1]["duration"].as_f64().unwrap());
+    }
+
+    #[test]
+    fn select_fastest_endpoint() {
+        let svc = service();
+        let (status, v) = get(
+            &svc,
+            "/pilgrim/select_fastest/g5k_test",
+            "hypothesis=sagittaire-1.lyon.grid5000.fr,sagittaire-2.lyon.grid5000.fr,1e9&\
+             hypothesis=sagittaire-1.lyon.grid5000.fr,graphene-1.nancy.grid5000.fr,1e9",
+        );
+        assert_eq!(status, 200, "{v}");
+        assert_eq!(v["best"].as_i64(), Some(0), "intra-cluster wins: {v}");
+    }
+
+    #[test]
+    fn discovery_endpoints() {
+        let svc = service();
+        let (s1, v1) = get(&svc, "/pilgrim/platforms", "");
+        assert_eq!(s1, 200);
+        assert_eq!(v1[0].as_str(), Some("g5k_test"));
+        let (s2, v2) = get(&svc, "/pilgrim/rrds", "");
+        assert_eq!(s2, 200);
+        assert_eq!(v2.as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn error_statuses() {
+        let svc = service();
+        assert_eq!(get(&svc, "/pilgrim/rrd/none.rrd", "begin=0&end=1").0, 404);
+        assert_eq!(get(&svc, "/pilgrim/rrd/none.rrd", "begin=x&end=1").0, 400);
+        assert_eq!(get(&svc, "/pilgrim/predict_transfers/none", "transfer=a,b,1").0, 404);
+        assert_eq!(get(&svc, "/pilgrim/predict_transfers/g5k_test", "").0, 400);
+        assert_eq!(
+            get(&svc, "/pilgrim/predict_transfers/g5k_test", "transfer=oops").0,
+            400
+        );
+        assert_eq!(get(&svc, "/nope", "").0, 404);
+    }
+
+    #[test]
+    fn workflow_endpoint_forecasts_a_dag() {
+        let svc = service();
+        // upload → compute → download on sagittaire/graphene
+        let (status, v) = get(
+            &svc,
+            "/pilgrim/forecast_workflow/g5k_test",
+            "task=upload,transfer,sagittaire-1.lyon.grid5000.fr,graphene-1.nancy.grid5000.fr,1e9&\
+             task=solve,compute,graphene-1.nancy.grid5000.fr,1e10&\
+             task=download,transfer,graphene-1.nancy.grid5000.fr,sagittaire-1.lyon.grid5000.fr,1e8&\
+             dep=1,0&dep=2,1",
+        );
+        assert_eq!(status, 200, "{v}");
+        let tasks = v["tasks"].as_array().unwrap();
+        assert_eq!(tasks.len(), 3);
+        assert_eq!(tasks[1]["name"].as_str(), Some("solve"));
+        // chain: each starts after the previous finishes
+        let f0 = tasks[0]["finish"].as_f64().unwrap();
+        let s1 = tasks[1]["start"].as_f64().unwrap();
+        assert!(s1 >= f0 - 1e-9, "{v}");
+        assert!(v["makespan"].as_f64().unwrap() > f0);
+    }
+
+    #[test]
+    fn workflow_endpoint_rejects_malformed_input() {
+        let svc = service();
+        assert_eq!(get(&svc, "/pilgrim/forecast_workflow/g5k_test", "").0, 400);
+        assert_eq!(
+            get(&svc, "/pilgrim/forecast_workflow/g5k_test", "task=bad,kind").0,
+            400
+        );
+        assert_eq!(
+            get(
+                &svc,
+                "/pilgrim/forecast_workflow/g5k_test",
+                "task=a,compute,sagittaire-1.lyon.grid5000.fr,1e9&dep=0,5"
+            )
+            .0,
+            400
+        );
+        assert_eq!(
+            get(&svc, "/pilgrim/forecast_workflow/nope", "task=a,compute,x,1").0,
+            404
+        );
+    }
+
+    #[test]
+    fn transfer_tuple_parsing() {
+        assert!(parse_transfer("a,b,5e8").is_some());
+        assert!(parse_transfer("a, b , 100").is_some());
+        assert!(parse_transfer("a,b").is_none());
+        assert!(parse_transfer("a,b,x").is_none());
+        assert!(parse_transfer("a,b,1,2").is_none());
+        assert!(parse_transfer(",b,1").is_none());
+    }
+}

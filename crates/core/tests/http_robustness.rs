@@ -1,0 +1,94 @@
+//! Adversarial-input tests of the HTTP layer: a service exposed to a whole
+//! grid of clients must shrug off malformed requests without dying.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pilgrim_core::http::{http_get, Handler, Request, Response, Server};
+
+fn echo_server() -> Server {
+    let handler: Handler = Arc::new(|req: &Request| {
+        Response::json(&jsonlite::Value::from(req.path.as_str()))
+    });
+    Server::start("127.0.0.1:0", 2, handler).expect("bind")
+}
+
+/// Sends raw bytes, returns whatever comes back (possibly nothing).
+fn raw_exchange(server: &Server, payload: &[u8]) -> String {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let _ = stream.write_all(payload);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+#[test]
+fn garbage_bytes_get_an_error_not_a_crash() {
+    let server = echo_server();
+    for payload in [
+        &b"\x00\x01\x02\x03\x04"[..],
+        b"GARBAGE NOISE\r\n\r\n",
+        b"GET\r\n\r\n",
+        b"GET /x HTTP/9.9\r\n\r\n",
+        b"",
+    ] {
+        let resp = raw_exchange(&server, payload);
+        assert!(
+            resp.is_empty() || resp.starts_with("HTTP/1.1 400"),
+            "unexpected response to garbage: {resp:?}"
+        );
+    }
+    // and the server still works afterwards
+    let (status, _) = http_get(server.addr(), "/still/alive").unwrap();
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn very_long_urls_are_handled() {
+    let server = echo_server();
+    let long = format!("/{}", "x".repeat(60_000));
+    let (status, body) = http_get(server.addr(), &long).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains(&"x".repeat(100)));
+}
+
+#[test]
+fn weird_percent_escapes_do_not_crash() {
+    let server = echo_server();
+    for q in ["/p?%", "/p?a=%2", "/p?a=%zz%", "/p?a=%00%ff", "/p?%f0%9f%98%80=1"] {
+        let (status, _) = http_get(server.addr(), q).unwrap();
+        assert_eq!(status, 200, "query {q}");
+    }
+}
+
+#[test]
+fn slow_client_cannot_wedge_the_pool() {
+    let server = echo_server();
+    // open a connection and send nothing: the read timeout must reclaim
+    // the worker; meanwhile the other workers keep serving
+    let _idle = TcpStream::connect(server.addr()).unwrap();
+    for _ in 0..4 {
+        let (status, _) = http_get(server.addr(), "/ok").unwrap();
+        assert_eq!(status, 200);
+    }
+}
+
+#[test]
+fn handler_panics_do_not_kill_the_server() {
+    let handler: Handler = Arc::new(|req: &Request| {
+        if req.path == "/boom" {
+            panic!("handler exploded");
+        }
+        Response::json(&jsonlite::Value::Null)
+    });
+    let server = Server::start("127.0.0.1:0", 3, handler).expect("bind");
+    // a panicking request kills one worker thread at worst…
+    let _ = http_get(server.addr(), "/boom");
+    // …but the pool keeps answering
+    let (status, _) = http_get(server.addr(), "/fine").unwrap();
+    assert_eq!(status, 200);
+}

@@ -1,0 +1,320 @@
+//! Design-choice ablations the paper discusses qualitatively, quantified.
+//!
+//! * **Platform flavor** (figF): §V-A tested two generated platforms and
+//!   kept the detailed one — "we have found that all predictions based on
+//!   g5k_test are better". This ablation reruns representative figures
+//!   against both and reports the large-size error medians side by side.
+//! * **Latency calibration** (figC): §VI proposes replacing the two
+//!   hard-coded latency values with SmokePing measurements through the
+//!   metrology service. This ablation builds the calibrated platform
+//!   (`pilgrim_core::calibration`) and shows what it buys at small
+//!   transfer sizes, where the latency term dominates predictions.
+
+use pilgrim_core::calibration::{
+    calibrate, packetsim_probe::ProbeSource, seed_probes_from_network,
+};
+use pilgrim_core::{Metrology, Pnfs, TransferRequest};
+use simflow::NetworkConfig;
+
+use crate::figures::Lab;
+use crate::stats::{log2_error, median};
+use crate::workload::{draw_pairs, sizes, Topology, ACCURACY_THRESHOLD};
+
+/// One row of the flavor ablation.
+#[derive(Clone, Debug)]
+pub struct FlavorPoint {
+    /// Figure id the workload comes from.
+    pub figure: &'static str,
+    /// Median |error| over large sizes with `g5k_test`.
+    pub g5k_test: f64,
+    /// Median |error| over large sizes with `g5k_cabinets`.
+    pub g5k_cabinets: f64,
+}
+
+/// Reruns the large-size points of representative figures against both
+/// platform flavors.
+pub fn run_flavor_ablation(lab: &Lab, reps: usize, base_seed: u64) -> Vec<FlavorPoint> {
+    let configs: [(&'static str, Topology, usize, usize); 4] = [
+        ("fig4", Topology::Cluster("sagittaire".into()), 10, 10),
+        ("fig5", Topology::Cluster("sagittaire".into()), 30, 30),
+        ("fig8", Topology::Cluster("graphene".into()), 30, 30),
+        ("fig10", Topology::GridMulti, 10, 30),
+    ];
+    let large_sizes: Vec<f64> =
+        sizes().into_iter().filter(|s| *s > ACCURACY_THRESHOLD).collect();
+
+    configs
+        .into_iter()
+        .map(|(figure, topology, n_src, n_dst)| {
+            let mut test_errs = Vec::new();
+            let mut cab_errs = Vec::new();
+            for (si, &size) in large_sizes.iter().enumerate() {
+                for rep in 0..reps {
+                    let seed = base_seed
+                        ^ (si as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ (rep as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    let pairs = draw_pairs(&lab.api, &topology, n_src, n_dst, seed);
+                    let measured = lab.measure(&pairs, size, seed);
+                    let test = lab.predict(&pairs, size, "g5k_test");
+                    let cab = lab.predict(&pairs, size, "g5k_cabinets");
+                    for ((m, t), c) in measured.iter().zip(&test).zip(&cab) {
+                        test_errs.push(log2_error(*t, *m).abs());
+                        cab_errs.push(log2_error(*c, *m).abs());
+                    }
+                }
+            }
+            FlavorPoint {
+                figure,
+                g5k_test: median(&test_errs).expect("samples"),
+                g5k_cabinets: median(&cab_errs).expect("samples"),
+            }
+        })
+        .collect()
+}
+
+/// ASCII rendering of the flavor ablation.
+pub fn render_flavor_ablation(points: &[FlavorPoint]) -> String {
+    let mut out = String::from(
+        "figF — platform flavor ablation (median |log2 error|, sizes > 1.67e7)\n\
+         the paper: \"all predictions based on g5k_test are better\"\n\n",
+    );
+    out.push_str(&format!(
+        "{:>8} | {:>10} {:>13} | verdict\n",
+        "figure", "g5k_test", "g5k_cabinets"
+    ));
+    out.push_str(&"-".repeat(52));
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!(
+            "{:>8} | {:>10.3} {:>13.3} | {}\n",
+            p.figure,
+            p.g5k_test,
+            p.g5k_cabinets,
+            if p.g5k_test <= p.g5k_cabinets { "g5k_test better" } else { "cabinets better" }
+        ));
+    }
+    out
+}
+
+/// One row of the calibration ablation.
+#[derive(Clone, Debug)]
+pub struct CalibrationPoint {
+    /// Transfer size, bytes.
+    pub size: f64,
+    /// Median error with the paper's hard-coded latencies.
+    pub hardcoded: f64,
+    /// Median error with metrology-calibrated latencies.
+    pub calibrated: f64,
+}
+
+/// Builds a metrology-calibrated PNFS and compares small-size graphene
+/// predictions against the hard-coded platform.
+pub fn run_calibration_ablation(lab: &Lab, reps: usize, base_seed: u64) -> Vec<CalibrationPoint> {
+    // SmokePing-style probes measured on the ground-truth network
+    let metrology = Metrology::new();
+    let probe = ProbeSource { network: &lab.tnet.network };
+    seed_probes_from_network(&metrology, &lab.api, &probe, 60, 0.05, base_seed);
+    let lat = calibrate(&lab.api, &metrology, 0, 60 * 60);
+
+    let mut pnfs = Pnfs::new(NetworkConfig::default());
+    pnfs.register_platform(
+        "g5k_calibrated",
+        g5k::to_simflow_calibrated(&lab.api, g5k::Flavor::G5kTest, &lat),
+    );
+
+    let small_sizes = [1e5, 3.59e5, 1.29e6, 4.64e6];
+    small_sizes
+        .iter()
+        .map(|&size| {
+            let mut hard_errs = Vec::new();
+            let mut cal_errs = Vec::new();
+            for rep in 0..reps {
+                let seed = base_seed ^ (rep as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                let pairs =
+                    draw_pairs(&lab.api, &Topology::Cluster("graphene".into()), 10, 10, seed);
+                let measured = lab.measure(&pairs, size, seed);
+                let hard = lab.predict(&pairs, size, "g5k_test");
+                let reqs: Vec<TransferRequest> = pairs
+                    .iter()
+                    .map(|p| TransferRequest { src: p.src.clone(), dst: p.dst.clone(), size })
+                    .collect();
+                let cal: Vec<f64> = pnfs
+                    .predict("g5k_calibrated", &reqs)
+                    .expect("prediction")
+                    .iter()
+                    .map(|p| p.duration)
+                    .collect();
+                for ((m, h), c) in measured.iter().zip(&hard).zip(&cal) {
+                    hard_errs.push(log2_error(*h, *m));
+                    cal_errs.push(log2_error(*c, *m));
+                }
+            }
+            CalibrationPoint {
+                size,
+                hardcoded: median(&hard_errs).expect("samples"),
+                calibrated: median(&cal_errs).expect("samples"),
+            }
+        })
+        .collect()
+}
+
+/// ASCII rendering of the calibration ablation.
+pub fn render_calibration_ablation(points: &[CalibrationPoint]) -> String {
+    let mut out = String::from(
+        "figC — latency-calibration ablation (graphene 10→10, small sizes)\n\
+         §VI: \"use automatic link latency measurements instead of arbitrary values\"\n\
+         median log2 error; closer to 0 is better\n\n",
+    );
+    out.push_str(&format!(
+        "{:>10} | {:>10} {:>12}\n",
+        "size(B)", "hardcoded", "calibrated"
+    ));
+    out.push_str(&"-".repeat(38));
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!(
+            "{:>10.2e} | {:>10.2} {:>12.2}\n",
+            p.size, p.hardcoded, p.calibrated
+        ));
+    }
+    out
+}
+
+/// One row of the TCP-model ablation.
+#[derive(Clone, Debug)]
+pub struct ModelPoint {
+    /// Transfer size, bytes.
+    pub size: f64,
+    /// Median |error| with the LV08 recalibration (the paper's model).
+    pub lv08: f64,
+    /// Median |error| with the older CM02 constants.
+    pub cm02: f64,
+    /// Median |error| with no correction factors at all.
+    pub ideal: f64,
+}
+
+/// Compares the three flow-model calibrations (ideal, CM02, LV08) on the
+/// graphene 10×10 workload (no measurement-overhead floor) — the lineage
+/// the paper cites (its refs \[13\] improved by \[14\]). On this testbed the two
+/// calibrated models bracket the true wire efficiency and land close
+/// together; the uncalibrated model is measurably worse.
+pub fn run_model_ablation(lab: &Lab, reps: usize, base_seed: u64) -> Vec<ModelPoint> {
+    let make = |cfg: NetworkConfig| {
+        let mut p = Pnfs::new(cfg);
+        p.register_platform("g5k_test", g5k::to_simflow(&lab.api, g5k::Flavor::G5kTest));
+        p
+    };
+    let lv08 = make(NetworkConfig::default());
+    let cm02 = make(NetworkConfig::cm02());
+    let ideal = make(NetworkConfig::ideal());
+
+    [5.99e7, 2.15e8, 7.74e8, 2.78e9]
+        .iter()
+        .map(|&size| {
+            let mut errs = [Vec::new(), Vec::new(), Vec::new()];
+            for rep in 0..reps {
+                let seed = base_seed ^ (rep as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                let pairs =
+                    draw_pairs(&lab.api, &Topology::Cluster("graphene".into()), 10, 10, seed);
+                let measured = lab.measure(&pairs, size, seed);
+                let reqs: Vec<TransferRequest> = pairs
+                    .iter()
+                    .map(|p| TransferRequest { src: p.src.clone(), dst: p.dst.clone(), size })
+                    .collect();
+                for (slot, pnfs) in [&lv08, &cm02, &ideal].iter().enumerate() {
+                    let preds = pnfs.predict("g5k_test", &reqs).expect("prediction");
+                    for (m, p) in measured.iter().zip(&preds) {
+                        errs[slot].push(log2_error(p.duration, *m).abs());
+                    }
+                }
+            }
+            ModelPoint {
+                size,
+                lv08: median(&errs[0]).expect("samples"),
+                cm02: median(&errs[1]).expect("samples"),
+                ideal: median(&errs[2]).expect("samples"),
+            }
+        })
+        .collect()
+}
+
+/// ASCII rendering of the model ablation.
+pub fn render_model_ablation(points: &[ModelPoint]) -> String {
+    let mut out = String::from(
+        "figM — TCP flow-model calibration ablation (graphene 10→10)\n\
+         median |log2 error|; LV08 is the paper's model, CM02 its ancestor\n\n",
+    );
+    out.push_str(&format!(
+        "{:>10} | {:>8} {:>8} {:>8}\n",
+        "size(B)", "LV08", "CM02", "ideal"
+    ));
+    out.push_str(&"-".repeat(42));
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!(
+            "{:>10.2e} | {:>8.3} {:>8.3} {:>8.3}\n",
+            p.size, p.lv08, p.cm02, p.ideal
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g5k_test_beats_cabinets() {
+        let lab = Lab::new();
+        let points = run_flavor_ablation(&lab, 1, 11);
+        assert_eq!(points.len(), 4);
+        // the paper's finding must hold on concurrent cluster workloads
+        for p in &points {
+            if p.figure == "fig5" || p.figure == "fig8" {
+                assert!(
+                    p.g5k_test < p.g5k_cabinets,
+                    "{}: test {} vs cabinets {}",
+                    p.figure,
+                    p.g5k_test,
+                    p.g5k_cabinets
+                );
+            }
+        }
+        let text = render_flavor_ablation(&points);
+        assert!(text.contains("figF"));
+    }
+
+    #[test]
+    fn calibrated_models_beat_uncalibrated() {
+        let lab = Lab::new();
+        let points = run_model_ablation(&lab, 2, 17);
+        let pool = |f: fn(&ModelPoint) -> f64| -> f64 {
+            points.iter().map(f).sum::<f64>() / points.len() as f64
+        };
+        let (lv08, cm02, ideal) = (pool(|p| p.lv08), pool(|p| p.cm02), pool(|p| p.ideal));
+        // both empirically-calibrated models must beat the raw one — the
+        // reason such factors exist at all; LV08 vs CM02 bracket the true
+        // wire efficiency here and are statistically indistinguishable
+        assert!(lv08 < ideal, "LV08 {lv08} must beat ideal {ideal}");
+        assert!(cm02 < ideal, "CM02 {cm02} must beat ideal {ideal}");
+        let text = render_model_ablation(&points);
+        assert!(text.contains("figM"));
+    }
+
+    #[test]
+    fn calibration_improves_small_size_errors() {
+        let lab = Lab::new();
+        let points = run_calibration_ablation(&lab, 2, 13);
+        // at 100 KB the latency term dominates: calibrated latencies must
+        // cut the error magnitude substantially
+        let p0 = &points[0];
+        assert!(
+            p0.calibrated.abs() < p0.hardcoded.abs() * 0.7,
+            "calibrated {} vs hardcoded {}",
+            p0.calibrated,
+            p0.hardcoded
+        );
+        let text = render_calibration_ablation(&points);
+        assert!(text.contains("figC"));
+    }
+}

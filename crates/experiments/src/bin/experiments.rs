@@ -1,0 +1,207 @@
+//! Command-line driver regenerating the paper's evaluation.
+//!
+//! ```text
+//! experiments --all            # every figure + summary (reps = 10)
+//! experiments --figure fig8    # one figure
+//! experiments --figure fig1    # topology inventory (paper diagram)
+//! experiments --figure figV    # ground-truth engine validation
+//! experiments --summary        # pooled §V-B numbers only
+//! experiments --reps 3 --out results/
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use experiments::ablation::{
+    render_calibration_ablation, render_flavor_ablation, render_model_ablation,
+    run_calibration_ablation, run_flavor_ablation, run_model_ablation,
+};
+use experiments::background::{render_background, run_background_ablation};
+use experiments::figures::{figure, figures, run_figure, Lab};
+use experiments::render::{fig1_inventory, fig2_inventory, figure_csv, figure_plot, figure_table};
+use experiments::summary::summarize;
+use experiments::validation::{render_validation, run_validation};
+
+struct Args {
+    figures: Vec<String>,
+    reps: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+    summary_only: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        figures: Vec::new(),
+        reps: 10,
+        seed: 20120924, // the CLUSTER 2012 conference date
+        out: None,
+        summary_only: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => {
+                args.figures = figures().iter().map(|f| f.id.to_string()).collect();
+                args.figures.insert(0, "fig2".into());
+                args.figures.insert(0, "fig1".into());
+                args.figures.push("figV".into());
+                args.figures.push("figF".into());
+                args.figures.push("figC".into());
+                args.figures.push("figB".into());
+                args.figures.push("figM".into());
+            }
+            "--figure" => {
+                let id = it.next().ok_or("--figure needs an id")?;
+                args.figures.push(id);
+            }
+            "--reps" => {
+                args.reps = it
+                    .next()
+                    .ok_or("--reps needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad --reps: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => {
+                args.out = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?));
+            }
+            "--summary" => args.summary_only = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--all | --figure figN ...] [--reps N] \
+                     [--seed S] [--out DIR] [--summary]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if args.figures.is_empty() {
+        args.figures = figures().iter().map(|f| f.id.to_string()).collect();
+    }
+    Ok(args)
+}
+
+fn write_out(out: &Option<PathBuf>, name: &str, content: &str) {
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        let path = dir.join(name);
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create file"));
+        f.write_all(content.as_bytes()).expect("write file");
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!("building the lab (platforms + testbed)…");
+    let lab = Lab::new();
+    let mut evaluated = Vec::new();
+
+    for id in &args.figures {
+        match id.as_str() {
+            "fig1" => {
+                let text = fig1_inventory(&lab);
+                if !args.summary_only {
+                    println!("{text}");
+                }
+                write_out(&args.out, "fig1.txt", &text);
+            }
+            "fig2" => {
+                let text = fig2_inventory(&lab);
+                if !args.summary_only {
+                    println!("{text}");
+                }
+                write_out(&args.out, "fig2.txt", &text);
+            }
+            "figV" | "figv" | "val" => {
+                eprintln!("running figV (engine validation)…");
+                let points = run_validation(&lab, args.seed);
+                let text = render_validation(&points);
+                if !args.summary_only {
+                    println!("{text}");
+                }
+                write_out(&args.out, "figV.txt", &text);
+            }
+            "figF" | "figf" | "flavors" => {
+                eprintln!("running figF (platform flavor ablation)…");
+                let points = run_flavor_ablation(&lab, args.reps.min(3), args.seed);
+                let text = render_flavor_ablation(&points);
+                if !args.summary_only {
+                    println!("{text}");
+                }
+                write_out(&args.out, "figF.txt", &text);
+            }
+            "figC" | "figc" | "calibration" => {
+                eprintln!("running figC (latency calibration ablation)…");
+                let points = run_calibration_ablation(&lab, args.reps, args.seed);
+                let text = render_calibration_ablation(&points);
+                if !args.summary_only {
+                    println!("{text}");
+                }
+                write_out(&args.out, "figC.txt", &text);
+            }
+            "figM" | "figm" | "models" => {
+                eprintln!("running figM (TCP model calibration ablation)…");
+                let points = run_model_ablation(&lab, args.reps, args.seed);
+                let text = render_model_ablation(&points);
+                if !args.summary_only {
+                    println!("{text}");
+                }
+                write_out(&args.out, "figM.txt", &text);
+            }
+            "figB" | "figb" | "background" => {
+                eprintln!("running figB (background traffic ablation)…");
+                let points =
+                    run_background_ablation(&lab, 7.74e8, &[0, 5, 10, 20, 40], args.reps, args.seed);
+                let text = render_background(&points);
+                if !args.summary_only {
+                    println!("{text}");
+                }
+                write_out(&args.out, "figB.txt", &text);
+            }
+            other => {
+                let Some(spec) = figure(other) else {
+                    eprintln!("error: unknown figure '{other}'");
+                    std::process::exit(2);
+                };
+                eprintln!("running {other} ({}) with {} reps…", spec.title, args.reps);
+                let t0 = std::time::Instant::now();
+                let data = run_figure(&lab, &spec, args.reps, args.seed);
+                eprintln!("  done in {:.2}s", t0.elapsed().as_secs_f64());
+                if !args.summary_only {
+                    println!("{}", figure_table(&data));
+                    println!("{}", figure_plot(&data));
+                }
+                write_out(
+                    &args.out,
+                    &format!("{other}.txt"),
+                    &format!("{}\n{}", figure_table(&data), figure_plot(&data)),
+                );
+                write_out(&args.out, &format!("{other}.csv"), &figure_csv(&data));
+                evaluated.push(data);
+            }
+        }
+    }
+
+    if !evaluated.is_empty() {
+        if let Some(s) = summarize(&evaluated) {
+            let text = s.render();
+            println!("{text}");
+            write_out(&args.out, "summary.txt", &text);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Rendering of figure data: ASCII tables/plots for the terminal, CSV for
+//! external plotting, and the topology inventories standing in for the
+//! paper's diagrams (figures 1 and 2).
+
+use crate::figures::{FigureData, Lab};
+use g5k::Aggregation;
+
+/// ASCII table of one figure: one row per size, the error box, and the
+/// median durations (the paper plots median measured duration on the
+/// right axis).
+pub fn figure_table(data: &FigureData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} — {}\n", data.spec.id, data.spec.title));
+    out.push_str(&format!(
+        "{:>10} | {:>7} {:>7} {:>7} {:>7} {:>7} | {:>12} {:>12} | {:>4}\n",
+        "size(B)", "min", "q1", "median", "q3", "max", "measured(s)", "predicted(s)", "n"
+    ));
+    out.push_str(&"-".repeat(98));
+    out.push('\n');
+    for p in &data.points {
+        out.push_str(&format!(
+            "{:>10.2e} | {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} | {:>12.4} {:>12.4} | {:>4}\n",
+            p.size,
+            p.err.lo,
+            p.err.q1,
+            p.err.median,
+            p.err.q3,
+            p.err.hi,
+            p.median_measured,
+            p.median_predicted,
+            p.n
+        ));
+    }
+    out
+}
+
+/// ASCII error-vs-size plot: the paper's error line, one row per size.
+pub fn figure_plot(data: &FigureData) -> String {
+    const COLS: usize = 61; // error axis −12 … +3, 4 columns per unit
+    const LO: f64 = -12.0;
+    const HI: f64 = 3.0;
+    let col = |e: f64| -> usize {
+        let clamped = e.clamp(LO, HI);
+        ((clamped - LO) / (HI - LO) * (COLS - 1) as f64).round() as usize
+    };
+    let zero = col(0.0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "error log2(prediction)-log2(measure)   [{}..{}], '|' = 0\n",
+        LO, HI
+    ));
+    for p in &data.points {
+        let mut row = vec![b' '; COLS];
+        let (a, b) = (col(p.err.q1), col(p.err.q3));
+        for c in row.iter_mut().take(b + 1).skip(a) {
+            *c = b'-';
+        }
+        row[zero] = b'|';
+        row[col(p.err.median)] = b'*';
+        out.push_str(&format!(
+            "{:>9.2e} {}\n",
+            p.size,
+            String::from_utf8(row).expect("ascii")
+        ));
+    }
+    out
+}
+
+/// CSV of one figure (`size,err_lo,err_q1,err_median,err_q3,err_hi,
+/// measured_median_s,predicted_median_s,n`).
+pub fn figure_csv(data: &FigureData) -> String {
+    let mut out = String::from(
+        "size_bytes,err_lo,err_q1,err_median,err_q3,err_hi,measured_median_s,predicted_median_s,n\n",
+    );
+    for p in &data.points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            p.size,
+            p.err.lo,
+            p.err.q1,
+            p.err.median,
+            p.err.q3,
+            p.err.hi,
+            p.median_measured,
+            p.median_predicted,
+            p.n
+        ));
+    }
+    out
+}
+
+/// Figure 1 stand-in: the three-site backbone inventory.
+pub fn fig1_inventory(lab: &Lab) -> String {
+    let mut out = String::from("fig1 — Grid'5000 slice overview (paper Figure 1)\n\n");
+    for site in &lab.api.sites {
+        let nodes: u32 = site.clusters.iter().map(|c| c.nodes).sum();
+        out.push_str(&format!(
+            "site {:<8} router {:<10} backplane {:>12} | {} nodes in {} clusters\n",
+            site.name,
+            site.router.name,
+            if site.router.backplane_bps.is_finite() {
+                format!("{:.1} Gbit/s", site.router.backplane_bps * 8.0 / 1e9)
+            } else {
+                "non-blocking".to_string()
+            },
+            nodes,
+            site.clusters.len(),
+        ));
+    }
+    out.push('\n');
+    for bb in &lab.api.backbone {
+        out.push_str(&format!(
+            "backbone {:<6} ↔ {:<6} {:>5.0} Gbit/s, {:.2} ms one-way (RENATER L2VPN)\n",
+            bb.a,
+            bb.b,
+            bb.rate_bps * 8.0 / 1e9,
+            bb.latency_s * 1e3
+        ));
+    }
+    out.push_str(&format!(
+        "\npredictor platform: {} hosts, {} links, {} zones, {} stored route entries\n",
+        lab.platform.host_count(),
+        lab.platform.link_count(),
+        lab.platform.zone_count(),
+        lab.platform.stored_route_entries(),
+    ));
+    out
+}
+
+/// Figure 2 stand-in: sagittaire and graphene wiring.
+pub fn fig2_inventory(lab: &Lab) -> String {
+    let mut out = String::from("fig2 — sagittaire and graphene wiring (paper Figure 2)\n\n");
+    for name in ["sagittaire", "graphene"] {
+        let (site, cluster) = lab.api.cluster(name).expect("standard clusters");
+        out.push_str(&format!(
+            "cluster {:<11} ({} nodes, {:.0} Gbit/s NICs, site {})\n",
+            cluster.name,
+            cluster.nodes,
+            cluster.node.nic_bps * 8.0 / 1e9,
+            site.name
+        ));
+        match &cluster.aggregation {
+            Aggregation::Direct => {
+                out.push_str(&format!(
+                    "  all {} NICs wired directly into {}\n",
+                    cluster.nodes, site.router.name
+                ));
+            }
+            Aggregation::Groups(groups) => {
+                for g in groups {
+                    out.push_str(&format!(
+                        "  {:<11} nodes {:>3}–{:<3} ({:>2} × 1 Gbit/s) — {:.0} Gbit/s uplink to {}\n",
+                        g.switch,
+                        g.first,
+                        g.last,
+                        g.last - g.first + 1,
+                        g.uplink_bps * 8.0 / 1e9,
+                        site.router.name
+                    ));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{FigureSpec, SizePoint};
+    use crate::stats::BoxStats;
+    use crate::workload::Topology;
+
+    fn fake_data() -> FigureData {
+        FigureData {
+            spec: FigureSpec {
+                id: "fig3",
+                title: "test",
+                topology: Topology::Cluster("sagittaire".into()),
+                n_src: 1,
+                n_dst: 10,
+            },
+            points: vec![SizePoint {
+                size: 1e5,
+                err: BoxStats { lo: -9.0, q1: -8.5, median: -8.0, q3: -7.5, hi: -7.0 },
+                median_measured: 0.9,
+                median_predicted: 0.0034,
+                n: 100,
+            }],
+            all_errors: vec![(1e5, -8.0)],
+        }
+    }
+
+    #[test]
+    fn table_contains_rows() {
+        let t = figure_table(&fake_data());
+        assert!(t.contains("fig3"));
+        assert!(t.contains("-8.00"), "{t}");
+        assert!(t.contains("0.9"), "{t}");
+    }
+
+    #[test]
+    fn plot_marks_median_and_zero() {
+        let p = figure_plot(&fake_data());
+        assert!(p.contains('*'));
+        assert!(p.contains('|'));
+    }
+
+    #[test]
+    fn csv_is_parseable() {
+        let c = figure_csv(&fake_data());
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1].split(',').count(), 9);
+    }
+
+    #[test]
+    fn inventories_describe_the_paper_hardware() {
+        let lab = Lab::new();
+        let f1 = fig1_inventory(&lab);
+        assert!(f1.contains("lyon"), "{f1}");
+        assert!(f1.contains("RENATER"), "{f1}");
+        let f2 = fig2_inventory(&lab);
+        assert!(f2.contains("sgraphene4"), "{f2}");
+        assert!(f2.contains("79"), "{f2}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Descriptive statistics for the error plots.
+//!
+//! The paper reports, per transfer size, the median of the per-transfer
+//! errors `log2(prediction) − log2(measure)` with boxes for dispersion,
+//! and pools all large-size errors into a median/σ/quantile summary.
+
+/// Five-number box summary (the paper's error boxes).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub hi: f64,
+}
+
+/// Linear-interpolated quantile of a sorted slice (`q` in `[0, 1]`).
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    if i + 1 < sorted.len() {
+        sorted[i] * (1.0 - frac) + sorted[i + 1] * frac
+    } else {
+        sorted[i]
+    }
+}
+
+/// Sorts a copy of the samples and returns the box summary, or `None` for
+/// empty input.
+pub fn box_stats(samples: &[f64]) -> Option<BoxStats> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut s: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+    if s.is_empty() {
+        return None;
+    }
+    s.sort_by(f64::total_cmp);
+    Some(BoxStats {
+        lo: s[0],
+        q1: quantile_sorted(&s, 0.25),
+        median: quantile_sorted(&s, 0.5),
+        q3: quantile_sorted(&s, 0.75),
+        hi: s[s.len() - 1],
+    })
+}
+
+/// Median of the samples (`None` when empty).
+pub fn median(samples: &[f64]) -> Option<f64> {
+    box_stats(samples).map(|b| b.median)
+}
+
+/// Mean of the samples.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}
+
+/// Population standard deviation.
+pub fn std_dev(samples: &[f64]) -> Option<f64> {
+    let m = mean(samples)?;
+    let var = samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / samples.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Fraction of samples with `|v| < threshold`.
+pub fn fraction_below(samples: &[f64], threshold: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let n = samples.iter().filter(|v| v.abs() < threshold).count();
+    Some(n as f64 / samples.len() as f64)
+}
+
+/// The paper's error metric: `log2(prediction) − log2(measure)`.
+pub fn log2_error(prediction: f64, measure: f64) -> f64 {
+    (prediction / measure).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_of_known_values() {
+        let b = box_stats(&[4.0, 1.0, 3.0, 2.0, 5.0]).unwrap();
+        assert_eq!(b.lo, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.hi, 5.0);
+        assert_eq!(b.q1, 2.0);
+        assert_eq!(b.q3, 4.0);
+    }
+
+    #[test]
+    fn even_count_median_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    fn empty_and_nan_inputs() {
+        assert!(box_stats(&[]).is_none());
+        assert!(box_stats(&[f64::NAN]).is_none());
+        let b = box_stats(&[1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(b.median, 2.0);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[2.0, 2.0, 2.0]), Some(0.0));
+    }
+
+    #[test]
+    fn fraction_below_counts_strictly() {
+        let f = fraction_below(&[0.1, -0.2, 0.6, -0.7], 0.575).unwrap();
+        assert_eq!(f, 0.5);
+    }
+
+    #[test]
+    fn log2_error_signs() {
+        // prediction twice the measure → +1; half → −1
+        assert_eq!(log2_error(2.0, 1.0), 1.0);
+        assert_eq!(log2_error(1.0, 2.0), -1.0);
+        assert_eq!(log2_error(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn single_sample_box() {
+        let b = box_stats(&[7.0]).unwrap();
+        assert_eq!(b, BoxStats { lo: 7.0, q1: 7.0, median: 7.0, q3: 7.0, hi: 7.0 });
+    }
+}

@@ -1,0 +1,122 @@
+//! The paper's pooled accuracy summary (§V-B, closing paragraph):
+//!
+//! > "if we consider only results for transfer whose size > 1.67·10⁷
+//! > bytes, the median of the absolute value of all the errors is 0.149,
+//! > with a standard deviation of 0.532 ... 74% of the predictions have
+//! > an absolute error less than 0.575."
+
+use crate::figures::FigureData;
+use crate::stats::{fraction_below, median, std_dev};
+use crate::workload::ACCURACY_THRESHOLD;
+
+/// Pooled accuracy over every figure's large transfers.
+#[derive(Clone, Copy, Debug)]
+pub struct Summary {
+    /// Median of |error| for sizes above the threshold (paper: 0.149).
+    pub median_abs_error: f64,
+    /// Standard deviation of the errors (paper: 0.532).
+    pub std_error: f64,
+    /// Fraction with |error| < 0.575 (paper: 0.74).
+    pub fraction_below_0575: f64,
+    /// Number of pooled samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// The multiplicative factor half the predictions stay within
+    /// (paper: "no more than a factor 0.11", i.e. 2^0.149 ≈ 1.11).
+    pub fn median_factor(&self) -> f64 {
+        2f64.powf(self.median_abs_error)
+    }
+
+    /// Renders the summary like the paper's text.
+    pub fn render(&self) -> String {
+        format!(
+            "pooled over all figures, sizes > 1.67e7 bytes ({} samples):\n\
+             median |log2 error| = {:.3}   (paper: 0.149)\n\
+             std of errors       = {:.3}   (paper: 0.532)\n\
+             |error| < 0.575     = {:.0}%    (paper: 74%)\n\
+             half the predictions within a factor {:.3} of the measure (paper: 1.11)\n",
+            self.n,
+            self.median_abs_error,
+            self.std_error,
+            self.fraction_below_0575 * 100.0,
+            self.median_factor()
+        )
+    }
+}
+
+/// Pools every figure's large-size errors into the paper's summary.
+pub fn summarize(figures: &[FigureData]) -> Option<Summary> {
+    let errors: Vec<f64> = figures
+        .iter()
+        .flat_map(|f| f.all_errors.iter())
+        .filter(|(size, _)| *size > ACCURACY_THRESHOLD)
+        .map(|(_, e)| *e)
+        .collect();
+    if errors.is_empty() {
+        return None;
+    }
+    let abs: Vec<f64> = errors.iter().map(|e| e.abs()).collect();
+    Some(Summary {
+        median_abs_error: median(&abs)?,
+        std_error: std_dev(&errors)?,
+        fraction_below_0575: fraction_below(&errors, 0.575)?,
+        n: errors.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{FigureData, FigureSpec};
+    use crate::workload::Topology;
+
+    fn data_with_errors(errors: Vec<(f64, f64)>) -> FigureData {
+        FigureData {
+            spec: FigureSpec {
+                id: "figX",
+                title: "t",
+                topology: Topology::Cluster("sagittaire".into()),
+                n_src: 1,
+                n_dst: 1,
+            },
+            points: vec![],
+            all_errors: errors,
+        }
+    }
+
+    #[test]
+    fn only_large_sizes_pool() {
+        let figs = vec![
+            data_with_errors(vec![(1e5, -8.0), (1e8, 0.1)]),
+            data_with_errors(vec![(1e10, -0.2), (1e6, 5.0)]),
+        ];
+        let s = summarize(&figs).unwrap();
+        assert_eq!(s.n, 2, "small sizes excluded");
+        assert!((s.median_abs_error - 0.15).abs() < 1e-9);
+        assert_eq!(s.fraction_below_0575, 1.0);
+    }
+
+    #[test]
+    fn empty_pool_is_none() {
+        let figs = vec![data_with_errors(vec![(1e5, -8.0)])];
+        assert!(summarize(&figs).is_none());
+    }
+
+    #[test]
+    fn median_factor_matches_paper_arithmetic() {
+        let s = Summary {
+            median_abs_error: 0.149,
+            std_error: 0.532,
+            fraction_below_0575: 0.74,
+            n: 100,
+        };
+        // 2^0.149 = 1.109 — the paper phrases this as "differing ... by no
+        // more than a factor 0.11"
+        assert!((s.median_factor() - 1.109).abs() < 0.01);
+        let text = s.render();
+        assert!(text.contains("0.149"));
+        assert!(text.contains("74%"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Link-latency configuration for generated platforms.
+//!
+//! The paper hard-codes two latency values in its generated platform
+//! ("one for intra-site links (10⁻⁴ s) and one for backbone latencies
+//! (2.25·10⁻³ s)") and lists replacing them with measured values as future
+//! work: "In the future, we will get these latencies from periodic
+//! measures in SmokePing or Cacti, thanks to the Pilgrim metrology
+//! service." [`Latencies`] is the seam that makes this possible: the
+//! converter consults it for every link it creates, and
+//! `pilgrim_core::calibration` fills it from RTT time series.
+
+use std::collections::HashMap;
+
+use crate::simflow_conv::{MODEL_BACKBONE_LATENCY, MODEL_INTRA_SITE_LATENCY};
+
+/// Per-link latencies used when generating a platform.
+#[derive(Clone, Debug)]
+pub struct Latencies {
+    /// Fallback intra-site link latency, seconds.
+    pub default_intra_site: f64,
+    /// Fallback backbone link latency, seconds.
+    pub default_backbone: f64,
+    /// Measured intra-site latency per site name.
+    pub intra_site: HashMap<String, f64>,
+    /// Measured backbone latency per site pair (stored under the
+    /// lexicographically sorted key).
+    pub backbone: HashMap<(String, String), f64>,
+}
+
+impl Default for Latencies {
+    /// The paper's hard-coded values.
+    fn default() -> Self {
+        Latencies {
+            default_intra_site: MODEL_INTRA_SITE_LATENCY,
+            default_backbone: MODEL_BACKBONE_LATENCY,
+            intra_site: HashMap::new(),
+            backbone: HashMap::new(),
+        }
+    }
+}
+
+impl Latencies {
+    /// The intra-site link latency to use for `site`.
+    pub fn intra(&self, site: &str) -> f64 {
+        self.intra_site.get(site).copied().unwrap_or(self.default_intra_site)
+    }
+
+    /// The backbone link latency to use between two sites.
+    pub fn inter(&self, a: &str, b: &str) -> f64 {
+        let key = Self::pair_key(a, b);
+        self.backbone.get(&key).copied().unwrap_or(self.default_backbone)
+    }
+
+    /// Records a measured intra-site latency.
+    pub fn set_intra(&mut self, site: &str, latency_s: f64) {
+        assert!(latency_s.is_finite() && latency_s >= 0.0);
+        self.intra_site.insert(site.to_string(), latency_s);
+    }
+
+    /// Records a measured backbone latency.
+    pub fn set_inter(&mut self, a: &str, b: &str, latency_s: f64) {
+        assert!(latency_s.is_finite() && latency_s >= 0.0);
+        self.backbone.insert(Self::pair_key(a, b), latency_s);
+    }
+
+    fn pair_key(a: &str, b: &str) -> (String, String) {
+        if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_papers_constants() {
+        let l = Latencies::default();
+        assert_eq!(l.intra("lyon"), 1e-4);
+        assert_eq!(l.inter("lyon", "nancy"), 2.25e-3);
+    }
+
+    #[test]
+    fn measured_values_override() {
+        let mut l = Latencies::default();
+        l.set_intra("lyon", 2.5e-5);
+        l.set_inter("nancy", "lyon", 4.2e-3);
+        assert_eq!(l.intra("lyon"), 2.5e-5);
+        assert_eq!(l.intra("nancy"), 1e-4, "others keep the default");
+        // order-insensitive pair lookup
+        assert_eq!(l.inter("lyon", "nancy"), 4.2e-3);
+        assert_eq!(l.inter("nancy", "lyon"), 4.2e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_latency_rejected() {
+        Latencies::default().set_intra("lyon", -1.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! The JSON value tree.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON value. Objects preserve insertion order (the paper's example
+/// answers list `src`, `dst`, `size`, `duration` in a fixed order).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like JavaScript).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from key/value pairs.
+    pub fn object(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn array(items: Vec<Value>) -> Value {
+        Value::Array(items)
+    }
+
+    /// The value under `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The element at `idx` if this is a long-enough array.
+    pub fn at(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// Number payload.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integer view of a number (if it is one).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && n.abs() < 9.22e18 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(s: &str) -> Result<Value, crate::parse::ParseError> {
+        crate::parse::parse(s)
+    }
+
+    /// Pretty-prints with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        crate::print::pretty(self)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::print::write_compact(self, f)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Panicking indexers for terse test/assertion code (like `serde_json`).
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.at(idx).unwrap_or(&Value::Null)
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Value::object(vec![
+            ("size", Value::from(5e8)),
+            ("name", Value::from("x")),
+            ("ok", Value::from(true)),
+            ("xs", Value::from(vec![1i64, 2, 3])),
+        ]);
+        assert_eq!(v["size"].as_f64(), Some(5e8));
+        assert_eq!(v["name"].as_str(), Some("x"));
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert_eq!(v["xs"][1].as_i64(), Some(2));
+        assert!(v["missing"].is_null());
+        assert!(v[99].is_null());
+    }
+
+    #[test]
+    fn object_preserves_order() {
+        let v = Value::object(vec![
+            ("src", Value::from("a")),
+            ("dst", Value::from("b")),
+            ("size", Value::from(1i64)),
+        ]);
+        match &v {
+            Value::Object(pairs) => {
+                let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, vec!["src", "dst", "size"]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn as_i64_rejects_fractional() {
+        assert_eq!(Value::Number(1.5).as_i64(), None);
+        assert_eq!(Value::Number(3.0).as_i64(), Some(3));
+    }
+}

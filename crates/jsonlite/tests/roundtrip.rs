@@ -1,0 +1,44 @@
+//! Property test: printing then parsing any value tree is the identity
+//! (up to NaN→null, which the printer documents).
+
+use jsonlite::Value;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        // finite numbers only: NaN/Inf intentionally print as null
+        (-1e15f64..1e15).prop_map(Value::Number),
+        "[a-zA-Z0-9 _\\-\\.\"\\\\/\u{e9}\u{1F600}]{0,12}".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..6).prop_map(|pairs| {
+                Value::Object(pairs)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn print_parse_roundtrip(v in arb_value()) {
+        let text = v.to_string();
+        let back = Value::parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        prop_assert_eq!(&back, &v, "{}", text);
+    }
+
+    #[test]
+    fn pretty_parse_roundtrip(v in arb_value()) {
+        let text = v.to_pretty();
+        let back = Value::parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        prop_assert_eq!(&back, &v, "{}", text);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,64}") {
+        let _ = Value::parse(&s);
+    }
+}

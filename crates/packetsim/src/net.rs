@@ -1,0 +1,411 @@
+//! Packet-network topology: hosts, switches, directed channels and
+//! forwarding.
+//!
+//! A [`Network`] is the "real" hardware in the reproduction: where the
+//! simflow platform model deliberately reproduces the paper's *incomplete*
+//! Grid'5000 description (hard-coded latencies, no equipment capacity
+//! limits), this network carries the ground truth — true switch latencies
+//! and, crucially, finite switch **backplane capacities**, which the paper
+//! identifies as absent from its generated platform ("the generated SimGrid
+//! platform description does not yet contain network equipments bandwidth
+//! limits").
+//!
+//! Links are full duplex, modeled as two independent directed *channels*,
+//! each with a serialization rate, a propagation delay and a byte-bounded
+//! drop-tail egress queue. A switch with a finite backplane interposes an
+//! internal channel that every transiting packet must cross.
+
+use std::collections::HashMap;
+
+/// Identifier of a node (host or switch).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Dense index of the node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a directed channel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ChannelId(pub(crate) u32);
+
+impl ChannelId {
+    /// Dense index of the channel.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Kind of node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// An end host (runs TCP endpoints).
+    Host,
+    /// A switch/router (forwards packets).
+    Switch,
+}
+
+/// A node of the packet network.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Unique name.
+    pub name: String,
+    /// Host or switch.
+    pub kind: NodeKind,
+    /// Aggregate forwarding capacity in bytes/s (`f64::INFINITY` for a
+    /// non-blocking fabric). Only meaningful for switches.
+    pub backplane: f64,
+    /// Internal channel enforcing `backplane`, if finite.
+    pub(crate) backplane_channel: Option<ChannelId>,
+}
+
+/// A directed channel.
+#[derive(Clone, Debug)]
+pub struct ChannelSpec {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Serialization rate in bytes/s.
+    pub rate: f64,
+    /// Propagation delay in seconds.
+    pub delay: f64,
+    /// Drop-tail queue bound in bytes.
+    pub queue_bytes: f64,
+    /// True for switch-internal backplane channels.
+    pub internal: bool,
+}
+
+/// An immutable packet-network description.
+#[derive(Debug)]
+pub struct Network {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) channels: Vec<ChannelSpec>,
+    by_name: HashMap<String, NodeId>,
+}
+
+impl Network {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of channels (including backplane-internal ones).
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Node lookup by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a node.
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.nodes[n.index()].name
+    }
+
+    /// Node attributes.
+    pub fn node(&self, n: NodeId) -> &Node {
+        &self.nodes[n.index()]
+    }
+
+    /// Channel attributes.
+    pub fn channel(&self, c: ChannelId) -> &ChannelSpec {
+        &self.channels[c.index()]
+    }
+
+    /// Computes, for every node, the outgoing channel leading towards
+    /// `dst` on the lowest-latency path (ties broken by hop count).
+    /// Entry for unreachable nodes or `dst` itself is `None`.
+    pub fn forwarding_to(&self, dst: NodeId) -> Vec<Option<ChannelId>> {
+        // Dijkstra from dst over *reversed* external channels; cost =
+        // delay + epsilon per hop.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let n = self.nodes.len();
+        let mut rev: Vec<Vec<(usize, ChannelId, f64)>> = vec![Vec::new(); n];
+        for (i, c) in self.channels.iter().enumerate() {
+            if c.internal {
+                continue;
+            }
+            let cost = c.delay + 1e-9 + 1e-12 / c.rate;
+            rev[c.to.index()].push((c.from.index(), ChannelId(i as u32), cost));
+        }
+        let mut dist = vec![f64::INFINITY; n];
+        let mut towards: Vec<Option<ChannelId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[dst.index()] = 0.0;
+        heap.push(Reverse((OrdF64(0.0), dst.index())));
+        while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for (v, ch, cost) in &rev[u] {
+                let alt = d + cost;
+                if alt < dist[*v] {
+                    dist[*v] = alt;
+                    towards[*v] = Some(*ch);
+                    heap.push(Reverse((OrdF64(alt), *v)));
+                }
+            }
+        }
+        towards
+    }
+
+    /// The ordered external channels on the path `src → dst`, or `None`
+    /// if unreachable. Backplane channels of transited switches are
+    /// inserted where packets would cross them.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<ChannelId>> {
+        if src == dst {
+            return Some(Vec::new());
+        }
+        let fw = self.forwarding_to(dst);
+        let mut path = Vec::new();
+        let mut cur = src;
+        let mut hops = 0;
+        while cur != dst {
+            let ch = fw[cur.index()]?;
+            // entering a finite-backplane switch costs its internal channel
+            path.push(ch);
+            cur = self.channels[ch.index()].to;
+            if cur != dst {
+                if let Some(bp) = self.nodes[cur.index()].backplane_channel {
+                    path.push(bp);
+                }
+            }
+            hops += 1;
+            if hops > self.nodes.len() {
+                return None; // defensive: no loops expected
+            }
+        }
+        Some(path)
+    }
+
+    /// One-way propagation latency of the `src → dst` path (sum of channel
+    /// delays), or `None` if unreachable.
+    pub fn path_latency(&self, src: NodeId, dst: NodeId) -> Option<f64> {
+        let p = self.path(src, dst)?;
+        Some(p.iter().map(|c| self.channels[c.index()].delay).sum())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Builder for [`Network`].
+pub struct NetworkBuilder {
+    nodes: Vec<Node>,
+    channels: Vec<ChannelSpec>,
+    by_name: HashMap<String, NodeId>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        NetworkBuilder { nodes: Vec::new(), channels: Vec::new(), by_name: HashMap::new() }
+    }
+
+    fn add_node(&mut self, name: &str, kind: NodeKind, backplane: f64) -> NodeId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate node name '{name}'"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.to_string(),
+            kind,
+            backplane,
+            backplane_channel: None,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Adds a host.
+    pub fn add_host(&mut self, name: &str) -> NodeId {
+        self.add_node(name, NodeKind::Host, f64::INFINITY)
+    }
+
+    /// Adds a non-blocking switch.
+    pub fn add_switch(&mut self, name: &str) -> NodeId {
+        self.add_node(name, NodeKind::Switch, f64::INFINITY)
+    }
+
+    /// Adds a switch whose aggregate forwarding capacity is limited to
+    /// `backplane` bytes/s — the equipment limit the paper's generated
+    /// platform lacks.
+    pub fn add_limited_switch(&mut self, name: &str, backplane: f64) -> NodeId {
+        assert!(backplane > 0.0, "backplane must be positive");
+        self.add_node(name, NodeKind::Switch, backplane)
+    }
+
+    /// Connects two nodes with a full-duplex link (two directed channels).
+    /// `queue_bytes` bounds each direction's drop-tail egress queue.
+    pub fn duplex_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        rate: f64,
+        delay: f64,
+        queue_bytes: f64,
+    ) -> (ChannelId, ChannelId) {
+        assert!(rate > 0.0 && delay >= 0.0 && queue_bytes > 0.0, "bad link parameters");
+        let ab = ChannelId(self.channels.len() as u32);
+        self.channels.push(ChannelSpec {
+            from: a,
+            to: b,
+            rate,
+            delay,
+            queue_bytes,
+            internal: false,
+        });
+        let ba = ChannelId(self.channels.len() as u32);
+        self.channels.push(ChannelSpec {
+            from: b,
+            to: a,
+            rate,
+            delay,
+            queue_bytes,
+            internal: false,
+        });
+        (ab, ba)
+    }
+
+    /// Freezes the network, materializing backplane channels.
+    pub fn build(mut self) -> Network {
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].kind == NodeKind::Switch && self.nodes[i].backplane.is_finite() {
+                let id = ChannelId(self.channels.len() as u32);
+                let node_id = NodeId(i as u32);
+                self.channels.push(ChannelSpec {
+                    from: node_id,
+                    to: node_id,
+                    rate: self.nodes[i].backplane,
+                    delay: 0.0,
+                    // generous internal buffering: one millisecond's worth
+                    queue_bytes: (self.nodes[i].backplane * 1e-3).max(1.5e6),
+                    internal: true,
+                });
+                self.nodes[i].backplane_channel = Some(id);
+            }
+        }
+        Network { nodes: self.nodes, channels: self.channels, by_name: self.by_name }
+    }
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// h1 - sw - h2 line.
+    fn line() -> (Network, NodeId, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new();
+        let h1 = b.add_host("h1");
+        let sw = b.add_switch("sw");
+        let h2 = b.add_host("h2");
+        b.duplex_link(h1, sw, 1.25e8, 2e-5, 1e6);
+        b.duplex_link(sw, h2, 1.25e8, 2e-5, 1e6);
+        let n = b.build();
+        (n, h1, sw, h2)
+    }
+
+    #[test]
+    fn path_through_switch() {
+        let (n, h1, _, h2) = line();
+        let p = n.path(h1, h2).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(n.channel(p[0]).from, h1);
+        assert_eq!(n.channel(p[1]).to, h2);
+        assert!((n.path_latency(h1, h2).unwrap() - 4e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_path_is_empty() {
+        let (n, h1, _, _) = line();
+        assert_eq!(n.path(h1, h1).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = NetworkBuilder::new();
+        let h1 = b.add_host("h1");
+        let h2 = b.add_host("h2");
+        let n = b.build();
+        assert!(n.path(h1, h2).is_none());
+    }
+
+    #[test]
+    fn limited_switch_inserts_backplane_channel() {
+        let mut b = NetworkBuilder::new();
+        let h1 = b.add_host("h1");
+        let sw = b.add_limited_switch("sw", 2.4e9);
+        let h2 = b.add_host("h2");
+        b.duplex_link(h1, sw, 1.25e8, 2e-5, 1e6);
+        b.duplex_link(sw, h2, 1.25e8, 2e-5, 1e6);
+        let n = b.build();
+        let p = n.path(h1, h2).unwrap();
+        // up, backplane, down
+        assert_eq!(p.len(), 3);
+        assert!(n.channel(p[1]).internal);
+        assert_eq!(n.channel(p[1]).rate, 2.4e9);
+    }
+
+    #[test]
+    fn backplane_not_crossed_at_terminal_switch() {
+        // path ending at the switch itself shouldn't append the backplane
+        let mut b = NetworkBuilder::new();
+        let h1 = b.add_host("h1");
+        let sw = b.add_limited_switch("sw", 2.4e9);
+        b.duplex_link(h1, sw, 1.25e8, 2e-5, 1e6);
+        let n = b.build();
+        let p = n.path(h1, sw).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn shortest_latency_path_is_chosen() {
+        // h1 -(fast)- sw1 -(fast)- h2 ; h1 -(slow direct)- h2
+        let mut b = NetworkBuilder::new();
+        let h1 = b.add_host("h1");
+        let sw = b.add_switch("sw");
+        let h2 = b.add_host("h2");
+        b.duplex_link(h1, h2, 1.25e8, 5e-3, 1e6);
+        b.duplex_link(h1, sw, 1.25e9, 2e-5, 1e6);
+        b.duplex_link(sw, h2, 1.25e9, 2e-5, 1e6);
+        let n = b.build();
+        let p = n.path(h1, h2).unwrap();
+        assert_eq!(p.len(), 2, "low-latency 2-hop path wins");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_names_panic() {
+        let mut b = NetworkBuilder::new();
+        b.add_host("x");
+        b.add_host("x");
+    }
+}

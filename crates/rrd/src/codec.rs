@@ -1,0 +1,256 @@
+//! Binary persistence of round-robin databases.
+//!
+//! RRD files are the interchange format of the sysadmin tool chain the
+//! paper's metrology service wraps (Ganglia, Munin, Cacti write them).
+//! This codec is a compact little-endian format — not rrdtool's on-disk
+//! layout, but carrying the same information — with a magic/version header
+//! so stale files fail loudly.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::db::{Archive, ArchiveSpec, Cf, Database, DsKind};
+
+const MAGIC: &[u8; 4] = b"PRRD";
+const VERSION: u16 = 1;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Not a PRRD file.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Truncated or corrupt payload.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not an RRD file (bad magic)"),
+            CodecError::BadVersion(v) => write!(f, "unsupported RRD version {v}"),
+            CodecError::Corrupt(what) => write!(f, "corrupt RRD file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn kind_tag(k: DsKind) -> u8 {
+    match k {
+        DsKind::Gauge => 0,
+        DsKind::Counter => 1,
+        DsKind::Derive => 2,
+    }
+}
+
+fn kind_from(tag: u8) -> Result<DsKind, CodecError> {
+    Ok(match tag {
+        0 => DsKind::Gauge,
+        1 => DsKind::Counter,
+        2 => DsKind::Derive,
+        _ => return Err(CodecError::Corrupt("ds kind")),
+    })
+}
+
+fn cf_tag(c: Cf) -> u8 {
+    match c {
+        Cf::Average => 0,
+        Cf::Min => 1,
+        Cf::Max => 2,
+        Cf::Last => 3,
+    }
+}
+
+fn cf_from(tag: u8) -> Result<Cf, CodecError> {
+    Ok(match tag {
+        0 => Cf::Average,
+        1 => Cf::Min,
+        2 => Cf::Max,
+        3 => Cf::Last,
+        _ => return Err(CodecError::Corrupt("cf")),
+    })
+}
+
+/// Serializes a database.
+pub fn encode(db: &Database) -> Bytes {
+    let mut b = BytesMut::with_capacity(64 + db.archives.iter().map(|a| a.ring.len() * 8 + 64).sum::<usize>());
+    b.put_slice(MAGIC);
+    b.put_u16_le(VERSION);
+    b.put_u64_le(db.step);
+    b.put_u8(kind_tag(db.kind));
+    b.put_u64_le(db.heartbeat);
+    b.put_i64_le(db.last_update.unwrap_or(i64::MIN));
+    b.put_f64_le(db.last_raw);
+    b.put_f64_le(db.pdp_sum);
+    b.put_f64_le(db.pdp_known);
+    b.put_u32_le(db.archives.len() as u32);
+    for a in &db.archives {
+        b.put_u8(cf_tag(a.spec.cf));
+        b.put_u32_le(a.spec.steps_per_row);
+        b.put_u32_le(a.spec.rows);
+        b.put_u64_le(a.head as u64);
+        b.put_u64_le(a.filled as u64);
+        b.put_i64_le(a.last_row_end.unwrap_or(i64::MIN));
+        b.put_f64_le(a.acc);
+        b.put_u32_le(a.acc_count);
+        for v in &a.ring {
+            b.put_f64_le(*v);
+        }
+    }
+    b.freeze()
+}
+
+/// Deserializes a database.
+pub fn decode(mut buf: &[u8]) -> Result<Database, CodecError> {
+    if buf.remaining() < 6 {
+        return Err(CodecError::Corrupt("header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    if buf.remaining() < 8 + 1 + 8 + 8 + 8 + 8 + 8 + 4 {
+        return Err(CodecError::Corrupt("fixed fields"));
+    }
+    let step = buf.get_u64_le();
+    if step == 0 {
+        return Err(CodecError::Corrupt("zero step"));
+    }
+    let kind = kind_from(buf.get_u8())?;
+    let heartbeat = buf.get_u64_le();
+    let last_update = match buf.get_i64_le() {
+        i64::MIN => None,
+        v => Some(v),
+    };
+    let last_raw = buf.get_f64_le();
+    let pdp_sum = buf.get_f64_le();
+    let pdp_known = buf.get_f64_le();
+    let n_arch = buf.get_u32_le() as usize;
+    if n_arch == 0 || n_arch > 64 {
+        return Err(CodecError::Corrupt("archive count"));
+    }
+    let mut archives = Vec::with_capacity(n_arch);
+    for _ in 0..n_arch {
+        if buf.remaining() < 1 + 4 + 4 + 8 + 8 + 8 + 8 + 4 {
+            return Err(CodecError::Corrupt("archive header"));
+        }
+        let cf = cf_from(buf.get_u8())?;
+        let steps_per_row = buf.get_u32_le();
+        let rows = buf.get_u32_le();
+        if steps_per_row == 0 || rows == 0 {
+            return Err(CodecError::Corrupt("archive geometry"));
+        }
+        let head = buf.get_u64_le() as usize;
+        let filled = buf.get_u64_le() as usize;
+        let last_row_end = match buf.get_i64_le() {
+            i64::MIN => None,
+            v => Some(v),
+        };
+        let acc = buf.get_f64_le();
+        let acc_count = buf.get_u32_le();
+        if buf.remaining() < rows as usize * 8 {
+            return Err(CodecError::Corrupt("ring data"));
+        }
+        if head >= rows as usize && head != 0 {
+            return Err(CodecError::Corrupt("head index"));
+        }
+        if filled > rows as usize {
+            return Err(CodecError::Corrupt("filled count"));
+        }
+        let mut ring = Vec::with_capacity(rows as usize);
+        for _ in 0..rows {
+            ring.push(buf.get_f64_le());
+        }
+        archives.push(Archive {
+            spec: ArchiveSpec { cf, steps_per_row, rows },
+            ring,
+            head,
+            filled,
+            last_row_end,
+            acc,
+            acc_count,
+        });
+    }
+    Ok(Database {
+        step,
+        kind,
+        heartbeat,
+        archives,
+        last_update,
+        last_raw,
+        pdp_sum,
+        pdp_known,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{ArchiveSpec, Cf, Database, DsKind};
+
+    fn sample() -> Database {
+        let mut db = Database::new(
+            10,
+            DsKind::Counter,
+            60,
+            &[
+                ArchiveSpec { cf: Cf::Average, steps_per_row: 1, rows: 8 },
+                ArchiveSpec { cf: Cf::Max, steps_per_row: 4, rows: 4 },
+            ],
+        );
+        db.update(0, 0.0).unwrap();
+        for k in 1..=20 {
+            db.update(k * 10, (k * k * 100) as f64).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn round_trip_preserves_fetch_results() {
+        let db = sample();
+        let bytes = encode(&db);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(db.step(), back.step());
+        let a = db.fetch_best(0, 500);
+        let b = back.fetch_best(0, 500);
+        assert_eq!(a.len(), b.len());
+        for ((t1, v1), (t2, v2)) in a.iter().zip(&b) {
+            assert_eq!(t1, t2);
+            assert!((v1 == v2) || (v1.is_nan() && v2.is_nan()));
+        }
+    }
+
+    #[test]
+    fn round_trip_allows_further_updates() {
+        let db = sample();
+        let mut back = decode(&encode(&db)).unwrap();
+        back.update(210, 5e4).unwrap();
+        assert!(!back.fetch_best(200, 210).is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(decode(b"NOPE....").unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = encode(&sample());
+        for cut in [3usize, 10, 30, bytes.len() - 5] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn version_is_checked() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[4] = 99;
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::BadVersion(99));
+    }
+}

@@ -1,0 +1,194 @@
+//! A path-addressed collection of RRDs, mirroring the tree the paper's
+//! metrology service exposes over HTTP:
+//! `/pilgrim/rrd/ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd`.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::codec;
+use crate::db::Database;
+
+/// A registry of named round-robin databases.
+///
+/// Keys are `/`-separated logical paths (tool/site/host/metric). The
+/// registry itself is single-threaded; services wrap it in a lock.
+#[derive(Default, Debug)]
+pub struct Registry {
+    dbs: BTreeMap<String, Database>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Normalizes a path: strips leading/trailing slashes.
+    fn norm(path: &str) -> String {
+        path.trim_matches('/').to_string()
+    }
+
+    /// Inserts (or replaces) a database under `path`.
+    pub fn insert(&mut self, path: &str, db: Database) {
+        self.dbs.insert(Self::norm(path), db);
+    }
+
+    /// Read access to the database at `path`.
+    pub fn get(&self, path: &str) -> Option<&Database> {
+        self.dbs.get(&Self::norm(path))
+    }
+
+    /// Write access to the database at `path`.
+    pub fn get_mut(&mut self, path: &str) -> Option<&mut Database> {
+        self.dbs.get_mut(&Self::norm(path))
+    }
+
+    /// Number of registered databases.
+    pub fn len(&self) -> usize {
+        self.dbs.len()
+    }
+
+    /// True if no database is registered.
+    pub fn is_empty(&self) -> bool {
+        self.dbs.is_empty()
+    }
+
+    /// All paths under a prefix (`""` lists everything).
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let p = Self::norm(prefix);
+        self.dbs
+            .keys()
+            .filter(|k| p.is_empty() || k.starts_with(&p))
+            .cloned()
+            .collect()
+    }
+
+    /// Persists every database under `dir`, one file per path (slashes
+    /// become subdirectories).
+    pub fn save_dir(&self, dir: &Path) -> std::io::Result<()> {
+        for (path, db) in &self.dbs {
+            let file = dir.join(path);
+            if let Some(parent) = file.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&file)?);
+            f.write_all(&codec::encode(db))?;
+            f.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Loads every `.rrd`-suffixed file under `dir` (recursively) into a
+    /// fresh registry. Files that fail to decode are reported by path.
+    pub fn load_dir(dir: &Path) -> std::io::Result<(Registry, Vec<String>)> {
+        let mut reg = Registry::new();
+        let mut failures = Vec::new();
+        fn walk(
+            base: &Path,
+            dir: &Path,
+            reg: &mut Registry,
+            failures: &mut Vec<String>,
+        ) -> std::io::Result<()> {
+            for entry in std::fs::read_dir(dir)? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    walk(base, &path, reg, failures)?;
+                } else {
+                    let mut buf = Vec::new();
+                    std::fs::File::open(&path)?.read_to_end(&mut buf)?;
+                    let rel = path
+                        .strip_prefix(base)
+                        .expect("walk stays under base")
+                        .to_string_lossy()
+                        .replace('\\', "/");
+                    match codec::decode(&buf) {
+                        Ok(db) => reg.insert(&rel, db),
+                        Err(_) => failures.push(rel),
+                    }
+                }
+            }
+            Ok(())
+        }
+        walk(dir, dir, &mut reg, &mut failures)?;
+        Ok((reg, failures))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{ArchiveSpec, Cf, DsKind};
+
+    fn db() -> Database {
+        let mut db = Database::new(
+            15,
+            DsKind::Gauge,
+            120,
+            &[ArchiveSpec { cf: Cf::Average, steps_per_row: 1, rows: 32 }],
+        );
+        db.update(0, 168.9).unwrap();
+        for k in 1..=10 {
+            db.update(k * 15, 168.8).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut reg = Registry::new();
+        reg.insert("ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd", db());
+        assert!(reg
+            .get("/ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd")
+            .is_some());
+        assert!(reg.get("nope").is_none());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let mut reg = Registry::new();
+        reg.insert("ganglia/Lyon/a/pdu.rrd", db());
+        reg.insert("ganglia/Lyon/b/pdu.rrd", db());
+        reg.insert("munin/Nancy/c/load.rrd", db());
+        assert_eq!(reg.list("ganglia").len(), 2);
+        assert_eq!(reg.list("munin").len(), 1);
+        assert_eq!(reg.list("").len(), 3);
+    }
+
+    #[test]
+    fn save_and_load_directory() {
+        let tmp = std::env::temp_dir().join(format!("rrdreg-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        std::fs::create_dir_all(&tmp).unwrap();
+
+        let mut reg = Registry::new();
+        reg.insert("ganglia/Lyon/host-1/pdu.rrd", db());
+        reg.insert("ganglia/Nancy/host-2/pdu.rrd", db());
+        reg.save_dir(&tmp).unwrap();
+
+        let (back, failures) = Registry::load_dir(&tmp).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(back.len(), 2);
+        let orig = reg.get("ganglia/Lyon/host-1/pdu.rrd").unwrap();
+        let got = back.get("ganglia/Lyon/host-1/pdu.rrd").unwrap();
+        assert_eq!(orig.fetch_best(0, 200).len(), got.fetch_best(0, 200).len());
+
+        std::fs::remove_dir_all(&tmp).unwrap();
+    }
+
+    #[test]
+    fn corrupt_files_are_reported_not_fatal() {
+        let tmp = std::env::temp_dir().join(format!("rrdreg-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        std::fs::create_dir_all(tmp.join("x")).unwrap();
+        std::fs::write(tmp.join("x/bad.rrd"), b"garbage").unwrap();
+
+        let (reg, failures) = Registry::load_dir(&tmp).unwrap();
+        assert!(reg.is_empty());
+        assert_eq!(failures, vec!["x/bad.rrd".to_string()]);
+
+        std::fs::remove_dir_all(&tmp).unwrap();
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal civil-time conversions for the metrology API.
+//!
+//! The paper's example queries pass timestamps as
+//! `begin=2012-05-04 08:00:00`; this module converts such strings to and
+//! from unix seconds (UTC, proleptic Gregorian, no leap seconds) using
+//! Howard Hinnant's days-from-civil algorithm. No external crate needed.
+
+/// Converts a civil date to days since 1970-01-01.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = ((m + 9) % 12) as u64; // March=0
+    let doy = (153 * mp + 2) / 5 + (d as u64 - 1); // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Converts days since the epoch back to a civil date.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parses `"YYYY-MM-DD HH:MM:SS"` (or with `T` separator, or `"%20"` as
+/// produced by URL encoding) into unix seconds.
+pub fn parse_datetime(s: &str) -> Option<i64> {
+    let s = s.trim().replace("%20", " ").replace('T', " ");
+    let (date, time) = s.split_once(' ')?;
+    let mut dp = date.split('-');
+    let y: i64 = dp.next()?.parse().ok()?;
+    let m: u32 = dp.next()?.parse().ok()?;
+    let d: u32 = dp.next()?.parse().ok()?;
+    if dp.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let mut tp = time.split(':');
+    let hh: i64 = tp.next()?.parse().ok()?;
+    let mm: i64 = tp.next()?.parse().ok()?;
+    let ss: i64 = tp.next()?.parse().ok()?;
+    if tp.next().is_some() || !(0..24).contains(&hh) || !(0..60).contains(&mm) || !(0..60).contains(&ss)
+    {
+        return None;
+    }
+    Some(days_from_civil(y, m, d) * 86_400 + hh * 3600 + mm * 60 + ss)
+}
+
+/// Formats unix seconds as `"YYYY-MM-DD HH:MM:SS"` (UTC).
+pub fn format_datetime(ts: i64) -> String {
+    let days = ts.div_euclid(86_400);
+    let secs = ts.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    format!(
+        "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+        y,
+        m,
+        d,
+        secs / 3600,
+        (secs / 60) % 60,
+        secs % 60
+    )
+}
+
+/// Parses either a raw unix timestamp or a civil datetime string.
+pub fn parse_timestamp(s: &str) -> Option<i64> {
+    if let Ok(v) = s.trim().parse::<i64>() {
+        return Some(v);
+    }
+    parse_datetime(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(parse_datetime("1970-01-01 00:00:00"), Some(0));
+    }
+
+    #[test]
+    fn paper_example_timestamp() {
+        // the example answer's first sample is 1336111215 =
+        // 2012-05-04 06:00:15 UTC (the paper's 08:00 bound is CEST, UTC+2)
+        let t = parse_datetime("2012-05-04 06:00:15").unwrap();
+        assert_eq!(t, 1_336_111_215);
+    }
+
+    #[test]
+    fn round_trip_many_values() {
+        for ts in [0i64, 1, 86_399, 86_400, 1_336_111_215, 2_000_000_000, -86_400] {
+            let s = format_datetime(ts);
+            assert_eq!(parse_datetime(&s), Some(ts), "{s}");
+        }
+    }
+
+    #[test]
+    fn url_encoded_space_is_accepted() {
+        assert_eq!(
+            parse_datetime("2012-05-04%2008:00:00"),
+            parse_datetime("2012-05-04 08:00:00")
+        );
+    }
+
+    #[test]
+    fn t_separator_is_accepted() {
+        assert_eq!(
+            parse_datetime("2012-05-04T08:00:00"),
+            parse_datetime("2012-05-04 08:00:00")
+        );
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        for bad in ["", "2012-05-04", "08:00:00", "2012-13-04 08:00:00", "2012-05-04 25:00:00", "x y"] {
+            assert_eq!(parse_datetime(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn raw_timestamps_pass_through() {
+        assert_eq!(parse_timestamp("1336111215"), Some(1_336_111_215));
+        assert_eq!(parse_timestamp("2012-05-04 08:00:00"), parse_datetime("2012-05-04 08:00:00"));
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        let feb29 = parse_datetime("2012-02-29 12:00:00").unwrap();
+        assert_eq!(format_datetime(feb29), "2012-02-29 12:00:00");
+        assert_eq!(parse_datetime("2011-02-29 00:00:00").map(format_datetime), Some("2011-03-01 00:00:00".into()));
+    }
+}

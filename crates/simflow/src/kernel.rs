@@ -1,0 +1,809 @@
+//! The discrete-event simulation kernel.
+//!
+//! As in SimGrid, the kernel is event-driven at the granularity of
+//! *resource-sharing changes*: whenever a piece of work starts, finishes
+//! its latency phase, or completes, the bandwidth/CPU shares of everything
+//! still running are recomputed with the max-min solver, and simulated time
+//! fast-forwards directly to the next event. Between two events all rates
+//! are constant, so remaining amounts advance by `rate × Δt`.
+//!
+//! Transfers have two phases, mirroring the CM02/LV08 action model:
+//! a *latency phase* of `latency_factor × route latency` during which no
+//! bandwidth is consumed, then a *bandwidth phase* during which the flow
+//! takes part in max-min sharing. Compute tasks share their host's CPU
+//! through the same solver (the paper's §VI extension to full workflows).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::config::NetworkConfig;
+use crate::model::SharingProblem;
+use crate::platform::{HostId, Platform, RouteError, SharingPolicy};
+use crate::trace::{Trace, TraceEvent};
+use crate::units::{Duration, SimTime};
+
+/// Identifier of a scheduled piece of work within one [`Simulation`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct WorkId(pub u32);
+
+/// What a piece of work is.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkKind {
+    /// A TCP transfer of `size` bytes.
+    Transfer {
+        /// Source host.
+        src: HostId,
+        /// Destination host.
+        dst: HostId,
+        /// Payload size in bytes.
+        size: f64,
+    },
+    /// A computation of `flops` floating-point operations.
+    Compute {
+        /// Executing host.
+        host: HostId,
+        /// Amount of computation.
+        flops: f64,
+    },
+}
+
+/// The completion record of one piece of work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Completion {
+    /// The work this record describes.
+    pub id: WorkId,
+    /// What it was.
+    pub kind: WorkKind,
+    /// When it was scheduled to start.
+    pub start: SimTime,
+    /// When it completed.
+    pub finish: SimTime,
+}
+
+impl Completion {
+    /// Wall-clock duration from scheduled start to completion.
+    pub fn duration(&self) -> Duration {
+        self.finish.duration_since(self.start)
+    }
+}
+
+/// Results of a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// One record per scheduled work, sorted by [`WorkId`].
+    pub completions: Vec<Completion>,
+}
+
+impl Report {
+    /// The completion record of `id`.
+    pub fn completion(&self, id: WorkId) -> &Completion {
+        &self.completions[id.0 as usize]
+    }
+
+    /// The duration of `id`.
+    pub fn duration(&self, id: WorkId) -> Duration {
+        self.completion(id).duration()
+    }
+
+    /// The time the whole schedule finished (zero if nothing ran).
+    pub fn makespan(&self) -> SimTime {
+        self.completions
+            .iter()
+            .map(|c| c.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// Errors raised by the kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A transfer endpoint pair has no route.
+    Route(RouteError),
+    /// Running work can make no progress (all rates zero) and no event is
+    /// pending — the simulation would never terminate.
+    Stalled {
+        /// Simulated time at which progress stopped.
+        at: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Route(e) => write!(f, "routing error: {e}"),
+            SimError::Stalled { at } => write!(f, "simulation stalled at t={at}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<RouteError> for SimError {
+    fn from(e: RouteError) -> Self {
+        SimError::Route(e)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Waiting for its start event.
+    Scheduled,
+    /// Transfer in its latency phase.
+    Delaying,
+    /// Consuming resources.
+    Running,
+    /// Finished.
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct WorkState {
+    kind: WorkKind,
+    status: Status,
+    start: SimTime,
+    /// Resource indices this work competes on (shared links / host CPU).
+    resources: Vec<u32>,
+    /// Max-min weight.
+    weight: f64,
+    /// Rate cap (TCP window bound, fat-pipe bandwidths).
+    cap: f64,
+    /// Modeled latency phase duration (transfers).
+    delay: f64,
+    /// Remaining amount (bytes or flops).
+    remaining: f64,
+    /// Completion tolerance (size-relative, see `done_tol`).
+    tol: f64,
+    /// Current allocated rate.
+    rate: f64,
+    finish: SimTime,
+    /// Unfinished predecessors; the work starts `start` seconds after the
+    /// last one completes (treating `start` as a relative offset).
+    deps_remaining: u32,
+    /// Works waiting on this one.
+    dependents: Vec<WorkId>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Event {
+    Start(WorkId),
+    LatencyDone(WorkId),
+}
+
+/// A single simulation over a shared [`Platform`].
+pub struct Simulation<'p> {
+    platform: &'p Platform,
+    config: NetworkConfig,
+    works: Vec<WorkState>,
+    /// Event queue ordered by time, then insertion order (determinism).
+    events: BinaryHeap<Reverse<(SimTime, u64, Event)>>,
+    seq: u64,
+    /// Capacity of each shared resource: links then host CPUs.
+    capacities: Vec<f64>,
+    link_count: usize,
+}
+
+impl<'p> Simulation<'p> {
+    /// Creates a simulation over `platform` with the given model
+    /// configuration.
+    pub fn new(platform: &'p Platform, config: NetworkConfig) -> Self {
+        let mut capacities = Vec::with_capacity(platform.link_count() + platform.host_count());
+        for i in 0..platform.link_count() {
+            let link = &platform.links[i];
+            // Fat pipes never saturate collectively; they only cap
+            // individual flows, which is folded into per-flow caps.
+            let c = match link.policy {
+                SharingPolicy::Shared => link.bandwidth * config.bandwidth_factor,
+                SharingPolicy::FatPipe => f64::INFINITY,
+            };
+            capacities.push(c);
+        }
+        for h in &platform.hosts {
+            capacities.push(h.speed);
+        }
+        Simulation {
+            platform,
+            config,
+            works: Vec::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            capacities,
+            link_count: platform.link_count(),
+        }
+    }
+
+    fn push_event(&mut self, t: SimTime, e: Event) {
+        self.events.push(Reverse((t, self.seq, e)));
+        self.seq += 1;
+    }
+
+    /// Schedules a transfer starting at `start`. The route is resolved
+    /// immediately; routing failures surface here rather than mid-run.
+    pub fn add_transfer_at(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        size_bytes: f64,
+        start: SimTime,
+    ) -> Result<WorkId, SimError> {
+        assert!(size_bytes.is_finite() && size_bytes >= 0.0, "invalid size");
+        let route = self.platform.route_hosts(src, dst)?;
+        let mut resources = Vec::with_capacity(route.links.len());
+        let mut cap = f64::INFINITY;
+        let mut weight = route.latency;
+        for l in &route.links {
+            let link = self.platform.link(*l);
+            let eff_bw = link.bandwidth * self.config.bandwidth_factor;
+            weight += self.config.weight_s / eff_bw;
+            match link.policy {
+                SharingPolicy::Shared => resources.push(l.index() as u32),
+                SharingPolicy::FatPipe => cap = cap.min(eff_bw),
+            }
+        }
+        // TCP window bound: γ / (2 · end-to-end latency).
+        if route.latency > 0.0 {
+            cap = cap.min(self.config.tcp_gamma / (2.0 * route.latency));
+        }
+        let weight = weight.max(1e-9);
+        let delay = self.config.latency_factor * route.latency;
+        let id = WorkId(self.works.len() as u32);
+        self.works.push(WorkState {
+            kind: WorkKind::Transfer { src, dst, size: size_bytes },
+            status: Status::Scheduled,
+            start,
+            resources,
+            weight,
+            cap,
+            delay,
+            remaining: size_bytes,
+            tol: Self::done_tol(size_bytes),
+            rate: 0.0,
+            finish: SimTime::ZERO,
+            deps_remaining: 0,
+            dependents: Vec::new(),
+        });
+        self.push_event(start, Event::Start(id));
+        Ok(id)
+    }
+
+    /// Declares that `work` cannot start before every id in `deps` has
+    /// completed (workflow edges, the paper's §VI extension). The work's
+    /// own `start` time then acts as an extra delay after the last
+    /// dependency finishes.
+    ///
+    /// # Panics
+    /// Panics if called after [`Simulation::run`] started, on self-deps,
+    /// or on unknown ids.
+    pub fn add_dependencies(&mut self, work: WorkId, deps: &[WorkId]) {
+        for d in deps {
+            assert_ne!(*d, work, "work cannot depend on itself");
+            assert!((d.0 as usize) < self.works.len(), "unknown dependency");
+            self.works[d.0 as usize].dependents.push(work);
+            self.works[work.0 as usize].deps_remaining += 1;
+        }
+    }
+
+    /// Schedules a transfer starting at time zero.
+    pub fn add_transfer(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        size_bytes: f64,
+    ) -> Result<WorkId, SimError> {
+        self.add_transfer_at(src, dst, size_bytes, SimTime::ZERO)
+    }
+
+    /// Schedules a computation of `flops` on `host` starting at `start`.
+    pub fn add_compute_at(&mut self, host: HostId, flops: f64, start: SimTime) -> WorkId {
+        assert!(flops.is_finite() && flops >= 0.0, "invalid flops");
+        let resource = (self.link_count + self.platform.host_index(host)) as u32;
+        let id = WorkId(self.works.len() as u32);
+        self.works.push(WorkState {
+            kind: WorkKind::Compute { host, flops },
+            status: Status::Scheduled,
+            start,
+            resources: vec![resource],
+            weight: 1.0,
+            cap: f64::INFINITY,
+            delay: 0.0,
+            remaining: flops,
+            tol: Self::done_tol(flops),
+            rate: 0.0,
+            finish: SimTime::ZERO,
+            deps_remaining: 0,
+            dependents: Vec::new(),
+        });
+        self.push_event(start, Event::Start(id));
+        id
+    }
+
+    /// Schedules a computation starting at time zero.
+    pub fn add_compute(&mut self, host: HostId, flops: f64) -> WorkId {
+        self.add_compute_at(host, flops, SimTime::ZERO)
+    }
+
+    /// Recomputes max-min shares for everything currently running.
+    fn reshare(&mut self) {
+        let mut problem = SharingProblem::with_capacities(self.capacities.clone());
+        let mut running: Vec<usize> = Vec::with_capacity(self.works.len());
+        for (i, w) in self.works.iter().enumerate() {
+            if w.status == Status::Running {
+                problem.add_flow(w.resources.clone(), w.weight, w.cap);
+                running.push(i);
+            }
+        }
+        let rates = problem.solve();
+        for (slot, &i) in running.iter().enumerate() {
+            self.works[i].rate = rates[slot];
+        }
+    }
+
+    /// Work is complete when its residue is negligible *relative to its
+    /// size*: integrating `rate × Δt` leaves an error of a few ulps of the
+    /// total amount, so an absolute cutoff would never trigger for 10 GB
+    /// transfers (the residue alone exceeds it) and the loop would stall
+    /// on `now + ε == now`.
+    fn done_tol(total: f64) -> f64 {
+        1e-9 * total.max(1.0) + 1e-6
+    }
+
+    /// Runs the simulation to completion, consuming it.
+    pub fn run(self) -> Result<Report, SimError> {
+        Ok(self.run_inner(false)?.0)
+    }
+
+    /// Runs the simulation while recording a [`Trace`] of every start,
+    /// rate change and completion.
+    pub fn run_traced(self) -> Result<(Report, Trace), SimError> {
+        self.run_inner(true)
+    }
+
+    fn run_inner(mut self, traced: bool) -> Result<(Report, Trace), SimError> {
+        let mut trace = Trace::default();
+
+        let mut now = SimTime::ZERO;
+        let mut n_remaining = self.works.len();
+        // Works that are zero-sized complete at their start event directly.
+        while n_remaining > 0 {
+            // Next scheduled event.
+            let next_event = self.events.peek().map(|Reverse((t, _, _))| *t);
+            // Next completion among running works.
+            let mut next_completion: Option<SimTime> = None;
+            for w in &self.works {
+                if w.status != Status::Running {
+                    continue;
+                }
+                if w.rate.is_infinite() || w.remaining <= w.tol {
+                    next_completion = Some(now);
+                    break;
+                }
+                if w.rate > 0.0 {
+                    let t = now + Duration::from_secs(w.remaining / w.rate);
+                    if next_completion.is_none_or(|c| t < c) {
+                        next_completion = Some(t);
+                    }
+                }
+            }
+
+            let t = match (next_event, next_completion) {
+                (Some(e), Some(c)) => e.min(c),
+                (Some(e), None) => e,
+                (None, Some(c)) => c,
+                (None, None) => {
+                    return Err(SimError::Stalled { at: now.as_secs() });
+                }
+            };
+
+            // Advance running works to t.
+            let dt = t.duration_since(now).as_secs();
+            if dt > 0.0 {
+                for w in &mut self.works {
+                    if w.status == Status::Running && w.rate > 0.0 {
+                        if w.rate.is_infinite() {
+                            w.remaining = 0.0;
+                        } else {
+                            w.remaining = (w.remaining - w.rate * dt).max(0.0);
+                        }
+                    }
+                }
+            }
+            now = t;
+
+            let mut changed = false;
+
+            // Completions at `now`.
+            let mut newly_unblocked: Vec<WorkId> = Vec::new();
+            for i in 0..self.works.len() {
+                let w = &mut self.works[i];
+                if w.status == Status::Running
+                    && (w.remaining <= w.tol || w.rate.is_infinite())
+                {
+                    w.status = Status::Done;
+                    w.remaining = 0.0;
+                    w.finish = now;
+                    n_remaining -= 1;
+                    changed = true;
+                    if traced {
+                        trace
+                            .events
+                            .push(TraceEvent::Finished { id: WorkId(i as u32), at: now });
+                    }
+                    let dependents = std::mem::take(&mut w.dependents);
+                    for d in dependents {
+                        let dep = &mut self.works[d.0 as usize];
+                        dep.deps_remaining -= 1;
+                        if dep.deps_remaining == 0 {
+                            newly_unblocked.push(d);
+                        }
+                    }
+                }
+            }
+            for d in newly_unblocked {
+                // the dependent's own `start` acts as a relative delay
+                let offset = self.works[d.0 as usize].start.as_secs();
+                let t_start = now + Duration::from_secs(offset);
+                self.works[d.0 as usize].start = t_start;
+                self.push_event(t_start, Event::Start(d));
+            }
+
+            // Scheduled events at `now`.
+            while let Some(Reverse((te, _, _))) = self.events.peek() {
+                if *te > now {
+                    break;
+                }
+                let Reverse((_, _, ev)) = self.events.pop().expect("peeked");
+                match ev {
+                    Event::Start(id) => {
+                        if self.works[id.0 as usize].deps_remaining > 0
+                            || now < self.works[id.0 as usize].start
+                        {
+                            // stale initial event of a dependent work;
+                            // dependency completion (re)schedules the real
+                            // start at `works[id].start`
+                            continue;
+                        }
+                        if self.works[id.0 as usize].status != Status::Scheduled {
+                            continue;
+                        }
+                        if traced {
+                            trace.events.push(TraceEvent::Started { id, at: now });
+                        }
+                        let delay = self.works[id.0 as usize].delay;
+                        if delay > 0.0 {
+                            self.works[id.0 as usize].status = Status::Delaying;
+                            self.push_event(
+                                now + Duration::from_secs(delay),
+                                Event::LatencyDone(id),
+                            );
+                        } else {
+                            self.works[id.0 as usize].status = Status::Running;
+                            changed = true;
+                        }
+                    }
+                    Event::LatencyDone(id) => {
+                        self.works[id.0 as usize].status = Status::Running;
+                        changed = true;
+                    }
+                }
+            }
+
+            if changed {
+                let old_rates: Option<Vec<f64>> = if traced {
+                    Some(self.works.iter().map(|w| w.rate).collect())
+                } else {
+                    None
+                };
+                self.reshare();
+                if let Some(old) = old_rates {
+                    for (i, w) in self.works.iter().enumerate() {
+                        if w.status == Status::Running && w.rate != old[i] {
+                            trace.events.push(TraceEvent::RateChanged {
+                                id: WorkId(i as u32),
+                                at: now,
+                                rate: w.rate,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let completions = self
+            .works
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| Completion {
+                id: WorkId(i as u32),
+                kind: w.kind,
+                start: w.start,
+                finish: w.finish,
+            })
+            .collect();
+        Ok((Report { completions }, trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+    use crate::platform::builder::PlatformBuilder;
+    use crate::platform::routing::{Element, RoutingKind};
+    use crate::platform::SharingPolicy;
+
+    /// a --l(bw,lat)-- b
+    fn pair(bw: f64, lat: f64) -> crate::platform::Platform {
+        let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+        let root = b.root_zone();
+        let a = b.add_host(root, "a", 1e9);
+        let c = b.add_host(root, "b", 1e9);
+        let l = b.add_link("l", bw, lat, SharingPolicy::Shared);
+        b.add_route(root, Element::Point(a.netpoint()), Element::Point(c.netpoint()), vec![l], true);
+        b.build().unwrap()
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn lone_transfer_ideal_model() {
+        let p = pair(1e8, 1e-3);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t = sim.add_transfer(a, b, 1e8).unwrap();
+        let r = sim.run().unwrap();
+        // T = lat + size/bw = 1e-3 + 1.0
+        assert!(close(r.duration(t).as_secs(), 1.001), "{}", r.duration(t));
+    }
+
+    #[test]
+    fn lone_transfer_lv08_model() {
+        let p = pair(1.25e8, 1e-4);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let cfg = NetworkConfig::default();
+        let mut sim = Simulation::new(&p, cfg);
+        let t = sim.add_transfer(a, b, 1e9).unwrap();
+        let r = sim.run().unwrap();
+        let cap = cfg.tcp_gamma / (2.0 * 1e-4);
+        let eff = (1.25e8 * cfg.bandwidth_factor).min(cap);
+        let expect = cfg.latency_factor * 1e-4 + 1e9 / eff;
+        assert!(close(r.duration(t).as_secs(), expect), "{} vs {expect}", r.duration(t));
+    }
+
+    #[test]
+    fn window_cap_binds_on_long_fat_path() {
+        // 10 Gbit/s but 50 ms latency: γ/(2·lat) = 4194304/0.1 ≈ 41.9 MB/s
+        // far below the 1.25 GB/s link rate.
+        let p = pair(1.25e9, 0.05);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let cfg = NetworkConfig::default();
+        let mut sim = Simulation::new(&p, cfg);
+        let t = sim.add_transfer(a, b, 4.194304e8).unwrap();
+        let r = sim.run().unwrap();
+        let cap = cfg.tcp_gamma / (2.0 * 0.05);
+        let expect = cfg.latency_factor * 0.05 + 4.194304e8 / cap;
+        assert!(close(r.duration(t).as_secs(), expect), "{} vs {expect}", r.duration(t));
+    }
+
+    #[test]
+    fn concurrent_transfers_share_fairly() {
+        let p = pair(1e8, 0.0);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t1 = sim.add_transfer(a, b, 1e8).unwrap();
+        let t2 = sim.add_transfer(a, b, 1e8).unwrap();
+        let r = sim.run().unwrap();
+        // both share 1e8/2 the whole way: 2 s each
+        assert!(close(r.duration(t1).as_secs(), 2.0), "{}", r.duration(t1));
+        assert!(close(r.duration(t2).as_secs(), 2.0));
+    }
+
+    #[test]
+    fn staggered_start_releases_bandwidth() {
+        let p = pair(1e8, 0.0);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        // t1 runs alone 1 s (100 MB at 100 MB/s needs 1 s if alone).
+        // t2 arrives at t=0.5: from then on each gets 50 MB/s.
+        // t1: 50 MB left at 0.5 → +1 s → finishes 1.5; t2 has 100 MB,
+        // gets 50 MB/s until 1.5 (50 MB done), then 100 MB/s → finishes 2.0.
+        let t1 = sim.add_transfer_at(a, b, 1e8, SimTime::ZERO).unwrap();
+        let t2 = sim.add_transfer_at(a, b, 1e8, SimTime::from_secs(0.5)).unwrap();
+        let r = sim.run().unwrap();
+        assert!(close(r.completion(t1).finish.as_secs(), 1.5), "{:?}", r);
+        assert!(close(r.completion(t2).finish.as_secs(), 2.0), "{:?}", r);
+    }
+
+    #[test]
+    fn same_host_transfer_takes_latency_only() {
+        let p = pair(1e8, 1e-4);
+        let a = p.host_by_name("a").unwrap();
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t = sim.add_transfer(a, a, 1e9).unwrap();
+        let r = sim.run().unwrap();
+        assert!(close(r.duration(t).as_secs(), 0.0), "{}", r.duration(t));
+    }
+
+    #[test]
+    fn zero_sized_transfer_costs_latency() {
+        let p = pair(1e8, 1e-3);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t = sim.add_transfer(a, b, 0.0).unwrap();
+        let r = sim.run().unwrap();
+        assert!(close(r.duration(t).as_secs(), 1e-3), "{}", r.duration(t));
+    }
+
+    #[test]
+    fn compute_tasks_share_cpu() {
+        let p = pair(1e8, 0.0);
+        let a = p.host_by_name("a").unwrap();
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let c1 = sim.add_compute(a, 1e9); // 1 Gflop on 1 Gflop/s host
+        let c2 = sim.add_compute(a, 1e9);
+        let r = sim.run().unwrap();
+        assert!(close(r.duration(c1).as_secs(), 2.0), "{}", r.duration(c1));
+        assert!(close(r.duration(c2).as_secs(), 2.0));
+    }
+
+    #[test]
+    fn transfer_and_compute_are_independent_resources() {
+        let p = pair(1e8, 0.0);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t = sim.add_transfer(a, b, 1e8).unwrap();
+        let c = sim.add_compute(a, 1e9);
+        let r = sim.run().unwrap();
+        assert!(close(r.duration(t).as_secs(), 1.0));
+        assert!(close(r.duration(c).as_secs(), 1.0));
+    }
+
+    #[test]
+    fn fatpipe_caps_but_does_not_share() {
+        let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+        let root = b.root_zone();
+        let a = b.add_host(root, "a", 1e9);
+        let c = b.add_host(root, "b", 1e9);
+        let l = b.add_link("bb", 1e8, 0.0, SharingPolicy::FatPipe);
+        b.add_route(root, Element::Point(a.netpoint()), Element::Point(c.netpoint()), vec![l], true);
+        let p = b.build().unwrap();
+        let (a, c) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t1 = sim.add_transfer(a, c, 1e8).unwrap();
+        let t2 = sim.add_transfer(a, c, 1e8).unwrap();
+        let r = sim.run().unwrap();
+        // both flows get the full 1e8 individually
+        assert!(close(r.duration(t1).as_secs(), 1.0), "{}", r.duration(t1));
+        assert!(close(r.duration(t2).as_secs(), 1.0));
+    }
+
+    #[test]
+    fn rtt_unfair_sharing_prefers_short_flow() {
+        // Two flows share a middle link; one also crosses a high-latency
+        // access link. With LV08 weights the short-RTT flow finishes
+        // noticeably earlier even though sizes are equal.
+        let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+        let root = b.root_zone();
+        let s1 = b.add_host(root, "s1", 1e9);
+        let s2 = b.add_host(root, "s2", 1e9);
+        let d = b.add_host(root, "d", 1e9);
+        let mid = b.add_link("mid", 1.25e8, 1e-4, SharingPolicy::Shared);
+        let far = b.add_link("far", 1.25e9, 5e-2, SharingPolicy::Shared);
+        b.add_route(root, Element::Point(s1.netpoint()), Element::Point(d.netpoint()), vec![mid], true);
+        b.add_route(root, Element::Point(s2.netpoint()), Element::Point(d.netpoint()), vec![far, mid], true);
+        let p = b.build().unwrap();
+        let (s1, s2, d) = (
+            p.host_by_name("s1").unwrap(),
+            p.host_by_name("s2").unwrap(),
+            p.host_by_name("d").unwrap(),
+        );
+        let mut sim = Simulation::new(&p, NetworkConfig::default());
+        let t_short = sim.add_transfer(s1, d, 5e8).unwrap();
+        let t_long = sim.add_transfer(s2, d, 5e8).unwrap();
+        let r = sim.run().unwrap();
+        assert!(
+            r.completion(t_short).finish < r.completion(t_long).finish,
+            "short-RTT flow should finish first: {:?}",
+            r
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = pair(1e8, 1e-4);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let run = || {
+            let mut sim = Simulation::new(&p, NetworkConfig::default());
+            for i in 0..20 {
+                sim.add_transfer_at(a, b, 1e7 * (i + 1) as f64, SimTime::from_secs(0.01 * i as f64))
+                    .unwrap();
+            }
+            sim.run()
+                .unwrap()
+                .completions
+                .iter()
+                .map(|c| c.finish.as_secs())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn makespan_is_last_finish() {
+        let p = pair(1e8, 0.0);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        sim.add_transfer(a, b, 1e8).unwrap();
+        sim.add_transfer(a, b, 3e8).unwrap();
+        let r = sim.run().unwrap();
+        assert!(close(r.makespan().as_secs(), 4.0), "{:?}", r.makespan());
+    }
+
+    #[test]
+    fn dependency_chains_serialize_work() {
+        // transfer → compute → transfer, a minimal workflow (paper §VI)
+        let p = pair(1e8, 0.0);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t1 = sim.add_transfer(a, b, 1e8).unwrap(); // 1 s
+        let c = sim.add_compute(b, 2e9); // 2 s on the 1 Gflop/s host
+        let t2 = sim.add_transfer(b, a, 1e8).unwrap(); // 1 s
+        sim.add_dependencies(c, &[t1]);
+        sim.add_dependencies(t2, &[c]);
+        let r = sim.run().unwrap();
+        assert!(close(r.completion(t1).finish.as_secs(), 1.0), "{r:?}");
+        assert!(close(r.completion(c).start.as_secs(), 1.0), "{r:?}");
+        assert!(close(r.completion(c).finish.as_secs(), 3.0), "{r:?}");
+        assert!(close(r.completion(t2).finish.as_secs(), 4.0), "{r:?}");
+    }
+
+    #[test]
+    fn dependent_start_offset_is_a_delay() {
+        let p = pair(1e8, 0.0);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t1 = sim.add_transfer(a, b, 1e8).unwrap(); // finishes at 1 s
+        // offset 0.5 s after the dependency completes
+        let t2 = sim.add_transfer_at(a, b, 1e8, SimTime::from_secs(0.5)).unwrap();
+        sim.add_dependencies(t2, &[t1]);
+        let r = sim.run().unwrap();
+        assert!(close(r.completion(t2).start.as_secs(), 1.5), "{r:?}");
+        assert!(close(r.completion(t2).finish.as_secs(), 2.5), "{r:?}");
+    }
+
+    #[test]
+    fn fan_in_waits_for_all_dependencies() {
+        let p = pair(1e8, 0.0);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let quick = sim.add_transfer(a, b, 1e7).unwrap(); // 0.1 s alone
+        let slow = sim.add_compute(a, 5e9); // 5 s
+        let join = sim.add_transfer(b, a, 1e8).unwrap();
+        sim.add_dependencies(join, &[quick, slow]);
+        let r = sim.run().unwrap();
+        assert!(r.completion(join).start.as_secs() >= 5.0, "{r:?}");
+    }
+
+    #[test]
+    fn dependency_cycle_stalls_with_error() {
+        let p = pair(1e8, 0.0);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t1 = sim.add_transfer(a, b, 1e8).unwrap();
+        let t2 = sim.add_transfer(a, b, 1e8).unwrap();
+        sim.add_dependencies(t1, &[t2]);
+        sim.add_dependencies(t2, &[t1]);
+        assert!(matches!(sim.run(), Err(SimError::Stalled { .. })));
+    }
+
+    #[test]
+    fn empty_simulation_completes() {
+        let p = pair(1e8, 0.0);
+        let sim = Simulation::new(&p, NetworkConfig::ideal());
+        let r = sim.run().unwrap();
+        assert!(r.completions.is_empty());
+        assert_eq!(r.makespan(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,270 @@
+//! RTT-aware weighted max-min bandwidth sharing.
+//!
+//! SimGrid's flow-level TCP model (CM02, recalibrated by LV08) allocates
+//! bandwidth to competing flows with a *weighted max-min* policy: on a
+//! bottleneck link the bandwidth a flow obtains is inversely proportional
+//! to its weight, and the weight grows with the flow's round-trip time —
+//! `w_f = latency_f + Σ_l S/C_l` over the links of the route. Each flow is
+//! additionally rate-capped by the TCP window bound `γ / (2·latency_f)` and
+//! by any fat-pipe link on its path.
+//!
+//! The solver implements classical *progressive filling*: grow a potential
+//! `φ` uniformly; each unsaturated flow transmits at `φ / w_f`; the first
+//! constraint to bind (a link filling up, or a flow hitting its cap)
+//! freezes the flows it concerns; repeat on the reduced problem. Every
+//! iteration saturates at least one flow, so the loop runs at most
+//! `#flows` times.
+
+/// One flow to allocate: the (shared) resources it crosses, its weight and
+/// its rate cap.
+#[derive(Clone, Debug)]
+pub struct FlowDesc {
+    /// Indices into the problem's resource table. A flow may cross zero
+    /// resources (e.g. a same-host transfer), in which case only `cap`
+    /// bounds it.
+    pub resources: Vec<u32>,
+    /// Max-min weight (> 0). Larger weight ⇒ smaller share, mirroring TCP's
+    /// RTT unfairness.
+    pub weight: f64,
+    /// Upper bound on the allocated rate (bytes/s); `f64::INFINITY` if
+    /// unbounded.
+    pub cap: f64,
+}
+
+/// A bandwidth-sharing problem: resource capacities plus flow descriptions.
+#[derive(Clone, Debug, Default)]
+pub struct SharingProblem {
+    /// Capacity of each shared resource (bytes/s for links, flop/s for
+    /// host CPUs when compute tasks share the same solver).
+    pub capacity: Vec<f64>,
+    /// The flows competing for those resources.
+    pub flows: Vec<FlowDesc>,
+}
+
+impl SharingProblem {
+    /// Creates an empty problem with the given resource capacities.
+    pub fn with_capacities(capacity: Vec<f64>) -> Self {
+        SharingProblem { capacity, flows: Vec::new() }
+    }
+
+    /// Adds a flow and returns its index.
+    pub fn add_flow(&mut self, resources: Vec<u32>, weight: f64, cap: f64) -> usize {
+        debug_assert!(weight > 0.0, "flow weight must be positive");
+        self.flows.push(FlowDesc { resources, weight, cap });
+        self.flows.len() - 1
+    }
+
+    /// Solves the problem, returning the allocated rate of each flow.
+    ///
+    /// Flows with no resources and an infinite cap are given
+    /// `f64::INFINITY` (they are unconstrained at this level — the kernel
+    /// completes them after their latency alone).
+    pub fn solve(&self) -> Vec<f64> {
+        const REL_EPS: f64 = 1e-12;
+
+        let nf = self.flows.len();
+        let nr = self.capacity.len();
+        let mut rate = vec![f64::NAN; nf];
+        let mut active = vec![true; nf];
+        let mut remaining = self.capacity.clone();
+        // Per-resource sum of 1/w over active flows crossing it.
+        let mut inv_w_sum = vec![0.0f64; nr];
+        let mut active_count_on = vec![0u32; nr];
+        for f in &self.flows {
+            for &r in &f.resources {
+                inv_w_sum[r as usize] += 1.0 / f.weight;
+                active_count_on[r as usize] += 1;
+            }
+        }
+
+        let mut n_active = nf;
+        while n_active > 0 {
+            // Potential at which the tightest constraint binds.
+            let mut phi = f64::INFINITY;
+            for r in 0..nr {
+                if active_count_on[r] > 0 {
+                    let ratio = remaining[r] / inv_w_sum[r];
+                    if ratio < phi {
+                        phi = ratio;
+                    }
+                }
+            }
+            for (i, f) in self.flows.iter().enumerate() {
+                if active[i] {
+                    let phi_cap = f.cap * f.weight;
+                    if phi_cap < phi {
+                        phi = phi_cap;
+                    }
+                }
+            }
+
+            if phi.is_infinite() {
+                // No binding constraint for the remaining flows: they are
+                // unbounded (no shared resources, no finite cap).
+                for (i, a) in active.iter().enumerate() {
+                    if *a {
+                        rate[i] = f64::INFINITY;
+                    }
+                }
+                break;
+            }
+
+            let threshold = phi * (1.0 + REL_EPS) + f64::MIN_POSITIVE;
+            let mut froze_any = false;
+
+            // Freeze flows capped at or below the potential.
+            for i in 0..nf {
+                if !active[i] {
+                    continue;
+                }
+                let f = &self.flows[i];
+                let capped = f.cap * f.weight <= threshold;
+                let mut on_bottleneck = false;
+                if !capped {
+                    for &r in &f.resources {
+                        let r = r as usize;
+                        if remaining[r] / inv_w_sum[r] <= threshold {
+                            on_bottleneck = true;
+                            break;
+                        }
+                    }
+                }
+                if capped || on_bottleneck {
+                    let allocated = if capped { f.cap } else { phi / f.weight };
+                    rate[i] = allocated;
+                    active[i] = false;
+                    n_active -= 1;
+                    froze_any = true;
+                    for &r in &f.resources {
+                        let r = r as usize;
+                        remaining[r] = (remaining[r] - allocated).max(0.0);
+                        inv_w_sum[r] -= 1.0 / f.weight;
+                        active_count_on[r] -= 1;
+                    }
+                }
+            }
+
+            debug_assert!(froze_any, "progressive filling must make progress");
+            if !froze_any {
+                // Numerical safety net: freeze everything at the potential.
+                for i in 0..nf {
+                    if active[i] {
+                        rate[i] = (phi / self.flows[i].weight).min(self.flows[i].cap);
+                        active[i] = false;
+                        n_active -= 1;
+                    }
+                }
+            }
+        }
+        rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn lone_flow_gets_the_link() {
+        let mut p = SharingProblem::with_capacities(vec![100.0]);
+        p.add_flow(vec![0], 1.0, f64::INFINITY);
+        let r = p.solve();
+        assert!(close(r[0], 100.0), "{r:?}");
+    }
+
+    #[test]
+    fn equal_flows_split_evenly() {
+        let mut p = SharingProblem::with_capacities(vec![100.0]);
+        p.add_flow(vec![0], 1.0, f64::INFINITY);
+        p.add_flow(vec![0], 1.0, f64::INFINITY);
+        let r = p.solve();
+        assert!(close(r[0], 50.0) && close(r[1], 50.0), "{r:?}");
+    }
+
+    #[test]
+    fn rtt_weighting_biases_shares() {
+        // weights 1 and 2 on a capacity-3 link: potential φ solves
+        // φ(1/1 + 1/2) = 3 → φ = 2 → rates 2 and 1.
+        let mut p = SharingProblem::with_capacities(vec![3.0]);
+        p.add_flow(vec![0], 1.0, f64::INFINITY);
+        p.add_flow(vec![0], 2.0, f64::INFINITY);
+        let r = p.solve();
+        assert!(close(r[0], 2.0) && close(r[1], 1.0), "{r:?}");
+    }
+
+    #[test]
+    fn capped_flow_releases_bandwidth() {
+        let mut p = SharingProblem::with_capacities(vec![10.0]);
+        p.add_flow(vec![0], 1.0, 1.0);
+        p.add_flow(vec![0], 1.0, f64::INFINITY);
+        let r = p.solve();
+        assert!(close(r[0], 1.0) && close(r[1], 9.0), "{r:?}");
+    }
+
+    #[test]
+    fn chain_bottleneck() {
+        // A: L0(cap 1) + L1(cap 10); B: L1 only → A=1, B=9.
+        let mut p = SharingProblem::with_capacities(vec![1.0, 10.0]);
+        p.add_flow(vec![0, 1], 1.0, f64::INFINITY);
+        p.add_flow(vec![1], 1.0, f64::INFINITY);
+        let r = p.solve();
+        assert!(close(r[0], 1.0) && close(r[1], 9.0), "{r:?}");
+    }
+
+    #[test]
+    fn parking_lot_is_max_min_fair() {
+        // Long flow across 3 unit links, one short flow per link:
+        // every flow gets 1/2.
+        let mut p = SharingProblem::with_capacities(vec![1.0, 1.0, 1.0]);
+        p.add_flow(vec![0, 1, 2], 1.0, f64::INFINITY);
+        p.add_flow(vec![0], 1.0, f64::INFINITY);
+        p.add_flow(vec![1], 1.0, f64::INFINITY);
+        p.add_flow(vec![2], 1.0, f64::INFINITY);
+        let r = p.solve();
+        for (i, v) in r.iter().enumerate() {
+            assert!(close(*v, 0.5), "flow {i}: {v} in {r:?}");
+        }
+    }
+
+    #[test]
+    fn unconstrained_flow_is_unbounded() {
+        let mut p = SharingProblem::with_capacities(vec![]);
+        p.add_flow(vec![], 1.0, f64::INFINITY);
+        let r = p.solve();
+        assert!(r[0].is_infinite());
+    }
+
+    #[test]
+    fn cap_only_flow() {
+        let mut p = SharingProblem::with_capacities(vec![]);
+        p.add_flow(vec![], 1.0, 42.0);
+        let r = p.solve();
+        assert!(close(r[0], 42.0));
+    }
+
+    #[test]
+    fn second_level_bottleneck_redistributes() {
+        // L0 cap 10 shared by A,B; B also crosses L1 cap 2.
+        // B is limited to 2 by L1, A picks up 8 on L0.
+        let mut p = SharingProblem::with_capacities(vec![10.0, 2.0]);
+        p.add_flow(vec![0], 1.0, f64::INFINITY);
+        p.add_flow(vec![0, 1], 1.0, f64::INFINITY);
+        let r = p.solve();
+        assert!(close(r[0], 8.0) && close(r[1], 2.0), "{r:?}");
+    }
+
+    #[test]
+    fn many_flows_deterministic() {
+        let mut p = SharingProblem::with_capacities(vec![100.0; 10]);
+        for i in 0..50 {
+            p.add_flow(vec![(i % 10) as u32, ((i + 3) % 10) as u32], 1.0 + (i % 4) as f64, f64::INFINITY);
+        }
+        let r1 = p.solve();
+        let r2 = p.solve();
+        assert_eq!(r1, r2, "solver must be deterministic");
+    }
+}

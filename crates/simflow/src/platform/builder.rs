@@ -1,0 +1,387 @@
+//! Incremental construction and validation of [`Platform`]s.
+//!
+//! The builder records declarations and defers most validation to
+//! [`PlatformBuilder::build`], which either returns an immutable
+//! [`Platform`] or a [`BuildError`] listing *all* problems found (easier to
+//! fix generated platforms than failing one error at a time).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use super::routing::{Element, RoutingKind, ZoneRouting};
+use super::{
+    Host, HostId, Link, LinkId, NetPoint, NetPointId, NetPointKind, Platform, SharingPolicy,
+    Zone, ZoneId,
+};
+
+/// All the problems found while validating a platform description.
+#[derive(Debug, Clone)]
+pub struct BuildError {
+    /// Human-readable problem descriptions.
+    pub problems: Vec<String>,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "invalid platform description:")?;
+        for p in &self.problems {
+            writeln!(f, "  - {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for [`Platform`].
+pub struct PlatformBuilder {
+    netpoints: Vec<NetPoint>,
+    hosts: Vec<Host>,
+    links: Vec<Link>,
+    zones: Vec<Zone>,
+    by_name: HashMap<String, NetPointId>,
+    root: ZoneId,
+    problems: Vec<String>,
+}
+
+impl PlatformBuilder {
+    /// Starts a platform with a root zone.
+    pub fn new(root_name: &str, kind: RoutingKind) -> Self {
+        let root = Zone {
+            name: root_name.to_string(),
+            parent: None,
+            children: Vec::new(),
+            routing: ZoneRouting::new(kind),
+            gateway: None,
+        };
+        PlatformBuilder {
+            netpoints: Vec::new(),
+            hosts: Vec::new(),
+            links: Vec::new(),
+            zones: vec![root],
+            by_name: HashMap::new(),
+            root: ZoneId(0),
+            problems: Vec::new(),
+        }
+    }
+
+    /// The root zone created by [`PlatformBuilder::new`].
+    pub fn root_zone(&self) -> ZoneId {
+        self.root
+    }
+
+    /// Adds a child zone.
+    pub fn add_zone(&mut self, parent: ZoneId, name: &str, kind: RoutingKind) -> ZoneId {
+        let id = ZoneId(self.zones.len() as u32);
+        if self.zones.iter().any(|z| z.name == name) {
+            self.problems.push(format!("duplicate zone name '{name}'"));
+        }
+        self.zones.push(Zone {
+            name: name.to_string(),
+            parent: Some(parent),
+            children: Vec::new(),
+            routing: ZoneRouting::new(kind),
+            gateway: None,
+        });
+        self.zones[parent.0 as usize].children.push(id);
+        id
+    }
+
+    fn add_netpoint(&mut self, zone: ZoneId, name: &str, kind: NetPointKind) -> NetPointId {
+        let id = NetPointId(self.netpoints.len() as u32);
+        if self.by_name.contains_key(name) {
+            self.problems.push(format!("duplicate netpoint name '{name}'"));
+        }
+        self.netpoints.push(NetPoint { name: name.to_string(), kind, zone });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Adds a host (compute + network endpoint) to a zone.
+    pub fn add_host(&mut self, zone: ZoneId, name: &str, speed: f64) -> HostId {
+        let host_index = self.hosts.len() as u32;
+        let np = self.add_netpoint(zone, name, NetPointKind::Host(host_index));
+        self.hosts.push(Host { netpoint: np, speed });
+        HostId(np.0)
+    }
+
+    /// Adds a router (pure routing waypoint) to a zone.
+    pub fn add_router(&mut self, zone: ZoneId, name: &str) -> NetPointId {
+        self.add_netpoint(zone, name, NetPointKind::Router)
+    }
+
+    /// Adds a link. Links are global: any zone's routes may reference them.
+    pub fn add_link(
+        &mut self,
+        name: &str,
+        bandwidth_bps: f64,
+        latency_s: f64,
+        policy: SharingPolicy,
+    ) -> LinkId {
+        if !(bandwidth_bps.is_finite() && bandwidth_bps > 0.0) {
+            self.problems
+                .push(format!("link '{name}': bandwidth must be finite and positive"));
+        }
+        if !(latency_s.is_finite() && latency_s >= 0.0) {
+            self.problems
+                .push(format!("link '{name}': latency must be finite and non-negative"));
+        }
+        if self.links.iter().any(|l| l.name == name) {
+            self.problems.push(format!("duplicate link name '{name}'"));
+        }
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            name: name.to_string(),
+            bandwidth: bandwidth_bps,
+            latency: latency_s,
+            policy,
+        });
+        id
+    }
+
+    fn check_membership(&mut self, zone: ZoneId, e: Element, ctx: &str) {
+        match e {
+            Element::Point(p) => {
+                if self.netpoints[p.0 as usize].zone != zone {
+                    self.problems.push(format!(
+                        "{ctx}: netpoint '{}' is not a direct member of zone '{}'",
+                        self.netpoints[p.0 as usize].name, self.zones[zone.0 as usize].name
+                    ));
+                }
+            }
+            Element::Zone(z) => {
+                if self.zones[z.0 as usize].parent != Some(zone) {
+                    self.problems.push(format!(
+                        "{ctx}: zone '{}' is not a direct child of zone '{}'",
+                        self.zones[z.0 as usize].name, self.zones[zone.0 as usize].name
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Declares a route (Full zones) or an edge (Floyd/Dijkstra zones)
+    /// between two elements of `zone`. With `symmetric`, the reverse
+    /// direction is declared with the links reversed.
+    pub fn add_route(
+        &mut self,
+        zone: ZoneId,
+        from: Element,
+        to: Element,
+        links: Vec<LinkId>,
+        symmetric: bool,
+    ) {
+        self.check_membership(zone, from, "route");
+        self.check_membership(zone, to, "route");
+        match &mut self.zones[zone.0 as usize].routing {
+            ZoneRouting::Full { routes } => {
+                let mut rev = links.clone();
+                rev.reverse();
+                routes.insert((from, to), links);
+                if symmetric {
+                    routes.insert((to, from), rev);
+                }
+            }
+            r @ (ZoneRouting::Floyd { .. } | ZoneRouting::Dijkstra { .. }) => {
+                let u = r.ensure_element(from) as u32;
+                let v = r.ensure_element(to) as u32;
+                let mut rev = links.clone();
+                rev.reverse();
+                match r {
+                    ZoneRouting::Floyd { edge_links, .. } => {
+                        edge_links.insert((u, v), links);
+                        if symmetric {
+                            edge_links.insert((v, u), rev);
+                        }
+                    }
+                    ZoneRouting::Dijkstra { adj, .. } => {
+                        adj[u as usize].push((v, links, 0.0));
+                        if symmetric {
+                            adj[v as usize].push((u, rev, 0.0));
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            ZoneRouting::Cluster { .. } => {
+                self.problems.push(format!(
+                    "route declared in cluster zone '{}': use attach_cluster_host instead",
+                    self.zones[zone.0 as usize].name
+                ));
+            }
+        }
+    }
+
+    /// Sets the gateway netpoint other zones use to reach `zone`.
+    pub fn set_gateway(&mut self, zone: ZoneId, gw: NetPointId) {
+        // must belong to the zone's subtree
+        let mut z = self.netpoints[gw.0 as usize].zone;
+        let in_subtree = loop {
+            if z == zone {
+                break true;
+            }
+            match self.zones[z.0 as usize].parent {
+                Some(p) => z = p,
+                None => break false,
+            }
+        };
+        if !in_subtree {
+            self.problems.push(format!(
+                "gateway '{}' is outside the subtree of zone '{}'",
+                self.netpoints[gw.0 as usize].name, self.zones[zone.0 as usize].name
+            ));
+        }
+        self.zones[zone.0 as usize].gateway = Some(gw);
+    }
+
+    /// Sets the backbone link of a cluster zone.
+    pub fn set_cluster_backbone(&mut self, zone: ZoneId, link: LinkId) {
+        match &mut self.zones[zone.0 as usize].routing {
+            ZoneRouting::Cluster { backbone, .. } => *backbone = Some(link),
+            _ => self.problems.push(format!(
+                "set_cluster_backbone on non-cluster zone '{}'",
+                self.zones[zone.0 as usize].name
+            )),
+        }
+    }
+
+    /// Attaches a host of a cluster zone to its uplink/downlink (pass the
+    /// same link twice for a single full-duplex-modeled NIC).
+    pub fn attach_cluster_host(&mut self, zone: ZoneId, host: HostId, up: LinkId, down: LinkId) {
+        if self.netpoints[host.0 as usize].zone != zone {
+            self.problems.push(format!(
+                "attach_cluster_host: host '{}' is not in zone '{}'",
+                self.netpoints[host.0 as usize].name, self.zones[zone.0 as usize].name
+            ));
+        }
+        match &mut self.zones[zone.0 as usize].routing {
+            ZoneRouting::Cluster { host_links, router, .. } => {
+                if Some(host.netpoint()) == *router {
+                    // routers sit directly on the backbone
+                }
+                host_links.insert(host.netpoint(), (up, down));
+            }
+            _ => self.problems.push(format!(
+                "attach_cluster_host on non-cluster zone '{}'",
+                self.zones[zone.0 as usize].name
+            )),
+        }
+    }
+
+    /// Convenience: set the cluster router (recorded in the routing state
+    /// *and* as the zone gateway).
+    pub fn set_cluster_router(&mut self, zone: ZoneId, router: NetPointId) {
+        match &mut self.zones[zone.0 as usize].routing {
+            ZoneRouting::Cluster { router: r, .. } => *r = Some(router),
+            _ => {
+                self.problems.push(format!(
+                    "set_cluster_router on non-cluster zone '{}'",
+                    self.zones[zone.0 as usize].name
+                ));
+                return;
+            }
+        }
+        self.set_gateway(zone, router);
+    }
+
+    /// Validates and freezes the platform.
+    pub fn build(mut self) -> Result<Platform, BuildError> {
+        // Cluster zones must not have children (they are leaves by design).
+        for z in &self.zones {
+            if matches!(z.routing, ZoneRouting::Cluster { .. }) && !z.children.is_empty() {
+                self.problems
+                    .push(format!("cluster zone '{}' cannot have child zones", z.name));
+            }
+        }
+        if !self.problems.is_empty() {
+            return Err(BuildError { problems: self.problems });
+        }
+        // Finalize shortest-path structures with real latency costs.
+        let latencies: Vec<f64> = self.links.iter().map(|l| l.latency).collect();
+        for z in &mut self.zones {
+            z.routing.finalize_with_costs(&|l: LinkId| latencies[l.0 as usize]);
+        }
+        Ok(Platform {
+            netpoints: self.netpoints,
+            hosts: self.hosts,
+            links: self.links,
+            zones: self.zones,
+            by_name: self.by_name,
+            root: self.root,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+        let root = b.root_zone();
+        b.add_host(root, "a", 1e9);
+        b.add_host(root, "a", 1e9);
+        let err = b.build().unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("duplicate netpoint")));
+    }
+
+    #[test]
+    fn bad_link_parameters_are_rejected() {
+        let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+        b.add_link("l", 0.0, -1.0, SharingPolicy::Shared);
+        let err = b.build().unwrap_err();
+        assert_eq!(err.problems.len(), 2);
+    }
+
+    #[test]
+    fn route_membership_is_checked() {
+        let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+        let root = b.root_zone();
+        let z = b.add_zone(root, "z", RoutingKind::Full);
+        let h_in_z = b.add_host(z, "h", 1e9);
+        let other = b.add_host(root, "o", 1e9);
+        let l = b.add_link("l", 1e8, 1e-4, SharingPolicy::Shared);
+        // h is in z, not a direct member of root
+        b.add_route(
+            root,
+            Element::Point(h_in_z.netpoint()),
+            Element::Point(other.netpoint()),
+            vec![l],
+            true,
+        );
+        let err = b.build().unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("not a direct member")));
+    }
+
+    #[test]
+    fn gateway_outside_subtree_is_rejected() {
+        let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+        let root = b.root_zone();
+        let z = b.add_zone(root, "z", RoutingKind::Full);
+        let outside = b.add_host(root, "o", 1e9);
+        b.set_gateway(z, outside.netpoint());
+        let err = b.build().unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("outside the subtree")));
+    }
+
+    #[test]
+    fn cluster_zone_with_children_is_rejected() {
+        let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+        let root = b.root_zone();
+        let cl = b.add_zone(root, "cl", RoutingKind::Cluster);
+        b.add_zone(cl, "sub", RoutingKind::Full);
+        let err = b.build().unwrap_err();
+        assert!(err.problems.iter().any(|p| p.contains("cannot have child zones")));
+    }
+
+    #[test]
+    fn error_message_lists_all_problems() {
+        let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+        b.add_link("l", -5.0, f64::NAN, SharingPolicy::Shared);
+        let err = b.build().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bandwidth"));
+        assert!(msg.contains("latency"));
+    }
+}

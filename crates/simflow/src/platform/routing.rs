@@ -1,0 +1,460 @@
+//! Intra-zone routing strategies.
+//!
+//! Each zone routes between its *elements*: netpoints that are direct
+//! members, and child zones (represented by their gateway when the route is
+//! materialized). Four strategies mirror SimGrid's zone types:
+//!
+//! * [`ZoneRouting::Full`] — explicit routing table, O(n²) memory;
+//! * [`ZoneRouting::Floyd`] — all-pairs shortest paths precomputed from
+//!   declared edges;
+//! * [`ZoneRouting::Dijkstra`] — shortest path computed on demand from
+//!   declared edges, O(edges) memory;
+//! * [`ZoneRouting::Cluster`] — the star/backbone shape of a compute
+//!   cluster, routes synthesized in O(1) with O(hosts) memory. This is the
+//!   zone type whose introduction (Bobelin et al. 2011) made whole-platform
+//!   Grid'5000 simulation possible, per the paper.
+
+use std::collections::HashMap;
+
+use super::{LinkId, NetPointId, Platform, RouteError, ZoneId};
+
+/// A routing element of a zone: a direct member netpoint or a child zone.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Element {
+    /// A netpoint (host or router) directly contained in the zone.
+    Point(NetPointId),
+    /// A child zone, reached through its gateway.
+    Zone(ZoneId),
+}
+
+/// Which routing strategy a zone uses (builder-facing tag).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RoutingKind {
+    /// Explicit routing table.
+    Full,
+    /// All-pairs shortest path, precomputed.
+    Floyd,
+    /// Shortest path on demand.
+    Dijkstra,
+    /// Star cluster with optional backbone.
+    Cluster,
+}
+
+/// Routing state of a zone.
+#[derive(Debug)]
+pub enum ZoneRouting {
+    /// Explicit table of routes between element pairs.
+    Full {
+        /// Declared routes. Symmetric declarations store both directions.
+        routes: HashMap<(Element, Element), Vec<LinkId>>,
+    },
+    /// Precomputed all-pairs shortest paths over declared edges.
+    Floyd {
+        /// Dense element index.
+        elements: Vec<Element>,
+        /// Reverse index.
+        index: HashMap<Element, usize>,
+        /// `next[u * n + v]`: next hop from `u` towards `v`.
+        next: Vec<Option<u32>>,
+        /// Links of each declared directed edge.
+        edge_links: HashMap<(u32, u32), Vec<LinkId>>,
+    },
+    /// On-demand shortest path over declared edges.
+    Dijkstra {
+        /// Dense element index.
+        elements: Vec<Element>,
+        /// Reverse index.
+        index: HashMap<Element, usize>,
+        /// Adjacency: `adj[u] = [(v, links, cost)]`.
+        adj: Vec<Vec<(u32, Vec<LinkId>, f64)>>,
+    },
+    /// Star cluster: each host owns an uplink/downlink pair (possibly the
+    /// same shared link) towards an optional backbone; the router sits on
+    /// the backbone.
+    Cluster {
+        /// The cluster router (also usually the zone gateway).
+        router: Option<NetPointId>,
+        /// Backbone link crossed by any host-to-host communication.
+        backbone: Option<LinkId>,
+        /// Per-host (uplink, downlink).
+        host_links: HashMap<NetPointId, (LinkId, LinkId)>,
+    },
+}
+
+impl ZoneRouting {
+    pub(crate) fn new(kind: RoutingKind) -> Self {
+        match kind {
+            RoutingKind::Full => ZoneRouting::Full { routes: HashMap::new() },
+            RoutingKind::Floyd => ZoneRouting::Floyd {
+                elements: Vec::new(),
+                index: HashMap::new(),
+                next: Vec::new(),
+                edge_links: HashMap::new(),
+            },
+            RoutingKind::Dijkstra => ZoneRouting::Dijkstra {
+                elements: Vec::new(),
+                index: HashMap::new(),
+                adj: Vec::new(),
+            },
+            RoutingKind::Cluster => ZoneRouting::Cluster {
+                router: None,
+                backbone: None,
+                host_links: HashMap::new(),
+            },
+        }
+    }
+
+    /// Appends to `out` the links of the local route between two elements.
+    pub(crate) fn local_route(
+        &self,
+        platform: &Platform,
+        zone: ZoneId,
+        from: Element,
+        to: Element,
+        out: &mut Vec<LinkId>,
+    ) -> Result<(), RouteError> {
+        let err = || RouteError::NoRoute {
+            zone: platform.zones[zone.0 as usize].name.clone(),
+            from: element_name(platform, from),
+            to: element_name(platform, to),
+        };
+        match self {
+            ZoneRouting::Full { routes } => {
+                let links = routes.get(&(from, to)).ok_or_else(err)?;
+                out.extend_from_slice(links);
+                Ok(())
+            }
+            ZoneRouting::Floyd { index, next, edge_links, elements } => {
+                let n = elements.len();
+                let (mut u, v) = match (index.get(&from), index.get(&to)) {
+                    (Some(&u), Some(&v)) => (u, v),
+                    _ => return Err(err()),
+                };
+                while u != v {
+                    let hop = next[u * n + v].ok_or_else(err)?;
+                    let links = edge_links
+                        .get(&(u as u32, hop))
+                        .expect("next-hop edges exist by construction");
+                    out.extend_from_slice(links);
+                    u = hop as usize;
+                }
+                Ok(())
+            }
+            ZoneRouting::Dijkstra { index, adj, elements } => {
+                let (src, dst) = match (index.get(&from), index.get(&to)) {
+                    (Some(&u), Some(&v)) => (u, v),
+                    _ => return Err(err()),
+                };
+                let path = dijkstra_path(adj, elements.len(), src, dst).ok_or_else(err)?;
+                for (u, v) in path.iter().zip(path.iter().skip(1)) {
+                    let links = adj[*u]
+                        .iter()
+                        .find(|(w, _, _)| *w as usize == *v)
+                        .map(|(_, links, _)| links)
+                        .expect("edge on path exists");
+                    out.extend_from_slice(links);
+                }
+                Ok(())
+            }
+            ZoneRouting::Cluster { router, backbone, host_links } => {
+                let up = |p: NetPointId| -> Result<Option<LinkId>, RouteError> {
+                    if Some(p) == *router {
+                        Ok(None) // the router sits on the backbone directly
+                    } else {
+                        host_links.get(&p).map(|(u, _)| Some(*u)).ok_or_else(err)
+                    }
+                };
+                let down = |p: NetPointId| -> Result<Option<LinkId>, RouteError> {
+                    if Some(p) == *router {
+                        Ok(None)
+                    } else {
+                        host_links.get(&p).map(|(_, d)| Some(*d)).ok_or_else(err)
+                    }
+                };
+                match (from, to) {
+                    (Element::Point(a), Element::Point(b)) => {
+                        if let Some(l) = up(a)? {
+                            out.push(l);
+                        }
+                        if let Some(bb) = *backbone {
+                            out.push(bb);
+                        }
+                        if let Some(l) = down(b)? {
+                            out.push(l);
+                        }
+                        Ok(())
+                    }
+                    // Cluster zones are leaves: no child-zone elements.
+                    _ => Err(err()),
+                }
+            }
+        }
+    }
+
+    /// Number of stored route entries (memory-footprint proxy).
+    pub(crate) fn stored_entries(&self) -> usize {
+        match self {
+            ZoneRouting::Full { routes } => routes.len(),
+            ZoneRouting::Floyd { next, .. } => next.len(),
+            ZoneRouting::Dijkstra { adj, .. } => adj.iter().map(Vec::len).sum(),
+            ZoneRouting::Cluster { host_links, .. } => host_links.len(),
+        }
+    }
+
+    /// Registers an element in graph-based routing (no-op for other kinds).
+    pub(crate) fn ensure_element(&mut self, e: Element) -> usize {
+        match self {
+            ZoneRouting::Floyd { elements, index, .. }
+            | ZoneRouting::Dijkstra { elements, index, .. } => {
+                if let Some(&i) = index.get(&e) {
+                    return i;
+                }
+                let i = elements.len();
+                elements.push(e);
+                index.insert(e, i);
+                if let ZoneRouting::Dijkstra { adj, .. } = self {
+                    adj.push(Vec::new());
+                }
+                i
+            }
+            _ => 0,
+        }
+    }
+
+    /// Finalizes precomputed structures with real latency costs (Floyd
+    /// matrices, Dijkstra edge costs). Requires link latencies, hence the
+    /// callback; the builder invokes this once after all declarations.
+    pub(crate) fn finalize_with_costs(&mut self, link_latency: &dyn Fn(LinkId) -> f64) {
+        if let ZoneRouting::Floyd { elements, next, edge_links, .. } = self {
+            let n = elements.len();
+            let mut dist = vec![f64::INFINITY; n * n];
+            *next = vec![None; n * n];
+            for i in 0..n {
+                dist[i * n + i] = 0.0;
+            }
+            for (&(u, v), links) in edge_links.iter() {
+                let (u, v) = (u as usize, v as usize);
+                let cost: f64 =
+                    1e-9 + links.iter().map(|l| link_latency(*l)).sum::<f64>();
+                if cost < dist[u * n + v] {
+                    dist[u * n + v] = cost;
+                    next[u * n + v] = Some(v as u32);
+                }
+            }
+            for k in 0..n {
+                for i in 0..n {
+                    let dik = dist[i * n + k];
+                    if !dik.is_finite() {
+                        continue;
+                    }
+                    for j in 0..n {
+                        let alt = dik + dist[k * n + j];
+                        if alt < dist[i * n + j] {
+                            dist[i * n + j] = alt;
+                            next[i * n + j] = next[i * n + k];
+                        }
+                    }
+                }
+            }
+        }
+        if let ZoneRouting::Dijkstra { adj, .. } = self {
+            for edges in adj.iter_mut() {
+                for (_, links, cost) in edges.iter_mut() {
+                    *cost = 1e-9 + links.iter().map(|l| link_latency(*l)).sum::<f64>();
+                }
+            }
+        }
+    }
+}
+
+/// Plain binary-heap Dijkstra over the small per-zone element graph,
+/// returning the node path from `src` to `dst`.
+fn dijkstra_path(
+    adj: &[Vec<(u32, Vec<LinkId>, f64)>],
+    n: usize,
+    src: usize,
+    dst: usize,
+) -> Option<Vec<usize>> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
+    dist[src] = 0.0;
+    heap.push(Reverse((OrdF64(0.0), src)));
+    while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        if u == dst {
+            break;
+        }
+        for (v, _, cost) in &adj[u] {
+            let v = *v as usize;
+            let alt = d + cost;
+            if alt < dist[v] {
+                dist[v] = alt;
+                prev[v] = u;
+                heap.push(Reverse((OrdF64(alt), v)));
+            }
+        }
+    }
+    if !dist[dst].is_finite() {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Totally-ordered f64 wrapper for the Dijkstra heap (costs are finite).
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+pub(crate) fn element_name(platform: &Platform, e: Element) -> String {
+    match e {
+        Element::Point(p) => platform.netpoints[p.0 as usize].name.clone(),
+        Element::Zone(z) => format!("zone:{}", platform.zones[z.0 as usize].name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::builder::PlatformBuilder;
+    use super::super::SharingPolicy;
+    use super::*;
+
+    /// Chain a - b - c with Floyd routing: route a→c must concatenate both
+    /// edges.
+    #[test]
+    fn floyd_multi_hop() {
+        let mut b = PlatformBuilder::new("root", RoutingKind::Floyd);
+        let root = b.root_zone();
+        let a = b.add_host(root, "a", 1e9);
+        let m = b.add_router(root, "m");
+        let c = b.add_host(root, "c", 1e9);
+        let l1 = b.add_link("l1", 1e8, 1e-4, SharingPolicy::Shared);
+        let l2 = b.add_link("l2", 1e8, 2e-4, SharingPolicy::Shared);
+        b.add_route(root, Element::Point(a.netpoint()), Element::Point(m), vec![l1], true);
+        b.add_route(root, Element::Point(m), Element::Point(c.netpoint()), vec![l2], true);
+        let p = b.build().unwrap();
+        let (a, c) = (p.host_by_name("a").unwrap(), p.host_by_name("c").unwrap());
+        let r = p.route_hosts(a, c).unwrap();
+        let names: Vec<&str> = r.links.iter().map(|l| p.link(*l).name.as_str()).collect();
+        assert_eq!(names, vec!["l1", "l2"]);
+        assert!((r.latency - 3e-4).abs() < 1e-15);
+    }
+
+    /// Same chain with Dijkstra routing.
+    #[test]
+    fn dijkstra_multi_hop() {
+        let mut b = PlatformBuilder::new("root", RoutingKind::Dijkstra);
+        let root = b.root_zone();
+        let a = b.add_host(root, "a", 1e9);
+        let m = b.add_router(root, "m");
+        let c = b.add_host(root, "c", 1e9);
+        let l1 = b.add_link("l1", 1e8, 1e-4, SharingPolicy::Shared);
+        let l2 = b.add_link("l2", 1e8, 2e-4, SharingPolicy::Shared);
+        b.add_route(root, Element::Point(a.netpoint()), Element::Point(m), vec![l1], true);
+        b.add_route(root, Element::Point(m), Element::Point(c.netpoint()), vec![l2], true);
+        let p = b.build().unwrap();
+        let (a, c) = (p.host_by_name("a").unwrap(), p.host_by_name("c").unwrap());
+        let r = p.route_hosts(a, c).unwrap();
+        let names: Vec<&str> = r.links.iter().map(|l| p.link(*l).name.as_str()).collect();
+        assert_eq!(names, vec!["l1", "l2"]);
+    }
+
+    /// Dijkstra picks the lower-latency of two alternative paths.
+    #[test]
+    fn dijkstra_prefers_cheap_path() {
+        let mut b = PlatformBuilder::new("root", RoutingKind::Dijkstra);
+        let root = b.root_zone();
+        let a = b.add_host(root, "a", 1e9);
+        let m = b.add_router(root, "m");
+        let c = b.add_host(root, "c", 1e9);
+        let slow = b.add_link("slow", 1e8, 5e-3, SharingPolicy::Shared);
+        let f1 = b.add_link("f1", 1e8, 1e-4, SharingPolicy::Shared);
+        let f2 = b.add_link("f2", 1e8, 1e-4, SharingPolicy::Shared);
+        b.add_route(root, Element::Point(a.netpoint()), Element::Point(c.netpoint()), vec![slow], true);
+        b.add_route(root, Element::Point(a.netpoint()), Element::Point(m), vec![f1], true);
+        b.add_route(root, Element::Point(m), Element::Point(c.netpoint()), vec![f2], true);
+        let p = b.build().unwrap();
+        let (a, c) = (p.host_by_name("a").unwrap(), p.host_by_name("c").unwrap());
+        let r = p.route_hosts(a, c).unwrap();
+        let names: Vec<&str> = r.links.iter().map(|l| p.link(*l).name.as_str()).collect();
+        assert_eq!(names, vec!["f1", "f2"]);
+    }
+
+    /// Cluster routing synthesizes up/backbone/down without any table.
+    #[test]
+    fn cluster_star_routes() {
+        let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+        let root = b.root_zone();
+        let cl = b.add_zone(root, "cl", RoutingKind::Cluster);
+        let r = b.add_router(cl, "switch");
+        b.set_cluster_router(cl, r);
+        let bb = b.add_link("bb", 1.25e9, 1e-5, SharingPolicy::FatPipe);
+        b.set_cluster_backbone(cl, bb);
+        let h1 = b.add_host(cl, "n1", 1e9);
+        let h2 = b.add_host(cl, "n2", 1e9);
+        let l1 = b.add_link("n1-nic", 1.25e8, 5e-5, SharingPolicy::Shared);
+        let l2 = b.add_link("n2-nic", 1.25e8, 5e-5, SharingPolicy::Shared);
+        b.attach_cluster_host(cl, h1, l1, l1);
+        b.attach_cluster_host(cl, h2, l2, l2);
+        let p = b.build().unwrap();
+        let (h1, h2) = (p.host_by_name("n1").unwrap(), p.host_by_name("n2").unwrap());
+        let r = p.route_hosts(h1, h2).unwrap();
+        let names: Vec<&str> = r.links.iter().map(|l| p.link(*l).name.as_str()).collect();
+        assert_eq!(names, vec!["n1-nic", "bb", "n2-nic"]);
+        // memory proxy: O(hosts), not O(hosts^2)
+        assert_eq!(p.stored_route_entries(), 2);
+    }
+
+    /// Cluster host to the router of the cluster: only the uplink+backbone.
+    #[test]
+    fn cluster_to_router() {
+        let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+        let root = b.root_zone();
+        let cl = b.add_zone(root, "cl", RoutingKind::Cluster);
+        let sw = b.add_router(cl, "switch");
+        b.set_cluster_router(cl, sw);
+        let bb = b.add_link("bb", 1.25e9, 1e-5, SharingPolicy::Shared);
+        b.set_cluster_backbone(cl, bb);
+        let h1 = b.add_host(cl, "n1", 1e9);
+        let l1 = b.add_link("n1-nic", 1.25e8, 5e-5, SharingPolicy::Shared);
+        b.attach_cluster_host(cl, h1, l1, l1);
+
+        // another standalone host in root connected straight to the cluster
+        let out = b.add_host(root, "out", 1e9);
+        let lout = b.add_link("out-nic", 1.25e8, 5e-5, SharingPolicy::Shared);
+        b.add_route(root, Element::Zone(cl), Element::Point(out.netpoint()), vec![lout], true);
+        let p = b.build().unwrap();
+
+        let (h1, out) = (p.host_by_name("n1").unwrap(), p.host_by_name("out").unwrap());
+        let r = p.route_hosts(h1, out).unwrap();
+        let names: Vec<&str> = r.links.iter().map(|l| p.link(*l).name.as_str()).collect();
+        // up + backbone (reach the gateway/router), then the inter-zone link
+        assert_eq!(names, vec!["n1-nic", "bb", "out-nic"]);
+    }
+}

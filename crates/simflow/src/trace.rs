@@ -1,0 +1,128 @@
+//! Execution traces: a timestamped record of every kernel state change.
+//!
+//! SimGrid ships a tracing subsystem whose output feeds visualization
+//! tools; this is the equivalent hook for debugging forecasts — when a
+//! prediction looks wrong, the trace shows exactly which flows shared
+//! which rates at which instant. Traces are collected by running the
+//! simulation through [`crate::kernel::Simulation::run_traced`].
+
+use crate::kernel::WorkId;
+use crate::units::SimTime;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// The work entered its latency phase (transfers) or started running.
+    Started {
+        /// The work.
+        id: WorkId,
+        /// When.
+        at: SimTime,
+    },
+    /// The work's allocated rate changed (new sharing solution).
+    RateChanged {
+        /// The work.
+        id: WorkId,
+        /// When.
+        at: SimTime,
+        /// New rate in bytes/s (or flop/s).
+        rate: f64,
+    },
+    /// The work completed.
+    Finished {
+        /// The work.
+        id: WorkId,
+        /// When.
+        at: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// The work this record concerns.
+    pub fn work(&self) -> WorkId {
+        match self {
+            TraceEvent::Started { id, .. }
+            | TraceEvent::RateChanged { id, .. }
+            | TraceEvent::Finished { id, .. } => *id,
+        }
+    }
+
+    /// The timestamp of the record.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Started { at, .. }
+            | TraceEvent::RateChanged { at, .. }
+            | TraceEvent::Finished { at, .. } => *at,
+        }
+    }
+}
+
+/// A chronological trace of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Records in simulation order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Records of one work, in order.
+    pub fn of(&self, id: WorkId) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.work() == id).collect()
+    }
+
+    /// The piecewise-constant rate profile of a work:
+    /// `(start_of_segment, rate)` pairs up to its completion.
+    pub fn rate_profile(&self, id: WorkId) -> Vec<(f64, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RateChanged { id: i, at, rate } if *i == id => {
+                    Some((at.as_secs(), *rate))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Integrates a work's rate profile until `finish` — the bytes the
+    /// trace claims were transferred (conservation check in tests).
+    pub fn transferred(&self, id: WorkId) -> Option<f64> {
+        let profile = self.rate_profile(id);
+        let finish = self.events.iter().find_map(|e| match e {
+            TraceEvent::Finished { id: i, at } if *i == id => Some(at.as_secs()),
+            _ => None,
+        })?;
+        let mut total = 0.0;
+        for (k, (t, rate)) in profile.iter().enumerate() {
+            let end = profile.get(k + 1).map(|(t2, _)| *t2).unwrap_or(finish);
+            if rate.is_finite() {
+                total += rate * (end - t);
+            }
+        }
+        Some(total)
+    }
+
+    /// Renders a compact textual log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Started { id, at } => {
+                    out.push_str(&format!("{:>12.6}  start   w{}\n", at.as_secs(), id.0));
+                }
+                TraceEvent::RateChanged { id, at, rate } => {
+                    out.push_str(&format!(
+                        "{:>12.6}  rate    w{} = {:.3e}\n",
+                        at.as_secs(),
+                        id.0,
+                        rate
+                    ));
+                }
+                TraceEvent::Finished { id, at } => {
+                    out.push_str(&format!("{:>12.6}  finish  w{}\n", at.as_secs(), id.0));
+                }
+            }
+        }
+        out
+    }
+}

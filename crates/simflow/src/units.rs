@@ -1,0 +1,292 @@
+//! Strongly-typed scalar units used throughout the simulator.
+//!
+//! All quantities are `f64` under the hood (SimGrid does the same): transfer
+//! sizes routinely exceed `2^32` bytes and rates are fractional after
+//! max-min sharing. The newtypes prevent accidentally mixing seconds with
+//! bytes, and `SimTime` provides the total ordering required by the event
+//! queue (NaN is rejected at construction).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in simulated time, in seconds since the start of the simulation.
+///
+/// `SimTime` is totally ordered (NaN is forbidden), so it can key the event
+/// queue directly.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero: the start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time stamp from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN or negative: simulated time never runs
+    /// backwards and a NaN time stamp would poison the event queue ordering.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid SimTime: {secs}");
+        SimTime(secs)
+    }
+
+    /// The value in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier`, clamped at zero.
+    #[inline]
+    pub fn duration_since(self, earlier: SimTime) -> Duration {
+        Duration::from_secs((self.0 - earlier.0).max(0.0))
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Construction guarantees non-NaN, so total_cmp matches partial_cmp.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime::from_secs(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+/// A span of simulated time, in seconds. Always finite and non-negative.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Duration(f64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0.0);
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN or negative.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid Duration: {secs}"
+        );
+        Duration(secs)
+    }
+
+    /// The value in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration::from_secs((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+/// An amount of data, in bytes. Fractional values appear transiently while
+/// integrating `rate × time`, which is why this is not an integer type.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Bytes(f64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0.0);
+
+    /// Creates an amount of data from a byte count.
+    ///
+    /// # Panics
+    /// Panics if `b` is NaN or negative.
+    #[inline]
+    pub fn new(b: f64) -> Self {
+        assert!(b.is_finite() && b >= 0.0, "invalid Bytes: {b}");
+        Bytes(b)
+    }
+
+    /// The value as a floating-point byte count.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<u64> for Bytes {
+    #[inline]
+    fn from(b: u64) -> Self {
+        Bytes(b as f64)
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}B", self.0)
+    }
+}
+
+/// A data rate, in bytes per second.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Rate(f64);
+
+impl Rate {
+    /// The zero rate.
+    pub const ZERO: Rate = Rate(0.0);
+
+    /// Creates a rate from bytes per second.
+    ///
+    /// # Panics
+    /// Panics if `bps` is NaN or negative (infinite rates are allowed and
+    /// represent an unbounded cap).
+    #[inline]
+    pub fn from_bytes_per_sec(bps: f64) -> Self {
+        assert!(!bps.is_nan() && bps >= 0.0, "invalid Rate: {bps}");
+        Rate(bps)
+    }
+
+    /// The value in bytes per second.
+    #[inline]
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// An unbounded rate, used as the neutral element for `min`-style caps.
+    #[inline]
+    pub fn unbounded() -> Self {
+        Rate(f64::INFINITY)
+    }
+}
+
+impl Mul<Duration> for Rate {
+    type Output = Bytes;
+    #[inline]
+    fn mul(self, rhs: Duration) -> Bytes {
+        Bytes::new(self.0 * rhs.0)
+    }
+}
+
+impl Div<Rate> for Bytes {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: Rate) -> Duration {
+        Duration::from_secs(self.0 / rhs.0)
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}B/s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert_eq!(b.duration_since(a).as_secs(), 1.0);
+        // saturates instead of going negative
+        assert_eq!(a.duration_since(b).as_secs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimTime")]
+    fn simtime_rejects_nan() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimTime")]
+    fn simtime_rejects_negative() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn bytes_over_rate_is_duration() {
+        let d = Bytes::new(1e9) / Rate::from_bytes_per_sec(1.25e8);
+        assert!((d.as_secs() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_times_duration_is_bytes() {
+        let b = Rate::from_bytes_per_sec(100.0) * Duration::from_secs(2.5);
+        assert_eq!(b.as_f64(), 250.0);
+    }
+
+    #[test]
+    fn duration_sub_saturates() {
+        let d = Duration::from_secs(1.0) - Duration::from_secs(3.0);
+        assert_eq!(d.as_secs(), 0.0);
+    }
+
+    #[test]
+    fn bytes_sub_saturates() {
+        let b = Bytes::new(1.0) - Bytes::new(2.0);
+        assert_eq!(b.as_f64(), 0.0);
+    }
+
+    #[test]
+    fn unbounded_rate_is_infinite() {
+        assert!(Rate::unbounded().as_bytes_per_sec().is_infinite());
+    }
+}

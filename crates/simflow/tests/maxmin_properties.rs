@@ -1,0 +1,153 @@
+//! Property-based tests of the max-min solver invariants.
+//!
+//! These are the mathematical guarantees the CM02/LV08 sharing model rests
+//! on: allocations must be *feasible* (no resource over capacity),
+//! *Pareto-efficient* (every flow is pinned by a saturated resource or its
+//! own cap), and *monotone* (adding capacity never hurts anyone's rate in
+//! the single-resource case).
+
+use proptest::prelude::*;
+use simflow::model::SharingProblem;
+
+/// A random sharing problem: `nr` resources with capacities in [1, 1000],
+/// up to `nf` flows crossing random non-empty resource subsets, weights in
+/// [0.1, 10], and caps either infinite or in [0.1, 500].
+fn arb_problem() -> impl Strategy<Value = SharingProblem> {
+    (1usize..6, 1usize..12).prop_flat_map(|(nr, nf)| {
+        let caps = proptest::collection::vec(1.0f64..1000.0, nr);
+        let flows = proptest::collection::vec(
+            (
+                proptest::collection::btree_set(0..nr as u32, 1..=nr),
+                0.1f64..10.0,
+                prop_oneof![Just(f64::INFINITY), (0.1f64..500.0)],
+            ),
+            1..=nf,
+        );
+        (caps, flows).prop_map(|(capacity, flows)| {
+            let mut p = SharingProblem::with_capacities(capacity);
+            for (res, w, cap) in flows {
+                p.add_flow(res.into_iter().collect(), w, cap);
+            }
+            p
+        })
+    })
+}
+
+proptest! {
+    /// No resource carries more than its capacity (within float slack).
+    #[test]
+    fn allocation_is_feasible(p in arb_problem()) {
+        let rates = p.solve();
+        for (r, &cap) in p.capacity.iter().enumerate() {
+            let load: f64 = p
+                .flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.resources.contains(&(r as u32)))
+                .map(|(_, rate)| *rate)
+                .sum();
+            prop_assert!(
+                load <= cap * (1.0 + 1e-6) + 1e-9,
+                "resource {r}: load {load} > capacity {cap}"
+            );
+        }
+    }
+
+    /// Every flow is positive and bounded by its cap.
+    #[test]
+    fn rates_respect_caps(p in arb_problem()) {
+        let rates = p.solve();
+        for (f, rate) in p.flows.iter().zip(&rates) {
+            prop_assert!(*rate > 0.0, "rate must be positive: {rate}");
+            prop_assert!(
+                *rate <= f.cap * (1.0 + 1e-6),
+                "rate {rate} exceeds cap {}",
+                f.cap
+            );
+        }
+    }
+
+    /// Pareto efficiency: every flow is blocked by its cap or crosses at
+    /// least one saturated resource — no flow could be unilaterally raised.
+    #[test]
+    fn allocation_is_pareto_efficient(p in arb_problem()) {
+        let rates = p.solve();
+        let mut load = vec![0.0f64; p.capacity.len()];
+        for (f, rate) in p.flows.iter().zip(&rates) {
+            for &r in &f.resources {
+                load[r as usize] += *rate;
+            }
+        }
+        for (i, (f, rate)) in p.flows.iter().zip(&rates).enumerate() {
+            let capped = *rate >= f.cap * (1.0 - 1e-6);
+            let blocked = f
+                .resources
+                .iter()
+                .any(|&r| load[r as usize] >= p.capacity[r as usize] * (1.0 - 1e-6));
+            prop_assert!(
+                capped || blocked,
+                "flow {i} (rate {rate}, cap {}) is neither capped nor blocked",
+                f.cap
+            );
+        }
+    }
+
+    /// Single shared resource, equal weights, no caps: everyone gets C/n.
+    #[test]
+    fn equal_split_on_single_resource(
+        cap in 1.0f64..1e6,
+        n in 1usize..50,
+    ) {
+        let mut p = SharingProblem::with_capacities(vec![cap]);
+        for _ in 0..n {
+            p.add_flow(vec![0], 1.0, f64::INFINITY);
+        }
+        let rates = p.solve();
+        for r in &rates {
+            prop_assert!((r - cap / n as f64).abs() < 1e-6 * cap);
+        }
+    }
+
+    /// Growing a single resource's capacity never lowers any rate.
+    #[test]
+    fn monotone_in_capacity(
+        cap in 1.0f64..1000.0,
+        extra in 0.0f64..1000.0,
+        weights in proptest::collection::vec(0.1f64..10.0, 1..10),
+    ) {
+        let solve = |c: f64| {
+            let mut p = SharingProblem::with_capacities(vec![c]);
+            for w in &weights {
+                p.add_flow(vec![0], *w, f64::INFINITY);
+            }
+            p.solve()
+        };
+        let before = solve(cap);
+        let after = solve(cap + extra);
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(*a >= *b * (1.0 - 1e-9), "rate dropped: {b} -> {a}");
+        }
+    }
+
+    /// Weighted shares on one resource follow 1/w exactly when nothing is
+    /// capped: rate_i = C · (1/w_i) / Σ(1/w).
+    #[test]
+    fn weighted_shares_formula(
+        cap in 1.0f64..1e6,
+        weights in proptest::collection::vec(0.1f64..10.0, 1..10),
+    ) {
+        let mut p = SharingProblem::with_capacities(vec![cap]);
+        for w in &weights {
+            p.add_flow(vec![0], *w, f64::INFINITY);
+        }
+        let rates = p.solve();
+        let inv_sum: f64 = weights.iter().map(|w| 1.0 / w).sum();
+        for (w, r) in weights.iter().zip(&rates) {
+            let expect = cap * (1.0 / w) / inv_sum;
+            prop_assert!(
+                (r - expect).abs() <= 1e-6 * expect,
+                "weight {w}: rate {r}, expected {expect}"
+            );
+        }
+    }
+}

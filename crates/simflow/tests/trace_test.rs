@@ -1,0 +1,98 @@
+//! Tests of the execution-trace facility, including the strongest check
+//! the kernel admits: integrating a flow's traced rate profile must
+//! reproduce exactly the bytes it was asked to move (work conservation).
+
+use simflow::platform::builder::PlatformBuilder;
+use simflow::platform::routing::{Element, RoutingKind};
+use simflow::{NetworkConfig, SharingPolicy, SimTime, Simulation, TraceEvent};
+
+fn pair() -> simflow::Platform {
+    let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+    let root = b.root_zone();
+    let a = b.add_host(root, "a", 1e9);
+    let c = b.add_host(root, "b", 1e9);
+    let l = b.add_link("l", 1e8, 1e-4, SharingPolicy::Shared);
+    b.add_route(root, Element::Point(a.netpoint()), Element::Point(c.netpoint()), vec![l], true);
+    b.build().unwrap()
+}
+
+#[test]
+fn trace_records_lifecycle_in_order() {
+    let p = pair();
+    let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+    let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+    let t1 = sim.add_transfer(a, b, 1e8).unwrap();
+    let (report, trace) = sim.run_traced().unwrap();
+
+    let events = trace.of(t1);
+    assert!(matches!(events.first(), Some(TraceEvent::Started { .. })), "{events:?}");
+    assert!(matches!(events.last(), Some(TraceEvent::Finished { .. })), "{events:?}");
+    // timestamps never go backwards
+    for w in trace.events.windows(2) {
+        assert!(w[0].at() <= w[1].at());
+    }
+    // the Finished record matches the report
+    let finish = events.last().unwrap().at();
+    assert_eq!(finish, report.completion(t1).finish);
+}
+
+#[test]
+fn traced_and_untraced_runs_agree() {
+    let p = pair();
+    let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+    fn build<'p>(
+        p: &'p simflow::Platform,
+        a: simflow::HostId,
+        b: simflow::HostId,
+    ) -> Simulation<'p> {
+        let mut sim = Simulation::new(p, NetworkConfig::default());
+        for i in 0..8 {
+            sim.add_transfer_at(a, b, 1e7 * (i + 1) as f64, SimTime::from_secs(0.05 * i as f64))
+                .unwrap();
+        }
+        sim
+    }
+    let plain = build(&p, a, b).run().unwrap();
+    let (traced, _) = build(&p, a, b).run_traced().unwrap();
+    assert_eq!(plain.completions, traced.completions, "tracing must not perturb results");
+}
+
+#[test]
+fn rate_profile_integrates_to_the_payload() {
+    let p = pair();
+    let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+    let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+    // staggered competition forces several rate changes per flow
+    let t1 = sim.add_transfer_at(a, b, 8e7, SimTime::ZERO).unwrap();
+    let t2 = sim.add_transfer_at(a, b, 5e7, SimTime::from_secs(0.2)).unwrap();
+    let t3 = sim.add_transfer_at(a, b, 3e7, SimTime::from_secs(0.4)).unwrap();
+    let (_, trace) = sim.run_traced().unwrap();
+
+    for (id, size) in [(t1, 8e7), (t2, 5e7), (t3, 3e7)] {
+        let moved = trace.transferred(id).expect("finished");
+        assert!(
+            (moved - size).abs() < 1e-3 * size,
+            "work w{}: trace says {moved} bytes moved, expected {size}",
+            id.0
+        );
+        // several sharing epochs must be visible
+        assert!(
+            !trace.rate_profile(id).is_empty(),
+            "no rate records for w{}",
+            id.0
+        );
+    }
+}
+
+#[test]
+fn render_is_human_readable() {
+    let p = pair();
+    let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+    let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+    sim.add_transfer(a, b, 1e7).unwrap();
+    let (_, trace) = sim.run_traced().unwrap();
+    let text = trace.render();
+    assert!(text.contains("start"), "{text}");
+    assert!(text.contains("finish"), "{text}");
+    assert!(text.contains("rate"), "{text}");
+}

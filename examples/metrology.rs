@@ -1,0 +1,69 @@
+//! The metrology service example (§IV-C.1): serve RRD data over HTTP.
+//!
+//! Reproduces the paper's example query — the power consumption metric of
+//! compute node sagittaire-1 in Lyon, one minute of samples — through an
+//! actual HTTP round trip against the Pilgrim REST server.
+//!
+//! ```text
+//! cargo run --release --example metrology
+//! ```
+
+use pilgrim_core::http::{http_get, Server};
+use pilgrim_core::{Metrology, PilgrimService, Pnfs};
+use rrd::{time, ArchiveSpec, Cf, Database, DsKind};
+use simflow::NetworkConfig;
+
+fn main() {
+    // 1. a Ganglia-style RRD: the pdu (power) gauge, sampled every 15 s,
+    //    with a fine archive and a coarse 2-minute archive (the service
+    //    stitches them transparently)
+    let mut db = Database::new(
+        15,
+        DsKind::Gauge,
+        120,
+        &[
+            ArchiveSpec { cf: Cf::Average, steps_per_row: 1, rows: 240 },
+            ArchiveSpec { cf: Cf::Average, steps_per_row: 8, rows: 720 },
+        ],
+    );
+    // samples around the paper's window (2012-05-04 08:00 CEST = 06:00 UTC)
+    let t0 = time::parse_datetime("2012-05-04 05:55:00").unwrap();
+    let mut power = 168.9;
+    db.update(t0, power).unwrap();
+    for k in 1..=40 {
+        power += if k % 7 == 0 { -0.15 } else { 0.02 };
+        db.update(t0 + k * 15, power).unwrap();
+    }
+
+    let metrology = Metrology::new();
+    let path = "ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd";
+    metrology.insert(path, db);
+
+    // 2. the REST server
+    let service = PilgrimService::new(metrology, Pnfs::new(NetworkConfig::default()));
+    let server = Server::start("127.0.0.1:0", 2, service.into_handler()).expect("bind");
+    let addr = server.addr();
+    println!("Pilgrim metrology service listening on http://{addr}");
+
+    // 3. the paper's query (URL-encoded datetime bounds, UTC here)
+    let query = format!(
+        "/pilgrim/rrd/{path}?begin=2012-05-04%2006:00:00&end=2012-05-04%2006:01:00"
+    );
+    println!("\n$ curl \"http://{addr}{query}\"");
+    let (status, body) = http_get(addr, &query).expect("request");
+    assert_eq!(status, 200, "{body}");
+    let parsed = jsonlite::Value::parse(&body).expect("json");
+    println!("{}", parsed.to_pretty());
+
+    let samples = parsed.as_array().expect("array").len();
+    println!(
+        "\n{} samples in the one-minute window (the paper's example shows 4 at 15 s steps)",
+        samples
+    );
+
+    // 4. discovery endpoint
+    let (_, listing) = http_get(addr, "/pilgrim/rrds").expect("request");
+    println!("registered RRDs: {listing}");
+
+    drop(server);
+}

@@ -1,0 +1,55 @@
+//! Quickstart: the paper's PNFS example request (§IV-C.2).
+//!
+//! Predicts two concurrent 500 MB transfers from `capricorne-36` in Lyon —
+//! one to `griffon-50` in Nancy (inter-site), one to `capricorne-1` in the
+//! same cluster — and prints the JSON answer in the paper's format.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use g5k::{synth, to_simflow, Flavor};
+use jsonlite::Value;
+use pilgrim_core::{Pnfs, TransferRequest};
+use simflow::NetworkConfig;
+
+fn main() {
+    // 1. the platform model: synthetic Grid'5000 reference description,
+    //    converted the way the paper's Pilgrim scripts convert the real
+    //    Reference API (the `g5k_test` flavor)
+    let api = synth::standard();
+    let mut pnfs = Pnfs::new(NetworkConfig::default());
+    pnfs.register_platform("g5k_test", to_simflow(&api, Flavor::G5kTest));
+
+    // 2. the paper's request: two concurrent transfers, both 500 MB
+    let requests = vec![
+        TransferRequest {
+            src: "capricorne-36.lyon.grid5000.fr".into(),
+            dst: "griffon-50.nancy.grid5000.fr".into(),
+            size: 5e8,
+        },
+        TransferRequest {
+            src: "capricorne-36.lyon.grid5000.fr".into(),
+            dst: "capricorne-1.lyon.grid5000.fr".into(),
+            size: 5e8,
+        },
+    ];
+
+    // 3. one flow-level simulation later…
+    let t0 = std::time::Instant::now();
+    let predictions = pnfs.predict("g5k_test", &requests).expect("prediction");
+    let elapsed = t0.elapsed();
+
+    let json = Value::Array(predictions.iter().map(|p| p.to_json()).collect());
+    println!("{}", json.to_pretty());
+    println!();
+    println!(
+        "prediction computed in {:.1} ms (the paper: < 0.1 s for 30 transfers)",
+        elapsed.as_secs_f64() * 1e3
+    );
+    println!(
+        "paper's answer for this request: 16.0044 s (inter-site) and 4.76841 s (intra);\n\
+         both share capricorne-36's gigabit NIC, and the RTT-aware max-min model\n\
+         gives the short-RTT intra-cluster flow the bigger share — same ordering here."
+    );
+}

@@ -1,0 +1,76 @@
+//! The full Pilgrim REST stack: metrology + PNFS behind one HTTP server,
+//! exercised by the paper's two example requests plus the §VI
+//! hypothesis-selection extension.
+//!
+//! ```text
+//! cargo run --release --example rest_server
+//! ```
+
+use g5k::{synth, to_simflow, Flavor};
+use pilgrim_core::http::{http_get, Server};
+use pilgrim_core::{Metrology, PilgrimService, Pnfs};
+use rrd::{time, ArchiveSpec, Cf, Database, DsKind};
+use simflow::NetworkConfig;
+
+fn main() {
+    // metrology side: one power-metric RRD
+    let metrology = Metrology::new();
+    let mut db = Database::new(
+        15,
+        DsKind::Gauge,
+        120,
+        &[ArchiveSpec { cf: Cf::Average, steps_per_row: 1, rows: 240 }],
+    );
+    let t0 = time::parse_datetime("2012-05-04 05:59:00").unwrap();
+    db.update(t0, 168.92).unwrap();
+    for k in 1..=12 {
+        db.update(t0 + k * 15, 168.8 + 0.05 * (k % 3) as f64).unwrap();
+    }
+    metrology.insert("ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd", db);
+
+    // forecast side: both platform flavors
+    let api = synth::standard();
+    let mut pnfs = Pnfs::new(NetworkConfig::default());
+    pnfs.register_platform("g5k_test", to_simflow(&api, Flavor::G5kTest));
+    pnfs.register_platform("g5k_cabinets", to_simflow(&api, Flavor::G5kCabinets));
+
+    let service = PilgrimService::new(metrology, pnfs);
+    let server = Server::start("127.0.0.1:0", 4, service.into_handler()).expect("bind");
+    let addr = server.addr();
+    println!("Pilgrim listening on http://{addr}\n");
+
+    let show = |query: &str| {
+        println!("$ curl \"http://{addr}{query}\"");
+        let (status, body) = http_get(addr, query).expect("request");
+        let rendered = jsonlite::Value::parse(&body)
+            .map(|v| v.to_pretty())
+            .unwrap_or(body);
+        println!("HTTP {status}\n{rendered}\n");
+    };
+
+    // the paper's metrology example
+    show(
+        "/pilgrim/rrd/ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd\
+         ?begin=2012-05-04%2006:00:00&end=2012-05-04%2006:01:00",
+    );
+
+    // the paper's PNFS example
+    show(
+        "/pilgrim/predict_transfers/g5k_test\
+         ?transfer=capricorne-36.lyon.grid5000.fr,griffon-50.nancy.grid5000.fr,5e8\
+         &transfer=capricorne-36.lyon.grid5000.fr,capricorne-1.lyon.grid5000.fr,5e8",
+    );
+
+    // the §VI extension: which of two transfer plans finishes first?
+    show(
+        "/pilgrim/select_fastest/g5k_test\
+         ?hypothesis=sagittaire-1.lyon.grid5000.fr,sagittaire-2.lyon.grid5000.fr,1e9\
+         &hypothesis=sagittaire-1.lyon.grid5000.fr,graphene-1.nancy.grid5000.fr,1e9",
+    );
+
+    // discovery
+    show("/pilgrim/platforms");
+
+    drop(server);
+    println!("server stopped.");
+}

@@ -1,0 +1,1 @@
+pub use simflow; pub use packetsim; pub use g5k; pub use rrd; pub use jsonlite; pub use pilgrim_core; pub use experiments;

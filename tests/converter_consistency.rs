@@ -1,0 +1,117 @@
+//! Cross-crate integration: the three platform flavors agree where they
+//! must and differ where the paper says they differ.
+
+use g5k::{synth, to_simflow, Flavor};
+use pilgrim_core::{Pnfs, TransferRequest};
+use simflow::NetworkConfig;
+
+fn req(src: &str, dst: &str, size: f64) -> TransferRequest {
+    TransferRequest { src: src.into(), dst: dst.into(), size }
+}
+
+#[test]
+fn flat_and_hierarchical_predict_identically() {
+    // same links, same routes — only the routing *representation* differs,
+    // so single-flow and concurrent predictions must match exactly
+    let api = synth::standard();
+    let mut pnfs = Pnfs::new(NetworkConfig::default());
+    pnfs.register_platform("hier", to_simflow(&api, Flavor::G5kTest));
+    pnfs.register_platform("flat", to_simflow(&api, Flavor::FlatFull));
+
+    let requests = vec![
+        req("sagittaire-1.lyon.grid5000.fr", "sagittaire-9.lyon.grid5000.fr", 7.74e8),
+        req("graphene-1.nancy.grid5000.fr", "graphene-144.nancy.grid5000.fr", 7.74e8),
+        req("sagittaire-1.lyon.grid5000.fr", "graphene-7.nancy.grid5000.fr", 7.74e8),
+        req("chti-3.lille.grid5000.fr", "capricorne-2.lyon.grid5000.fr", 2.15e8),
+    ];
+    let hier = pnfs.predict("hier", &requests).unwrap();
+    let flat = pnfs.predict("flat", &requests).unwrap();
+    for (h, f) in hier.iter().zip(&flat) {
+        assert!(
+            (h.duration - f.duration).abs() < 1e-9 * h.duration,
+            "{}→{}: {} vs {}",
+            h.src,
+            h.dst,
+            h.duration,
+            f.duration
+        );
+    }
+}
+
+#[test]
+fn cabinets_overconstrains_concurrent_cluster_traffic() {
+    // the paper kept g5k_test because "it actually conforms more to the
+    // reality and we have found that all predictions based on g5k_test
+    // are better": the cabinets abstraction funnels whole clusters
+    // through one link, inflating concurrent predictions
+    let api = synth::standard();
+    let mut pnfs = Pnfs::new(NetworkConfig::default());
+    pnfs.register_platform("g5k_test", to_simflow(&api, Flavor::G5kTest));
+    pnfs.register_platform("g5k_cabinets", to_simflow(&api, Flavor::G5kCabinets));
+
+    let requests: Vec<TransferRequest> = (0..30)
+        .map(|i| {
+            req(
+                &format!("sagittaire-{}.lyon.grid5000.fr", i + 1),
+                &format!("sagittaire-{}.lyon.grid5000.fr", i + 31),
+                7.74e8,
+            )
+        })
+        .collect();
+    let test = pnfs.predict("g5k_test", &requests).unwrap();
+    let cab = pnfs.predict("g5k_cabinets", &requests).unwrap();
+    let mean = |v: &[pilgrim_core::Prediction]| {
+        v.iter().map(|p| p.duration).sum::<f64>() / v.len() as f64
+    };
+    // 30 × 1 Gbit/s demand into a 10 Gbit/s cabinet: ≥ 2× slower forecast
+    assert!(
+        mean(&cab) > 2.0 * mean(&test),
+        "cabinets {} vs test {}",
+        mean(&cab),
+        mean(&test)
+    );
+    // single flows, by contrast, agree closely
+    let one = vec![req(
+        "sagittaire-1.lyon.grid5000.fr",
+        "sagittaire-2.lyon.grid5000.fr",
+        7.74e8,
+    )];
+    let t1 = pnfs.predict("g5k_test", &one).unwrap()[0].duration;
+    let c1 = pnfs.predict("g5k_cabinets", &one).unwrap()[0].duration;
+    assert!((t1 - c1).abs() / t1 < 0.05, "{t1} vs {c1}");
+}
+
+#[test]
+fn hierarchical_routing_saves_quadratic_memory() {
+    // the paper: before SimGrid's AS hierarchy, "it was impossible to
+    // wholly simulate Grid'5000" because of the huge routing table
+    let api = synth::standard();
+    let hier = to_simflow(&api, Flavor::G5kTest);
+    let flat = to_simflow(&api, Flavor::FlatFull);
+    let n = flat.host_count();
+    assert_eq!(flat.stored_route_entries(), n * (n - 1));
+    assert!(
+        hier.stored_route_entries() < flat.stored_route_entries() / 100,
+        "hierarchical {} vs flat {}",
+        hier.stored_route_entries(),
+        flat.stored_route_entries()
+    );
+}
+
+#[test]
+fn every_testbed_host_is_predictable() {
+    // name-consistency across the two worlds: anything measurable is
+    // forecastable
+    let api = synth::standard();
+    let platform = to_simflow(&api, Flavor::G5kTest);
+    let tnet = g5k::to_packetsim(&api);
+    for site in &api.sites {
+        for cluster in &site.clusters {
+            for i in [1, cluster.nodes] {
+                let name = site.fqdn(cluster, i);
+                assert!(platform.host_by_name(&name).is_some(), "{name} not in platform");
+                assert!(tnet.network.node_by_name(&name).is_some(), "{name} not in testbed");
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end REST integration: the full Pilgrim stack behind a real TCP
+//! socket, exercised with the paper's example requests.
+
+use pilgrim_core::http::{http_get, Server};
+use pilgrim_core::{Metrology, PilgrimService, Pnfs};
+use rrd::{time, ArchiveSpec, Cf, Database, DsKind};
+use simflow::NetworkConfig;
+
+fn start_server() -> Server {
+    let metrology = Metrology::new();
+    let mut db = Database::new(
+        15,
+        DsKind::Gauge,
+        120,
+        &[ArchiveSpec { cf: Cf::Average, steps_per_row: 1, rows: 240 }],
+    );
+    let t0 = time::parse_datetime("2012-05-04 05:59:00").unwrap();
+    db.update(t0, 168.92).unwrap();
+    for k in 1..=10 {
+        db.update(t0 + k * 15, 168.88).unwrap();
+    }
+    metrology.insert("ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd", db);
+
+    let api = g5k::synth::standard();
+    let mut pnfs = Pnfs::new(NetworkConfig::default());
+    pnfs.register_platform("g5k_test", g5k::to_simflow(&api, g5k::Flavor::G5kTest));
+
+    let service = PilgrimService::new(metrology, pnfs);
+    Server::start("127.0.0.1:0", 2, service.into_handler()).expect("bind")
+}
+
+#[test]
+fn metrology_query_over_http() {
+    let server = start_server();
+    let (status, body) = http_get(
+        server.addr(),
+        "/pilgrim/rrd/ganglia/Lyon/sagittaire-1.lyon.grid5000.fr/pdu.rrd\
+         ?begin=2012-05-04%2006:00:00&end=2012-05-04%2006:01:00",
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = jsonlite::Value::parse(&body).unwrap();
+    let points = v.as_array().unwrap();
+    assert_eq!(points.len(), 4, "the paper's one-minute window: {body}");
+    // timestamps 15 s apart, values near the seeded power draw
+    assert_eq!(points[1][0].as_i64().unwrap() - points[0][0].as_i64().unwrap(), 15);
+    assert!((points[0][1].as_f64().unwrap() - 168.88).abs() < 0.2);
+}
+
+#[test]
+fn predict_transfers_over_http() {
+    let server = start_server();
+    let (status, body) = http_get(
+        server.addr(),
+        "/pilgrim/predict_transfers/g5k_test\
+         ?transfer=capricorne-36.lyon.grid5000.fr,griffon-50.nancy.grid5000.fr,5e8\
+         &transfer=capricorne-36.lyon.grid5000.fr,capricorne-1.lyon.grid5000.fr,5e8",
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = jsonlite::Value::parse(&body).unwrap();
+    assert_eq!(v.as_array().unwrap().len(), 2);
+    // the paper's answer shape: src/dst/size/duration objects
+    assert_eq!(v[0]["src"].as_str(), Some("capricorne-36.lyon.grid5000.fr"));
+    assert_eq!(v[0]["size"].as_f64(), Some(5e8));
+    let inter = v[0]["duration"].as_f64().unwrap();
+    let intra = v[1]["duration"].as_f64().unwrap();
+    assert!(intra > 4.0 && intra < 6.0, "paper: 4.77 s, got {intra}");
+    assert!(inter > intra, "inter-site slower, paper: 16.0 s vs 4.77 s");
+}
+
+#[test]
+fn error_paths_over_http() {
+    let server = start_server();
+    let (s1, _) = http_get(server.addr(), "/pilgrim/rrd/ghost.rrd?begin=0&end=1").unwrap();
+    assert_eq!(s1, 404);
+    let (s2, _) =
+        http_get(server.addr(), "/pilgrim/predict_transfers/ghost?transfer=a,b,1").unwrap();
+    assert_eq!(s2, 404);
+    let (s3, _) = http_get(server.addr(), "/pilgrim/predict_transfers/g5k_test?transfer=bad")
+        .unwrap();
+    assert_eq!(s3, 400);
+    let (s4, _) = http_get(server.addr(), "/definitely/not/there").unwrap();
+    assert_eq!(s4, 404);
+}
+
+#[test]
+fn many_parallel_clients() {
+    let server = start_server();
+    let addr = server.addr();
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let size = 1e8 * (i + 1) as f64;
+                let (status, body) = http_get(
+                    addr,
+                    &format!(
+                        "/pilgrim/predict_transfers/g5k_test\
+                         ?transfer=sagittaire-1.lyon.grid5000.fr,sagittaire-2.lyon.grid5000.fr,{size}"
+                    ),
+                )
+                .unwrap();
+                assert_eq!(status, 200);
+                jsonlite::Value::parse(&body).unwrap()[0]["duration"]
+                    .as_f64()
+                    .unwrap()
+            })
+        })
+        .collect();
+    let durations: Vec<f64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // more bytes, more time: the independent predictions stay ordered
+    for w in durations.windows(2) {
+        assert!(w[1] > w[0], "{durations:?}");
+    }
+}
