@@ -2,8 +2,12 @@
 //! number of concurrent flows grows. This is what makes simulation-driven
 //! forecasting *online-usable* — the paper's core speed argument against
 //! packet-level simulators.
+//!
+//! `cargo run --release -p bench --bin bench_kernel` runs the same
+//! scenarios through a plain `std::time` harness and records the medians
+//! in `BENCH_kernel.json`, the perf trajectory tracked across PRs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use g5k::{synth, to_simflow, Flavor};
 use simflow::{NetworkConfig, SimTime, Simulation};
 
@@ -13,7 +17,10 @@ fn bench_concurrent_flows(c: &mut Criterion) {
     let hosts: Vec<_> = platform.hosts().collect();
 
     let mut group = c.benchmark_group("kernel_concurrent_flows");
-    for n in [10usize, 50, 100, 400] {
+    for n in [10usize, 50, 100, 400, 1000, 2000] {
+        // flows/s throughput makes the sub-quadratic (or not) growth
+        // readable straight off the report
+        group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("flows", n), &n, |b, &n| {
             b.iter(|| {
                 let mut sim = Simulation::new(&platform, NetworkConfig::default());

@@ -1,0 +1,106 @@
+//! Kernel perf trajectory: times the flow-level kernel's standard
+//! scenarios with `std::time` and emits `BENCH_kernel.json` (median ns per
+//! scenario) so successive PRs can compare numbers without Criterion's
+//! human-oriented output.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_kernel [out.json]`
+
+use std::time::Instant;
+
+use g5k::{synth, to_simflow, Flavor};
+use simflow::{NetworkConfig, Platform, SimTime, Simulation};
+
+/// Median wall-clock nanoseconds of `f` over `samples` runs (one warmup).
+fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn concurrent(platform: &Platform, n: usize) {
+    let hosts: Vec<_> = platform.hosts().collect();
+    let mut sim = Simulation::new(platform, NetworkConfig::default());
+    for i in 0..n {
+        let src = hosts[i % hosts.len()];
+        let dst = hosts[(i * 7 + 13) % hosts.len()];
+        if src != dst {
+            sim.add_transfer(src, dst, 1e8).unwrap();
+        }
+    }
+    sim.run().unwrap();
+}
+
+fn staggered(platform: &Platform, n: usize) {
+    let hosts: Vec<_> = platform.hosts().collect();
+    let mut sim = Simulation::new(platform, NetworkConfig::default());
+    for i in 0..n {
+        let src = hosts[i % hosts.len()];
+        let dst = hosts[(i * 11 + 29) % hosts.len()];
+        if src != dst {
+            sim.add_transfer_at(src, dst, 5e7, SimTime::from_secs(0.01 * i as f64))
+                .unwrap();
+        }
+    }
+    sim.run().unwrap();
+}
+
+fn mixed(platform: &Platform, n: usize) {
+    let hosts: Vec<_> = platform.hosts().collect();
+    let mut sim = Simulation::new(platform, NetworkConfig::default());
+    for i in 0..n {
+        let src = hosts[i % hosts.len()];
+        let dst = hosts[(i * 7 + 13) % hosts.len()];
+        if src != dst {
+            sim.add_transfer(src, dst, 1e8).unwrap();
+        }
+        sim.add_compute(hosts[(i * 3) % hosts.len()], 1e10);
+    }
+    sim.run().unwrap();
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernel.json".to_string());
+    // Fail on an unwritable destination *before* spending a minute
+    // benchmarking.
+    if let Err(e) = std::fs::OpenOptions::new().create(true).append(true).open(&out) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    let api = synth::standard();
+    let platform = to_simflow(&api, Flavor::G5kTest);
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+    for n in [10usize, 50, 100, 400, 1000, 2000] {
+        // fewer samples for the big sizes: medians stabilize quickly and
+        // the tail sizes dominate total runtime
+        let samples = if n >= 1000 { 5 } else { 9 };
+        let ns = median_ns(samples, || concurrent(&platform, n));
+        println!("kernel_concurrent_flows/{n:<5} median {:>12.0} ns", ns);
+        results.push((format!("kernel_concurrent_flows/{n}"), ns));
+    }
+    let ns = median_ns(9, || staggered(&platform, 200));
+    println!("kernel_staggered_200        median {ns:>12.0} ns");
+    results.push(("kernel_staggered_200".to_string(), ns));
+    let ns = median_ns(9, || mixed(&platform, 100));
+    println!("kernel_mixed_100t_100c      median {ns:>12.0} ns");
+    results.push(("kernel_mixed_100t_100c".to_string(), ns));
+
+    let json = jsonlite::Value::Object(
+        results
+            .into_iter()
+            .map(|(name, ns)| (name, jsonlite::Value::Number(ns.round())))
+            .collect(),
+    );
+    if let Err(e) = std::fs::write(&out, json.to_pretty() + "\n") {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out}");
+}

@@ -2,10 +2,29 @@
 //!
 //! As in SimGrid, the kernel is event-driven at the granularity of
 //! *resource-sharing changes*: whenever a piece of work starts, finishes
-//! its latency phase, or completes, the bandwidth/CPU shares of everything
-//! still running are recomputed with the max-min solver, and simulated time
-//! fast-forwards directly to the next event. Between two events all rates
-//! are constant, so remaining amounts advance by `rate × Δt`.
+//! its latency phase, or completes, bandwidth/CPU shares are recomputed
+//! with the max-min solver and simulated time fast-forwards directly to
+//! the next event. Between two events all rates are constant.
+//!
+//! Two structures keep the event loop incremental (SimGrid calls the
+//! equivalent machinery *lazy action management*, arXiv:1309.1630):
+//!
+//! * a **lazy completion calendar** — a min-heap of predicted finish
+//!   times keyed by a per-work generation counter. When a reshare changes
+//!   a work's rate, its generation is bumped and a fresh prediction
+//!   pushed; entries whose generation no longer matches are skipped on
+//!   pop. Each work's `remaining` amount is settled lazily (only when its
+//!   rate changes or it completes), so an event costs `O(log n)` plus the
+//!   size of the affected component instead of a scan of every work;
+//!
+//! * an **incremental sharing solver** — flows are registered with the
+//!   persistent [`MaxMinSolver`] once at `add_transfer`/`add_compute`,
+//!   starts and finishes toggle per-resource membership, and a reshare
+//!   re-solves only the component of flows transitively sharing a
+//!   resource with a changed flow. Disjoint clusters keep their rates,
+//!   and the produced rates match re-solving the whole problem from
+//!   scratch (exactly for one-shot solves, within ulps across long
+//!   activate/deactivate histories — see `model.rs`).
 //!
 //! Transfers have two phases, mirroring the CM02/LV08 action model:
 //! a *latency phase* of `latency_factor × route latency` during which no
@@ -18,7 +37,7 @@ use std::collections::BinaryHeap;
 use std::fmt;
 
 use crate::config::NetworkConfig;
-use crate::model::SharingProblem;
+use crate::model::MaxMinSolver;
 use crate::platform::{HostId, Platform, RouteError, SharingPolicy};
 use crate::trace::{Trace, TraceEvent};
 use crate::units::{Duration, SimTime};
@@ -143,20 +162,20 @@ struct WorkState {
     kind: WorkKind,
     status: Status,
     start: SimTime,
-    /// Resource indices this work competes on (shared links / host CPU).
-    resources: Vec<u32>,
-    /// Max-min weight.
-    weight: f64,
-    /// Rate cap (TCP window bound, fat-pipe bandwidths).
-    cap: f64,
     /// Modeled latency phase duration (transfers).
     delay: f64,
-    /// Remaining amount (bytes or flops).
+    /// Remaining amount (bytes or flops) *as of `last_update`* — settled
+    /// lazily when the rate changes or the work completes.
     remaining: f64,
     /// Completion tolerance (size-relative, see `done_tol`).
     tol: f64,
     /// Current allocated rate.
     rate: f64,
+    /// Simulated seconds at which `remaining` was last settled.
+    last_update: f64,
+    /// Invalidates stale calendar entries: bumped whenever a fresh
+    /// completion prediction is pushed.
+    generation: u32,
     finish: SimTime,
     /// Unfinished predecessors; the work starts `start` seconds after the
     /// last one completes (treating `start` as a relative offset).
@@ -179,9 +198,15 @@ pub struct Simulation<'p> {
     /// Event queue ordered by time, then insertion order (determinism).
     events: BinaryHeap<Reverse<(SimTime, u64, Event)>>,
     seq: u64,
-    /// Capacity of each shared resource: links then host CPUs.
-    capacities: Vec<f64>,
+    /// Persistent sharing solver; work `i` is solver flow `i`.
+    solver: MaxMinSolver,
+    /// Lazy completion calendar: `(predicted finish, work, generation)`.
+    /// Ties resolve by ascending work id, matching the reference kernel's
+    /// completion scan order.
+    calendar: BinaryHeap<Reverse<(SimTime, u32, u32)>>,
     link_count: usize,
+    /// Set once the run loop starts; guards late `add_dependencies`.
+    started: bool,
 }
 
 impl<'p> Simulation<'p> {
@@ -208,8 +233,10 @@ impl<'p> Simulation<'p> {
             works: Vec::new(),
             events: BinaryHeap::new(),
             seq: 0,
-            capacities,
+            solver: MaxMinSolver::new(capacities),
+            calendar: BinaryHeap::new(),
             link_count: platform.link_count(),
+            started: false,
         }
     }
 
@@ -248,17 +275,17 @@ impl<'p> Simulation<'p> {
         let weight = weight.max(1e-9);
         let delay = self.config.latency_factor * route.latency;
         let id = WorkId(self.works.len() as u32);
+        self.solver.register(resources, weight, cap);
         self.works.push(WorkState {
             kind: WorkKind::Transfer { src, dst, size: size_bytes },
             status: Status::Scheduled,
             start,
-            resources,
-            weight,
-            cap,
             delay,
             remaining: size_bytes,
             tol: Self::done_tol(size_bytes),
             rate: 0.0,
+            last_update: 0.0,
+            generation: 0,
             finish: SimTime::ZERO,
             deps_remaining: 0,
             dependents: Vec::new(),
@@ -274,11 +301,20 @@ impl<'p> Simulation<'p> {
     ///
     /// # Panics
     /// Panics if called after [`Simulation::run`] started, on self-deps,
-    /// or on unknown ids.
+    /// on unknown ids, or on dependencies that already completed.
     pub fn add_dependencies(&mut self, work: WorkId, deps: &[WorkId]) {
+        assert!(
+            !self.started,
+            "add_dependencies called after the run started"
+        );
+        assert!((work.0 as usize) < self.works.len(), "unknown work");
         for d in deps {
             assert_ne!(*d, work, "work cannot depend on itself");
             assert!((d.0 as usize) < self.works.len(), "unknown dependency");
+            assert!(
+                self.works[d.0 as usize].status != Status::Done,
+                "dependency already completed"
+            );
             self.works[d.0 as usize].dependents.push(work);
             self.works[work.0 as usize].deps_remaining += 1;
         }
@@ -299,17 +335,17 @@ impl<'p> Simulation<'p> {
         assert!(flops.is_finite() && flops >= 0.0, "invalid flops");
         let resource = (self.link_count + self.platform.host_index(host)) as u32;
         let id = WorkId(self.works.len() as u32);
+        self.solver.register(vec![resource], 1.0, f64::INFINITY);
         self.works.push(WorkState {
             kind: WorkKind::Compute { host, flops },
             status: Status::Scheduled,
             start,
-            resources: vec![resource],
-            weight: 1.0,
-            cap: f64::INFINITY,
             delay: 0.0,
             remaining: flops,
             tol: Self::done_tol(flops),
             rate: 0.0,
+            last_update: 0.0,
+            generation: 0,
             finish: SimTime::ZERO,
             deps_remaining: 0,
             dependents: Vec::new(),
@@ -323,20 +359,32 @@ impl<'p> Simulation<'p> {
         self.add_compute_at(host, flops, SimTime::ZERO)
     }
 
-    /// Recomputes max-min shares for everything currently running.
-    fn reshare(&mut self) {
-        let mut problem = SharingProblem::with_capacities(self.capacities.clone());
-        let mut running: Vec<usize> = Vec::with_capacity(self.works.len());
-        for (i, w) in self.works.iter().enumerate() {
-            if w.status == Status::Running {
-                problem.add_flow(w.resources.clone(), w.weight, w.cap);
-                running.push(i);
+    /// Transitions `id` into the running state: joins the sharing
+    /// competition and, for works that need no resource time (zero-sized
+    /// or already within tolerance), books an immediate completion.
+    fn start_running(&mut self, id: WorkId, now: SimTime, seeds: &mut Vec<u32>) {
+        let w = &mut self.works[id.0 as usize];
+        w.status = Status::Running;
+        w.last_update = now.as_secs();
+        self.solver.activate(id.0);
+        seeds.push(id.0);
+        if w.remaining <= w.tol {
+            w.generation += 1;
+            self.calendar.push(Reverse((now, id.0, w.generation)));
+        }
+    }
+
+    /// The earliest valid completion prediction, discarding stale
+    /// calendar entries (finished works, outdated generations) on the way.
+    fn peek_calendar(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((t, id, gen))) = self.calendar.peek() {
+            let w = &self.works[id as usize];
+            if w.status == Status::Running && w.generation == gen {
+                return Some(t);
             }
+            self.calendar.pop();
         }
-        let rates = problem.solve();
-        for (slot, &i) in running.iter().enumerate() {
-            self.works[i].rate = rates[slot];
-        }
+        None
     }
 
     /// Work is complete when its residue is negligible *relative to its
@@ -360,31 +408,21 @@ impl<'p> Simulation<'p> {
     }
 
     fn run_inner(mut self, traced: bool) -> Result<(Report, Trace), SimError> {
+        self.started = true;
         let mut trace = Trace::default();
 
         let mut now = SimTime::ZERO;
         let mut n_remaining = self.works.len();
-        // Works that are zero-sized complete at their start event directly.
+        // Reused buffers: flows whose state changed this instant (solver
+        // seeds), works unblocked by completions, and the solver's
+        // changed-rate output (copied out to release the solver borrow).
+        let mut seeds: Vec<u32> = Vec::new();
+        let mut newly_unblocked: Vec<WorkId> = Vec::new();
+        let mut rate_changed: Vec<u32> = Vec::new();
+
         while n_remaining > 0 {
-            // Next scheduled event.
             let next_event = self.events.peek().map(|Reverse((t, _, _))| *t);
-            // Next completion among running works.
-            let mut next_completion: Option<SimTime> = None;
-            for w in &self.works {
-                if w.status != Status::Running {
-                    continue;
-                }
-                if w.rate.is_infinite() || w.remaining <= w.tol {
-                    next_completion = Some(now);
-                    break;
-                }
-                if w.rate > 0.0 {
-                    let t = now + Duration::from_secs(w.remaining / w.rate);
-                    if next_completion.is_none_or(|c| t < c) {
-                        next_completion = Some(t);
-                    }
-                }
-            }
+            let next_completion = self.peek_calendar();
 
             let t = match (next_event, next_completion) {
                 (Some(e), Some(c)) => e.min(c),
@@ -394,52 +432,44 @@ impl<'p> Simulation<'p> {
                     return Err(SimError::Stalled { at: now.as_secs() });
                 }
             };
-
-            // Advance running works to t.
-            let dt = t.duration_since(now).as_secs();
-            if dt > 0.0 {
-                for w in &mut self.works {
-                    if w.status == Status::Running && w.rate > 0.0 {
-                        if w.rate.is_infinite() {
-                            w.remaining = 0.0;
-                        } else {
-                            w.remaining = (w.remaining - w.rate * dt).max(0.0);
-                        }
-                    }
-                }
-            }
             now = t;
 
-            let mut changed = false;
+            seeds.clear();
 
-            // Completions at `now`.
-            let mut newly_unblocked: Vec<WorkId> = Vec::new();
-            for i in 0..self.works.len() {
-                let w = &mut self.works[i];
-                if w.status == Status::Running
-                    && (w.remaining <= w.tol || w.rate.is_infinite())
+            // Completions due now, in ascending work order (heap ties
+            // resolve by id). `remaining` needs no settling: the predicted
+            // instant is exactly when it reaches zero at the current rate.
+            while let Some(&Reverse((te, id, gen))) = self.calendar.peek() {
+                let wi = id as usize;
+                if self.works[wi].status != Status::Running || self.works[wi].generation != gen
                 {
-                    w.status = Status::Done;
-                    w.remaining = 0.0;
-                    w.finish = now;
-                    n_remaining -= 1;
-                    changed = true;
-                    if traced {
-                        trace
-                            .events
-                            .push(TraceEvent::Finished { id: WorkId(i as u32), at: now });
-                    }
-                    let dependents = std::mem::take(&mut w.dependents);
-                    for d in dependents {
-                        let dep = &mut self.works[d.0 as usize];
-                        dep.deps_remaining -= 1;
-                        if dep.deps_remaining == 0 {
-                            newly_unblocked.push(d);
-                        }
+                    self.calendar.pop();
+                    continue;
+                }
+                if te > now {
+                    break;
+                }
+                self.calendar.pop();
+                let w = &mut self.works[wi];
+                w.status = Status::Done;
+                w.remaining = 0.0;
+                w.finish = now;
+                n_remaining -= 1;
+                self.solver.deactivate(id);
+                seeds.push(id);
+                if traced {
+                    trace.events.push(TraceEvent::Finished { id: WorkId(id), at: now });
+                }
+                let dependents = std::mem::take(&mut self.works[wi].dependents);
+                for d in dependents {
+                    let dep = &mut self.works[d.0 as usize];
+                    dep.deps_remaining -= 1;
+                    if dep.deps_remaining == 0 {
+                        newly_unblocked.push(d);
                     }
                 }
             }
-            for d in newly_unblocked {
+            for d in newly_unblocked.drain(..) {
                 // the dependent's own `start` acts as a relative delay
                 let offset = self.works[d.0 as usize].start.as_secs();
                 let t_start = now + Duration::from_secs(offset);
@@ -477,33 +507,50 @@ impl<'p> Simulation<'p> {
                                 Event::LatencyDone(id),
                             );
                         } else {
-                            self.works[id.0 as usize].status = Status::Running;
-                            changed = true;
+                            self.start_running(id, now, &mut seeds);
                         }
                     }
                     Event::LatencyDone(id) => {
-                        self.works[id.0 as usize].status = Status::Running;
-                        changed = true;
+                        self.start_running(id, now, &mut seeds);
                     }
                 }
             }
 
-            if changed {
-                let old_rates: Option<Vec<f64>> = if traced {
-                    Some(self.works.iter().map(|w| w.rate).collect())
-                } else {
-                    None
-                };
-                self.reshare();
-                if let Some(old) = old_rates {
-                    for (i, w) in self.works.iter().enumerate() {
-                        if w.status == Status::Running && w.rate != old[i] {
-                            trace.events.push(TraceEvent::RateChanged {
-                                id: WorkId(i as u32),
-                                at: now,
-                                rate: w.rate,
-                            });
+            // Reshare the affected component and reschedule predictions
+            // for every flow whose rate moved.
+            if !seeds.is_empty() {
+                rate_changed.clear();
+                rate_changed.extend_from_slice(self.solver.reshare(&seeds));
+                for &f in &rate_changed {
+                    let wi = f as usize;
+                    let new_rate = self.solver.rate(f);
+                    let w = &mut self.works[wi];
+                    debug_assert_eq!(w.status, Status::Running);
+                    // Settle the amount done at the old rate before it
+                    // changes; from here the new prediction is exact.
+                    let dt = now.as_secs() - w.last_update;
+                    if dt > 0.0 && w.rate > 0.0 {
+                        if w.rate.is_infinite() {
+                            w.remaining = 0.0;
+                        } else {
+                            w.remaining = (w.remaining - w.rate * dt).max(0.0);
                         }
+                    }
+                    w.last_update = now.as_secs();
+                    w.rate = new_rate;
+                    w.generation += 1;
+                    if w.remaining <= w.tol || new_rate.is_infinite() {
+                        self.calendar.push(Reverse((now, f, w.generation)));
+                    } else if new_rate > 0.0 {
+                        let tf = now + Duration::from_secs(w.remaining / new_rate);
+                        self.calendar.push(Reverse((tf, f, w.generation)));
+                    }
+                    if traced {
+                        trace.events.push(TraceEvent::RateChanged {
+                            id: WorkId(f),
+                            at: now,
+                            rate: new_rate,
+                        });
                     }
                 }
             }
@@ -528,6 +575,7 @@ impl<'p> Simulation<'p> {
 mod tests {
     use super::*;
     use crate::config::NetworkConfig;
+    use crate::model::SharingProblem;
     use crate::platform::builder::PlatformBuilder;
     use crate::platform::routing::{Element, RoutingKind};
     use crate::platform::SharingPolicy;
@@ -805,5 +853,240 @@ mod tests {
         let r = sim.run().unwrap();
         assert!(r.completions.is_empty());
         assert_eq!(r.makespan(), SimTime::ZERO);
+    }
+
+    // -- add_dependencies guards ------------------------------------------
+
+    #[test]
+    #[should_panic(expected = "unknown work")]
+    fn add_dependencies_rejects_unknown_work() {
+        let p = pair(1e8, 0.0);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t = sim.add_transfer(a, b, 1e8).unwrap();
+        sim.add_dependencies(WorkId(99), &[t]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dependency")]
+    fn add_dependencies_rejects_unknown_dependency() {
+        let p = pair(1e8, 0.0);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t = sim.add_transfer(a, b, 1e8).unwrap();
+        sim.add_dependencies(t, &[WorkId(99)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "after the run started")]
+    fn add_dependencies_rejects_late_calls() {
+        let p = pair(1e8, 0.0);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t1 = sim.add_transfer(a, b, 1e8).unwrap();
+        let t2 = sim.add_transfer(a, b, 1e8).unwrap();
+        // `run` consumes the simulation, so user code cannot reach this
+        // state through the public API; the guard protects against future
+        // refactors that would run the loop behind `&mut self`.
+        sim.started = true;
+        sim.add_dependencies(t2, &[t1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency already completed")]
+    fn add_dependencies_rejects_done_dependency() {
+        let p = pair(1e8, 0.0);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t1 = sim.add_transfer(a, b, 1e8).unwrap();
+        let t2 = sim.add_transfer(a, b, 1e8).unwrap();
+        sim.works[t1.0 as usize].status = Status::Done;
+        sim.add_dependencies(t2, &[t1]);
+    }
+
+    // -- lazy-calendar edge cases -----------------------------------------
+
+    #[test]
+    fn zero_rate_stalls_with_error() {
+        // A dead host (0 flop/s) gives its compute task a permanent zero
+        // rate: no calendar entry is ever booked and the kernel must
+        // report the stall instead of spinning.
+        let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+        let root = b.root_zone();
+        b.add_host(root, "dead", 0.0);
+        let p = b.build().unwrap();
+        let dead = p.host_by_name("dead").unwrap();
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        sim.add_compute(dead, 1e9);
+        assert!(matches!(sim.run(), Err(SimError::Stalled { at }) if at == 0.0));
+    }
+
+    #[test]
+    fn zero_rate_stall_reports_progress_time() {
+        // One compute finishes fine; the dead host's task then stalls at
+        // the time progress stopped, not at zero.
+        let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+        let root = b.root_zone();
+        b.add_host(root, "ok", 1e9);
+        b.add_host(root, "dead", 0.0);
+        let p = b.build().unwrap();
+        let (ok, dead) = (p.host_by_name("ok").unwrap(), p.host_by_name("dead").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        sim.add_compute(ok, 1e9); // 1 s
+        sim.add_compute(dead, 1e9); // never
+        assert!(matches!(sim.run(), Err(SimError::Stalled { at }) if at == 1.0));
+    }
+
+    #[test]
+    fn infinite_rate_completes_immediately() {
+        // An unconstrained work (same-host transfer: no shared resources,
+        // no cap) gets an infinite rate and must complete at its start
+        // instant regardless of size.
+        let p = pair(1e8, 0.0);
+        let a = p.host_by_name("a").unwrap();
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let huge = sim.add_transfer_at(a, a, 1e18, SimTime::from_secs(2.5)).unwrap();
+        let r = sim.run().unwrap();
+        assert_eq!(r.completion(huge).start.as_secs(), 2.5);
+        assert_eq!(r.completion(huge).finish.as_secs(), 2.5);
+    }
+
+    #[test]
+    fn infinite_bandwidth_fatpipe_completes_after_latency() {
+        // An (effectively) unbounded fat pipe caps the flow so high that
+        // only the latency phase costs measurable time — the transfer
+        // phase must still be booked through the calendar, not skipped.
+        let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+        let root = b.root_zone();
+        let a = b.add_host(root, "a", 1e9);
+        let c = b.add_host(root, "b", 1e9);
+        let l = b.add_link("wormhole", 1e30, 1e-3, SharingPolicy::FatPipe);
+        b.add_route(root, Element::Point(a.netpoint()), Element::Point(c.netpoint()), vec![l], true);
+        let p = b.build().unwrap();
+        let (a, c) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t = sim.add_transfer(a, c, 1e15).unwrap();
+        let r = sim.run().unwrap();
+        assert!(close(r.duration(t).as_secs(), 1e-3), "{}", r.duration(t));
+    }
+
+    /// A from-scratch event loop in the style of the original kernel
+    /// (full rescans, one-shot [`SharingProblem`] per reshare) used to
+    /// check trace equivalence of the lazy calendar.
+    fn reference_trace(
+        capacity: f64,
+        jobs: &[(f64, f64)], // (start, size), all on the shared link
+    ) -> Vec<(u8, u32, f64, f64)> {
+        const W: f64 = 1e-9; // ideal-config weight of a zero-latency route
+        #[derive(PartialEq)]
+        enum St {
+            Sched,
+            Run,
+            Done,
+        }
+        let tol: Vec<f64> = jobs.iter().map(|(_, s)| Simulation::done_tol(*s)).collect();
+        let mut remaining: Vec<f64> = jobs.iter().map(|(_, s)| *s).collect();
+        let mut rate = vec![0.0f64; jobs.len()];
+        let mut st: Vec<St> = jobs.iter().map(|_| St::Sched).collect();
+        let mut events = Vec::new();
+        let mut now = 0.0f64;
+        let mut left = jobs.len();
+        while left > 0 {
+            let next_start = jobs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| st[*i] == St::Sched)
+                .map(|(_, (s, _))| *s)
+                .fold(f64::INFINITY, f64::min);
+            let mut next_done = f64::INFINITY;
+            for i in 0..jobs.len() {
+                if st[i] == St::Run {
+                    if remaining[i] <= tol[i] || rate[i].is_infinite() {
+                        next_done = now;
+                        break;
+                    }
+                    if rate[i] > 0.0 {
+                        next_done = next_done.min(now + remaining[i] / rate[i]);
+                    }
+                }
+            }
+            let t = next_start.min(next_done);
+            assert!(t.is_finite(), "reference stalled");
+            let dt = t - now;
+            if dt > 0.0 {
+                for i in 0..jobs.len() {
+                    if st[i] == St::Run && rate[i] > 0.0 {
+                        remaining[i] = (remaining[i] - rate[i] * dt).max(0.0);
+                    }
+                }
+            }
+            now = t;
+            let mut changed = false;
+            for i in 0..jobs.len() {
+                if st[i] == St::Run && (remaining[i] <= tol[i] || rate[i].is_infinite()) {
+                    st[i] = St::Done;
+                    events.push((2u8, i as u32, now, 0.0));
+                    left -= 1;
+                    changed = true;
+                }
+            }
+            for i in 0..jobs.len() {
+                if st[i] == St::Sched && jobs[i].0 <= now {
+                    st[i] = St::Run;
+                    events.push((0u8, i as u32, now, 0.0));
+                    changed = true;
+                }
+            }
+            if changed {
+                let mut problem = SharingProblem::with_capacities(vec![capacity]);
+                let mut running = Vec::new();
+                for (i, s) in st.iter().enumerate() {
+                    if *s == St::Run {
+                        problem.add_flow(vec![0], W, f64::INFINITY);
+                        running.push(i);
+                    }
+                }
+                let rates = problem.solve();
+                for (slot, &i) in running.iter().enumerate() {
+                    if rate[i] != rates[slot] {
+                        rate[i] = rates[slot];
+                        events.push((1u8, i as u32, now, rate[i]));
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn traced_rate_changes_match_reference_kernel() {
+        let jobs: [(f64, f64); 6] =
+            [(0.0, 8e7), (0.2, 5e7), (0.2, 3e7), (0.9, 6e7), (1.4, 1e7), (1.4, 9e7)];
+
+        let p = pair(1e8, 0.0);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        for (start, size) in jobs {
+            sim.add_transfer_at(a, b, size, SimTime::from_secs(start)).unwrap();
+        }
+        let (_, trace) = sim.run_traced().unwrap();
+
+        let got: Vec<(u8, u32, f64, f64)> = trace
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Started { id, at } => (0u8, id.0, at.as_secs(), 0.0),
+                TraceEvent::RateChanged { id, at, rate } => (1u8, id.0, at.as_secs(), *rate),
+                TraceEvent::Finished { id, at } => (2u8, id.0, at.as_secs(), 0.0),
+            })
+            .collect();
+        let want = reference_trace(1e8, &jobs);
+
+        assert_eq!(got.len(), want.len(), "\ngot:  {got:?}\nwant: {want:?}");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!((g.0, g.1), (w.0, w.1), "\ngot:  {got:?}\nwant: {want:?}");
+            assert!(close(g.2, w.2), "timestamps diverge: {g:?} vs {w:?}");
+            assert!(close(g.3, w.3), "rates diverge: {g:?} vs {w:?}");
+        }
     }
 }

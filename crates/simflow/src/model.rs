@@ -160,6 +160,629 @@ impl SharingProblem {
     }
 }
 
+/// Ordering key for the saturation-candidate heap: a non-NaN `f64`
+/// compared via `total_cmp`, smallest first under `Reverse`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A saturation candidate: the potential `φ` at which a constraint binds.
+/// Resource entries (`kind == RESOURCE`) carry the ratio
+/// `remaining/inv_w_sum` they were computed from; entries whose stored
+/// value no longer matches the live ratio are stale and skipped on pop
+/// (lazy deletion). Field order makes the derived `Ord` compare by value
+/// first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Candidate {
+    value: OrdF64,
+    kind: u8,
+    id: u32,
+}
+
+const RESOURCE: u8 = 0;
+const FLOW_CAP: u8 = 1;
+
+#[derive(Clone, Debug)]
+struct SolverFlow {
+    /// Span into [`MaxMinSolver::res_arena`].
+    res_start: u32,
+    res_len: u32,
+    weight: f64,
+    cap: f64,
+    active: bool,
+}
+
+/// A persistent, incremental weighted max-min solver.
+///
+/// Where [`SharingProblem`] is built afresh for every solve (cloning the
+/// capacity vector and every flow's resource list), `MaxMinSolver` is
+/// created once per simulation and keeps all flows registered across the
+/// whole run. Activating or deactivating a flow only touches the
+/// per-resource membership lists, and [`MaxMinSolver::reshare`] re-solves
+/// only the **affected component** — the flows transitively sharing a
+/// resource with a changed flow — leaving every disjoint cluster's rates
+/// untouched.
+///
+/// Within a component the algorithm is the same progressive filling as
+/// the reference [`SharingProblem::solve`], executed in ascending flow
+/// order with per-resource sums rebuilt from scratch, so the produced
+/// rates match the reference **exactly** (progressive filling never moves
+/// capacity between disjoint components, and the per-resource float
+/// operations happen in the identical order). The only acceleration
+/// inside a filling round is the saturation-candidate min-heap that finds
+/// the binding potential `φ` in `O(log)` instead of rescanning every
+/// resource; the value it returns is the same minimum.
+#[derive(Clone, Debug)]
+pub struct MaxMinSolver {
+    capacity: Vec<f64>,
+    flows: Vec<SolverFlow>,
+    /// All flows' resource ids, contiguous; each flow owns a span
+    /// (`res_start..res_start+res_len`). Keeps the BFS and freeze loops
+    /// on one cache-friendly array.
+    res_arena: Vec<u32>,
+    /// Ascending active flow ids per resource.
+    res_flows: Vec<Vec<u32>>,
+    /// Σ 1/w over the *active* flows of each resource, maintained by
+    /// delta in [`MaxMinSolver::activate`]/[`MaxMinSolver::deactivate`].
+    base_inv_w_sum: Vec<f64>,
+    /// Last solved rate per flow (0.0 until first solved).
+    rates: Vec<f64>,
+
+    // -- reusable scratch (no per-reshare allocation) --
+    epoch: u64,
+    res_mark: Vec<u64>,
+    flow_mark: Vec<u64>,
+    /// Flow froze (got its rate) during the reshare of this epoch.
+    frozen_mark: Vec<u64>,
+    /// Per-resource remaining capacity, valid when `res_mark == epoch`.
+    remaining: Vec<f64>,
+    inv_w_sum: Vec<f64>,
+    active_count_on: Vec<u32>,
+    comp_flows: Vec<u32>,
+    comp_res: Vec<u32>,
+    bfs_queue: Vec<u32>,
+    live: Vec<u32>,
+    live_res: Vec<u32>,
+    touched: Vec<u32>,
+    /// Round-stamp for deduplicating dirty-resource pushes within a round.
+    touched_mark: Vec<u64>,
+    round_stamp: u64,
+    dirty_res: Vec<u32>,
+    /// Cached `remaining/inv_w_sum` per live resource (scan path).
+    ratio: Vec<f64>,
+    /// `cap × weight` per registered flow: the potential at which the
+    /// flow's own cap binds.
+    phi_cap: Vec<f64>,
+    /// Candidate staging area, heapified in O(n) at solve start and
+    /// recycled afterwards.
+    cand: Vec<std::cmp::Reverse<Candidate>>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<Candidate>>,
+    changed: Vec<u32>,
+}
+
+impl MaxMinSolver {
+    /// Creates a solver over fixed resource capacities.
+    pub fn new(capacity: Vec<f64>) -> Self {
+        let nr = capacity.len();
+        MaxMinSolver {
+            capacity,
+            flows: Vec::new(),
+            res_arena: Vec::new(),
+            res_flows: vec![Vec::new(); nr],
+            base_inv_w_sum: vec![0.0; nr],
+            rates: Vec::new(),
+            epoch: 0,
+            res_mark: vec![0; nr],
+            flow_mark: Vec::new(),
+            frozen_mark: Vec::new(),
+            remaining: vec![0.0; nr],
+            inv_w_sum: vec![0.0; nr],
+            active_count_on: vec![0; nr],
+            comp_flows: Vec::new(),
+            comp_res: Vec::new(),
+            bfs_queue: Vec::new(),
+            live: Vec::new(),
+            live_res: Vec::new(),
+            touched: Vec::new(),
+            touched_mark: vec![0; nr],
+            round_stamp: 0,
+            dirty_res: Vec::new(),
+            ratio: vec![0.0; nr],
+            phi_cap: Vec::new(),
+            cand: Vec::new(),
+            heap: std::collections::BinaryHeap::new(),
+            changed: Vec::new(),
+        }
+    }
+
+    /// Registers a flow (initially inactive) and returns its id. Ids are
+    /// dense and never reused.
+    pub fn register(&mut self, resources: Vec<u32>, weight: f64, cap: f64) -> u32 {
+        debug_assert!(weight > 0.0, "flow weight must be positive");
+        debug_assert!(resources.iter().all(|&r| (r as usize) < self.capacity.len()));
+        let id = self.flows.len() as u32;
+        self.phi_cap.push(cap * weight);
+        let res_start = self.res_arena.len() as u32;
+        let res_len = resources.len() as u32;
+        self.res_arena.extend_from_slice(&resources);
+        self.flows.push(SolverFlow { res_start, res_len, weight, cap, active: false });
+        self.rates.push(0.0);
+        self.flow_mark.push(0);
+        self.frozen_mark.push(0);
+        id
+    }
+
+    /// The last rate solved for `flow`.
+    pub fn rate(&self, flow: u32) -> f64 {
+        self.rates[flow as usize]
+    }
+
+    /// Marks `flow` as competing for its resources.
+    ///
+    /// `base_inv_w_sum` is maintained by delta here. When flows are
+    /// activated in ascending id order with no interleaved deactivations
+    /// (as a one-shot solve does), the accumulated value is bitwise
+    /// identical to the reference's insertion-order rebuild; interleaved
+    /// starts and finishes may drift by a few ulps, which stays
+    /// deterministic and far inside the kernel's completion tolerance.
+    pub fn activate(&mut self, flow: u32) {
+        let fi = flow as usize;
+        debug_assert!(!self.flows[fi].active, "flow {flow} already active");
+        self.flows[fi].active = true;
+        let inv_w = 1.0 / self.flows[fi].weight;
+        let (start, len) = (self.flows[fi].res_start as usize, self.flows[fi].res_len as usize);
+        for j in start..start + len {
+            let r = self.res_arena[j] as usize;
+            let list = &mut self.res_flows[r];
+            let pos = list.partition_point(|&x| x < flow);
+            list.insert(pos, flow);
+            self.base_inv_w_sum[r] += inv_w;
+        }
+    }
+
+    /// Removes `flow` from the competition (it finished).
+    pub fn deactivate(&mut self, flow: u32) {
+        let fi = flow as usize;
+        debug_assert!(self.flows[fi].active, "flow {flow} not active");
+        self.flows[fi].active = false;
+        let inv_w = 1.0 / self.flows[fi].weight;
+        let (start, len) = (self.flows[fi].res_start as usize, self.flows[fi].res_len as usize);
+        for j in start..start + len {
+            let r = self.res_arena[j] as usize;
+            let list = &mut self.res_flows[r];
+            let pos = list.partition_point(|&x| x < flow);
+            debug_assert!(list.get(pos) == Some(&flow));
+            list.remove(pos);
+            if list.is_empty() {
+                // Re-anchor: an empty resource must carry an exact zero so
+                // its next filling starts drift-free.
+                self.base_inv_w_sum[r] = 0.0;
+            } else {
+                self.base_inv_w_sum[r] -= inv_w;
+            }
+        }
+    }
+
+    /// Re-solves every component containing a flow of `seeds` (flows just
+    /// activated or deactivated; deactivated seeds contribute their
+    /// resources but are not solved). Returns the ascending ids of active
+    /// flows whose rate changed; their new rates are readable via
+    /// [`MaxMinSolver::rate`].
+    pub fn reshare(&mut self, seeds: &[u32]) -> &[u32] {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.comp_flows.clear();
+        self.comp_res.clear();
+        self.bfs_queue.clear();
+        self.changed.clear();
+
+        // Affected component: BFS over the flow–resource bipartite graph.
+        // Discovery doubles as solve setup — each newly marked resource
+        // gets its working state (full capacity, base Σ1/w, member count)
+        // via `visit_resource` below.
+        for &s in seeds {
+            if self.flows[s as usize].active && self.flow_mark[s as usize] != epoch {
+                self.visit_flow(s, epoch);
+            }
+            let fi = s as usize;
+            let (start, len) = (self.flows[fi].res_start as usize, self.flows[fi].res_len as usize);
+            for j in start..start + len {
+                let r = self.res_arena[j];
+                if self.res_mark[r as usize] != epoch {
+                    self.visit_resource(r, epoch);
+                }
+            }
+        }
+        while let Some(r) = self.bfs_queue.pop() {
+            for i in 0..self.res_flows[r as usize].len() {
+                let fl = self.res_flows[r as usize][i];
+                if self.flow_mark[fl as usize] == epoch {
+                    continue;
+                }
+                self.visit_flow(fl, epoch);
+                let fli = fl as usize;
+                let (start, len) =
+                    (self.flows[fli].res_start as usize, self.flows[fli].res_len as usize);
+                for j in start..start + len {
+                    let r2 = self.res_arena[j];
+                    if self.res_mark[r2 as usize] != epoch {
+                        self.visit_resource(r2, epoch);
+                    }
+                }
+            }
+        }
+
+        self.solve_component();
+
+        // `changed` is pushed freeze-by-freeze; restore ascending order
+        // for deterministic consumers.
+        self.changed.sort_unstable();
+        &self.changed
+    }
+
+    /// BFS discovery of one resource: mark, enqueue, and initialize its
+    /// solve state from the delta-maintained base sums.
+    #[inline]
+    fn visit_resource(&mut self, r: u32, epoch: u64) {
+        let ri = r as usize;
+        self.res_mark[ri] = epoch;
+        self.bfs_queue.push(r);
+        self.comp_res.push(r);
+        self.remaining[ri] = self.capacity[ri];
+        self.inv_w_sum[ri] = self.base_inv_w_sum[ri];
+        self.active_count_on[ri] = self.res_flows[ri].len() as u32;
+    }
+
+    /// BFS discovery of one flow: mark and collect it.
+    #[inline]
+    fn visit_flow(&mut self, f: u32, epoch: u64) {
+        let fi = f as usize;
+        self.flow_mark[fi] = epoch;
+        self.comp_flows.push(f);
+    }
+
+    /// Progressive filling over the marked component, matching
+    /// [`SharingProblem::solve`] restricted to the same flows (see the
+    /// `activate` note on the one-ulp caveat of delta-maintained sums).
+    fn solve_component(&mut self) {
+        // Small components resolve fastest with contiguous scans per
+        // filling round; the candidate heap's lazy-deletion churn only
+        // pays off once a round would otherwise rescan hundreds of
+        // constraints (measured crossover on the kernel benches).
+        const HEAP_THRESHOLD: usize = 1536;
+        if self.comp_flows.len() <= HEAP_THRESHOLD {
+            self.solve_component_scan();
+        } else {
+            self.solve_component_heap();
+        }
+    }
+
+    /// Scan-per-round progressive filling: the reference algorithm
+    /// restricted to the component's live arrays, replaying the
+    /// reference's float operations (and even its in-pass threshold
+    /// effects) exactly.
+    fn solve_component_scan(&mut self) {
+        const REL_EPS: f64 = 1e-12;
+
+        self.comp_flows.sort_unstable();
+        self.live.clear();
+        self.live.extend_from_slice(&self.comp_flows);
+        self.live_res.clear();
+        for k in 0..self.comp_res.len() {
+            let r = self.comp_res[k];
+            let ri = r as usize;
+            if self.active_count_on[ri] > 0 {
+                self.live_res.push(r);
+                self.ratio[ri] = self.remaining[ri] / self.inv_w_sum[ri];
+            }
+        }
+
+        let mut unfrozen = self.live.len();
+        while unfrozen > 0 {
+            // Potential at which the tightest constraint binds. Ratios are
+            // cached (recomputed only for resources touched by a freeze),
+            // so each round is a pure compare scan — no divisions.
+            let mut phi = f64::INFINITY;
+            for k in 0..self.live_res.len() {
+                let ratio = self.ratio[self.live_res[k] as usize];
+                if ratio < phi {
+                    phi = ratio;
+                }
+            }
+            for k in 0..self.live.len() {
+                let pc = self.phi_cap[self.live[k] as usize];
+                if pc < phi {
+                    phi = pc;
+                }
+            }
+
+            if phi.is_infinite() {
+                // No binding constraint: the remaining flows are unbounded.
+                for k in 0..self.live.len() {
+                    let f = self.live[k];
+                    self.set_rate(f, f64::INFINITY);
+                }
+                break;
+            }
+
+            let threshold = phi * (1.0 + REL_EPS) + f64::MIN_POSITIVE;
+
+            // Collect this round's freezes from the binding constraints:
+            // every resource at the threshold freezes all its unfrozen
+            // flows, every binding cap freezes its flow. (The reference's
+            // in-pass sum updates can only pull extra constraints under
+            // the threshold within its 1e-12 slack; see the module doc.)
+            self.touched.clear(); // this round's freeze list (flow ids)
+            for k in 0..self.live_res.len() {
+                let r = self.live_res[k];
+                if self.ratio[r as usize] <= threshold {
+                    for &f in &self.res_flows[r as usize] {
+                        if self.frozen_mark[f as usize] != self.epoch {
+                            self.frozen_mark[f as usize] = self.epoch;
+                            self.touched.push(f);
+                        }
+                    }
+                }
+            }
+            let mut keep = 0;
+            for k in 0..self.live.len() {
+                let f = self.live[k];
+                let fi = f as usize;
+                if self.frozen_mark[fi] == self.epoch {
+                    continue; // frozen via a binding resource above
+                }
+                if self.phi_cap[fi] <= threshold {
+                    self.frozen_mark[fi] = self.epoch;
+                    self.touched.push(f);
+                } else {
+                    self.live[keep] = f;
+                    keep += 1;
+                }
+            }
+            self.live.truncate(keep);
+
+            if self.touched.is_empty() {
+                // Cannot happen (the φ constraint always yields a freeze),
+                // but guarantee progress against float oddities.
+                for k in 0..self.live.len() {
+                    let f = self.live[k];
+                    let fi = f as usize;
+                    let rate = (phi / self.flows[fi].weight).min(self.flows[fi].cap);
+                    self.set_rate(f, rate);
+                }
+                break;
+            }
+
+            unfrozen -= self.apply_round_freezes(phi, threshold);
+
+            // Refresh the cached ratios the freezes invalidated.
+            for k in 0..self.dirty_res.len() {
+                let ri = self.dirty_res[k] as usize;
+                if self.active_count_on[ri] > 0 {
+                    self.ratio[ri] = self.remaining[ri] / self.inv_w_sum[ri];
+                }
+            }
+
+            // Drop fully frozen resources from the scan set.
+            let mut keep = 0;
+            for k in 0..self.live_res.len() {
+                let r = self.live_res[k];
+                if self.active_count_on[r as usize] > 0 {
+                    self.live_res[keep] = r;
+                    keep += 1;
+                }
+            }
+            self.live_res.truncate(keep);
+        }
+    }
+
+    /// Heap-driven progressive filling for large components: saturation
+    /// candidates live in a lazy-deletion min-heap, so a round touches
+    /// only the constraints that actually bind instead of rescanning
+    /// every resource and cap.
+    fn solve_component_heap(&mut self) {
+        const REL_EPS: f64 = 1e-12;
+
+        self.cand.clear();
+        for k in 0..self.comp_res.len() {
+            let r = self.comp_res[k];
+            let ri = r as usize;
+            if self.active_count_on[ri] > 0 {
+                let ratio = self.remaining[ri] / self.inv_w_sum[ri];
+                if ratio.is_finite() {
+                    self.cand.push(std::cmp::Reverse(Candidate {
+                        value: OrdF64(ratio),
+                        kind: RESOURCE,
+                        id: r,
+                    }));
+                }
+            }
+        }
+        for k in 0..self.comp_flows.len() {
+            let f = self.comp_flows[k];
+            let pc = self.phi_cap[f as usize];
+            if pc.is_finite() {
+                self.cand.push(std::cmp::Reverse(Candidate {
+                    value: OrdF64(pc),
+                    kind: FLOW_CAP,
+                    id: f,
+                }));
+            }
+        }
+        // O(n) heapify of the staged candidates, recycling both buffers.
+        debug_assert!(self.heap.is_empty());
+        let staged = std::mem::take(&mut self.cand);
+        self.heap = std::collections::BinaryHeap::from(staged);
+
+        let mut unfrozen = self.comp_flows.len();
+
+        while unfrozen > 0 {
+            // Peek the tightest still-valid constraint; its value is the
+            // same minimum the reference finds by scanning everything.
+            let mut phi = f64::INFINITY;
+            while let Some(&std::cmp::Reverse(c)) = self.heap.peek() {
+                let valid = if c.kind == RESOURCE {
+                    let ri = c.id as usize;
+                    self.active_count_on[ri] > 0
+                        && self.remaining[ri] / self.inv_w_sum[ri] == c.value.0
+                } else {
+                    self.frozen_mark[c.id as usize] != self.epoch
+                };
+                if valid {
+                    phi = c.value.0;
+                    break;
+                }
+                self.heap.pop();
+            }
+
+            if phi.is_infinite() {
+                // No binding constraint: the remaining flows are unbounded.
+                for k in 0..self.comp_flows.len() {
+                    let f = self.comp_flows[k];
+                    if self.frozen_mark[f as usize] != self.epoch {
+                        self.set_rate(f, f64::INFINITY);
+                    }
+                }
+                break;
+            }
+
+            let threshold = phi * (1.0 + REL_EPS) + f64::MIN_POSITIVE;
+
+            // Collect this round's freezes straight from the candidate
+            // heap: every resource whose ratio binds at `threshold`
+            // freezes all its unfrozen flows, every binding cap freezes
+            // its flow. Freezing a flow at ≤ φ/w only *raises* other
+            // ratios, so the binding set is fixed at round start and no
+            // per-flow scan is needed (the reference's in-pass updates
+            // cannot pull new resources under the threshold except within
+            // its 1e-12 slack, which random inputs do not hit).
+            self.touched.clear(); // this round's freeze list
+            while let Some(&std::cmp::Reverse(c)) = self.heap.peek() {
+                let valid = if c.kind == RESOURCE {
+                    let ri = c.id as usize;
+                    self.active_count_on[ri] > 0
+                        && self.remaining[ri] / self.inv_w_sum[ri] == c.value.0
+                } else {
+                    self.frozen_mark[c.id as usize] != self.epoch
+                };
+                if !valid {
+                    self.heap.pop();
+                    continue;
+                }
+                if c.value.0 > threshold {
+                    break;
+                }
+                self.heap.pop();
+                if c.kind == RESOURCE {
+                    for &f in &self.res_flows[c.id as usize] {
+                        if self.frozen_mark[f as usize] != self.epoch {
+                            self.frozen_mark[f as usize] = self.epoch;
+                            self.touched.push(f);
+                        }
+                    }
+                } else if self.frozen_mark[c.id as usize] != self.epoch {
+                    self.frozen_mark[c.id as usize] = self.epoch;
+                    self.touched.push(c.id);
+                }
+            }
+
+            if self.touched.is_empty() {
+                // Cannot happen (the φ candidate itself always yields a
+                // freeze), but guarantee progress against float oddities.
+                for k in 0..self.comp_flows.len() {
+                    let f = self.comp_flows[k];
+                    let fi = f as usize;
+                    if self.frozen_mark[fi] != self.epoch {
+                        let rate = (phi / self.flows[fi].weight).min(self.flows[fi].cap);
+                        self.set_rate(f, rate);
+                    }
+                }
+                break;
+            }
+
+            unfrozen -= self.apply_round_freezes(phi, threshold);
+
+            // Freezes changed these resources' ratios; push fresh
+            // candidates (old entries turn stale and are skipped on pop).
+            for k in 0..self.dirty_res.len() {
+                let r = self.dirty_res[k];
+                let ri = r as usize;
+                if self.active_count_on[ri] > 0 {
+                    let ratio = self.remaining[ri] / self.inv_w_sum[ri];
+                    if ratio.is_finite() {
+                        self.heap.push(std::cmp::Reverse(Candidate {
+                            value: OrdF64(ratio),
+                            kind: RESOURCE,
+                            id: r,
+                        }));
+                    }
+                }
+            }
+        }
+
+        // Recycle the heap's buffer for the next solve's staging.
+        let mut spent = std::mem::take(&mut self.heap).into_vec();
+        spent.clear();
+        self.cand = spent;
+    }
+
+    /// Applies one round's freeze list (`touched`) in ascending flow
+    /// order — replaying the reference's float-operation sequence — and
+    /// collects the resources whose sums changed into `dirty_res`
+    /// (round-stamp deduped). Returns how many flows froze.
+    fn apply_round_freezes(&mut self, phi: f64, threshold: f64) -> usize {
+        self.touched.sort_unstable();
+        self.round_stamp += 1;
+        self.dirty_res.clear();
+        for k in 0..self.touched.len() {
+            let f = self.touched[k];
+            let fi = f as usize;
+            let allocated = if self.phi_cap[fi] <= threshold {
+                self.flows[fi].cap
+            } else {
+                phi / self.flows[fi].weight
+            };
+            self.set_rate(f, allocated);
+            let inv_w = 1.0 / self.flows[fi].weight;
+            let (start, len) =
+                (self.flows[fi].res_start as usize, self.flows[fi].res_len as usize);
+            for j in start..start + len {
+                let r = self.res_arena[j] as usize;
+                self.remaining[r] = (self.remaining[r] - allocated).max(0.0);
+                self.inv_w_sum[r] -= inv_w;
+                self.active_count_on[r] -= 1;
+                if self.touched_mark[r] != self.round_stamp {
+                    self.touched_mark[r] = self.round_stamp;
+                    self.dirty_res.push(r as u32);
+                }
+            }
+        }
+        self.touched.len()
+    }
+
+    fn set_rate(&mut self, flow: u32, rate: f64) {
+        let fi = flow as usize;
+        if self.rates[fi] != rate {
+            self.rates[fi] = rate;
+            self.changed.push(flow);
+        }
+        self.frozen_mark[fi] = self.epoch;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

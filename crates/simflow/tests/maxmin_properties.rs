@@ -7,7 +7,7 @@
 //! the single-resource case).
 
 use proptest::prelude::*;
-use simflow::model::SharingProblem;
+use simflow::model::{MaxMinSolver, SharingProblem};
 
 /// A random sharing problem: `nr` resources with capacities in [1, 1000],
 /// up to `nf` flows crossing random non-empty resource subsets, weights in
@@ -19,7 +19,7 @@ fn arb_problem() -> impl Strategy<Value = SharingProblem> {
             (
                 proptest::collection::btree_set(0..nr as u32, 1..=nr),
                 0.1f64..10.0,
-                prop_oneof![Just(f64::INFINITY), (0.1f64..500.0)],
+                prop_oneof![Just(f64::INFINITY), 0.1f64..500.0],
             ),
             1..=nf,
         );
@@ -149,5 +149,186 @@ proptest! {
                 "weight {w}: rate {r}, expected {expect}"
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental solver vs the one-shot reference
+
+/// Like [`arb_problem`] but also generating *resource-free* flows (empty
+/// resource set), both cap-only and fully unconstrained — the kernel's
+/// same-host transfers and fat-pipe-only routes.
+fn arb_problem_with_free() -> impl Strategy<Value = SharingProblem> {
+    (1usize..6, 1usize..14).prop_flat_map(|(nr, nf)| {
+        let caps = proptest::collection::vec(1.0f64..1000.0, nr);
+        let flows = proptest::collection::vec(
+            (
+                prop_oneof![
+                    Just(std::collections::BTreeSet::new()),
+                    proptest::collection::btree_set(0..nr as u32, 1..=nr),
+                ],
+                0.1f64..10.0,
+                prop_oneof![Just(f64::INFINITY), 0.1f64..500.0],
+            ),
+            1..=nf,
+        );
+        (caps, flows).prop_map(|(capacity, flows)| {
+            let mut p = SharingProblem::with_capacities(capacity);
+            for (res, w, cap) in flows {
+                p.add_flow(res.into_iter().collect(), w, cap);
+            }
+            p
+        })
+    })
+}
+
+/// Registers every flow of `p` with a fresh incremental solver and
+/// activates the ids in `active` (ascending).
+fn incremental_from(p: &SharingProblem, active: &[u32]) -> MaxMinSolver {
+    let mut s = MaxMinSolver::new(p.capacity.clone());
+    for f in &p.flows {
+        s.register(f.resources.clone(), f.weight, f.cap);
+    }
+    for &i in active {
+        s.activate(i);
+    }
+    s
+}
+
+fn exactly_equal(a: f64, b: f64) -> bool {
+    a == b || (a.is_infinite() && b.is_infinite() && a.signum() == b.signum())
+}
+
+proptest! {
+    /// One reshare over everything matches the reference solve *exactly*
+    /// (bit-for-bit), including cap-only and resource-free flows.
+    #[test]
+    fn incremental_matches_reference_exactly(p in arb_problem_with_free()) {
+        let reference = p.solve();
+        let all: Vec<u32> = (0..p.flows.len() as u32).collect();
+        let mut inc = incremental_from(&p, &all);
+        inc.reshare(&all);
+        for (i, want) in reference.iter().enumerate() {
+            let got = inc.rate(i as u32);
+            prop_assert!(
+                exactly_equal(got, *want),
+                "flow {i}: incremental {got:?} != reference {want:?}"
+            );
+        }
+    }
+
+    /// Activating any subset (in ascending order) matches the reference
+    /// built from just that subset, exactly.
+    #[test]
+    fn incremental_subset_matches_reference(
+        p in arb_problem_with_free(),
+        picks in proptest::collection::vec(any::<bool>(), 14),
+    ) {
+        let active: Vec<u32> = (0..p.flows.len())
+            .filter(|i| picks[*i])
+            .map(|i| i as u32)
+            .collect();
+        if active.is_empty() {
+            return Ok(());
+        }
+        let mut sub = SharingProblem::with_capacities(p.capacity.clone());
+        for &i in &active {
+            let f = &p.flows[i as usize];
+            sub.add_flow(f.resources.clone(), f.weight, f.cap);
+        }
+        let reference = sub.solve();
+
+        let mut inc = incremental_from(&p, &active);
+        inc.reshare(&active);
+        for (slot, &i) in active.iter().enumerate() {
+            let got = inc.rate(i);
+            let want = reference[slot];
+            prop_assert!(
+                exactly_equal(got, want),
+                "flow {i}: incremental {got:?} != reference {want:?}"
+            );
+        }
+    }
+
+    /// Arbitrary activate/deactivate histories: after each reshare the
+    /// incremental rates agree with a fresh reference solve of the
+    /// currently-active set within float-accumulation slack, and the
+    /// whole history is deterministic.
+    #[test]
+    fn incremental_tracks_reference_through_history(
+        p in arb_problem_with_free(),
+        toggles in proptest::collection::vec(0usize..14, 1..30),
+    ) {
+        let run = |p: &SharingProblem, toggles: &[usize]| -> Vec<Vec<f64>> {
+            let mut inc = incremental_from(p, &[]);
+            let mut active = vec![false; p.flows.len()];
+            let mut snapshots = Vec::new();
+            for &t in toggles {
+                let i = t % p.flows.len();
+                if active[i] {
+                    inc.deactivate(i as u32);
+                } else {
+                    inc.activate(i as u32);
+                }
+                active[i] = !active[i];
+                inc.reshare(&[i as u32]);
+
+                let ids: Vec<u32> = (0..p.flows.len())
+                    .filter(|k| active[*k])
+                    .map(|k| k as u32)
+                    .collect();
+                snapshots.push(ids.iter().map(|&k| inc.rate(k)).collect());
+
+                let mut sub = SharingProblem::with_capacities(p.capacity.clone());
+                for &k in &ids {
+                    let f = &p.flows[k as usize];
+                    sub.add_flow(f.resources.clone(), f.weight, f.cap);
+                }
+                let reference = sub.solve();
+                for (slot, &k) in ids.iter().enumerate() {
+                    let got = inc.rate(k);
+                    let want = reference[slot];
+                    let ok = exactly_equal(got, want)
+                        || (got - want).abs() <= 1e-9 * want.abs().max(1e-9);
+                    prop_assert!(
+                        ok,
+                        "after toggle {t}: flow {k} rate {got} vs reference {want}"
+                    );
+                }
+            }
+            snapshots
+        };
+        let a = run(&p, &toggles);
+        let b = run(&p, &toggles);
+        prop_assert_eq!(a, b, "incremental resharing must be deterministic");
+    }
+}
+
+#[test]
+fn incremental_heap_path_matches_reference() {
+    // Large single-bottleneck component: forces the solver onto its
+    // candidate-heap path (component size above the scan threshold).
+    let n = 2000u32;
+    let mut p = SharingProblem::with_capacities(vec![1e9, 5e8, 2e8]);
+    for i in 0..n {
+        let res: Vec<u32> = match i % 3 {
+            0 => vec![0],
+            1 => vec![0, 1],
+            _ => vec![0, 1, 2],
+        };
+        let w = 0.5 + (i % 17) as f64 * 0.25;
+        let cap = if i % 5 == 0 { 4e5 + i as f64 } else { f64::INFINITY };
+        p.add_flow(res, w, cap);
+    }
+    let reference = p.solve();
+    let all: Vec<u32> = (0..n).collect();
+    let mut inc = incremental_from(&p, &all);
+    inc.reshare(&all);
+    for (i, want) in reference.iter().enumerate() {
+        let got = inc.rate(i as u32);
+        assert!(
+            exactly_equal(got, *want) || (got - want).abs() <= 1e-9 * want.abs().max(1e-9),
+            "flow {i}: heap path {got} vs reference {want}"
+        );
     }
 }

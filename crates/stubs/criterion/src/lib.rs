@@ -1,0 +1,305 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A small wall-clock benchmarking harness exposing the criterion API
+//! subset this workspace's benches use: `Criterion`, `BenchmarkGroup`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros (both forms).
+//!
+//! Method: per sample, the measured closure is batched so one sample
+//! lasts at least ~2 ms, and the per-iteration mean of the fastest
+//! samples is reported. Results are printed as
+//! `bench: <name> ... median <t> (<n> samples)` and also appended to the
+//! file named by `CRITERION_STUB_JSON` (one JSON object per line) so
+//! scripts can scrape medians without parsing human output.
+
+pub use std::hint::black_box;
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{function}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Throughput annotation (recorded, reported as a rate alongside time).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// The timing loop driver handed to bench closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Median per-iteration nanoseconds of the last `iter` call.
+    result_ns: f64,
+    samples: usize,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and size the batch so one sample ≥ min_sample_time.
+        let mut batch = 1u64;
+        let one = {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed()
+        };
+        let min_sample = self.config.min_sample_time;
+        if one < min_sample {
+            let per = one.as_nanos().max(1) as u64;
+            batch = (min_sample.as_nanos() as u64 / per).clamp(1, 1_000_000);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        let deadline = Instant::now() + self.config.measurement_time;
+        for i in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            per_iter.push(el.as_secs_f64() * 1e9 / batch as f64);
+            // Keep very slow benches bounded, but always take ≥ 3 samples.
+            if i >= 2 && Instant::now() > deadline {
+                break;
+            }
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.samples = per_iter.len();
+        self.result_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    min_sample_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 12,
+            measurement_time: Duration::from_secs(3),
+            min_sample_time: Duration::from_millis(2),
+        }
+    }
+}
+
+/// The benchmark registry/driver.
+#[derive(Clone, Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(name: &str, ns: f64, samples: usize, throughput: Option<Throughput>) {
+    let mut line = format!("bench: {name:<44} median {:>12}", format_ns(ns));
+    match throughput {
+        Some(Throughput::Bytes(b)) | Some(Throughput::BytesDecimal(b)) => {
+            let rate = b as f64 / (ns / 1e9);
+            let _ = write!(line, "  {:>10.1} MB/s", rate / 1e6);
+        }
+        Some(Throughput::Elements(e)) => {
+            let rate = e as f64 / (ns / 1e9);
+            let _ = write!(line, "  {rate:>10.0} elem/s");
+        }
+        None => {}
+    }
+    let _ = write!(line, "  ({samples} samples)");
+    println!("{line}");
+
+    if let Ok(path) = std::env::var("CRITERION_STUB_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(f, "{{\"bench\": \"{name}\", \"median_ns\": {ns:.1}}}");
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(3);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { config: &self.config, result_ns: f64::NAN, samples: 0 };
+        f(&mut b);
+        report(name, b.result_ns, b.samples, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Criterion's CLI entry point; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(3);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchName,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_bench_name());
+        let mut b = Bencher { config: &self.config, result_ns: f64::NAN, samples: 0 };
+        f(&mut b);
+        report(&name, b.result_ns, b.samples, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.name);
+        let mut b = Bencher { config: &self.config, result_ns: f64::NAN, samples: 0 };
+        f(&mut b, input);
+        report(&name, b.result_ns, b.samples, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` and `BenchmarkId` where criterion does.
+pub trait IntoBenchName {
+    fn into_bench_name(self) -> String;
+}
+
+impl IntoBenchName for &str {
+    fn into_bench_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchName for String {
+    fn into_bench_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchName for BenchmarkId {
+    fn into_bench_name(self) -> String {
+        self.name
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("noop_loop", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        let mut g = c.benchmark_group("grouped");
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,101 @@
+//! Offline stand-in for the `crossbeam` crate: just `channel::unbounded`
+//! with cloneable receivers (an MPMC channel built from `std::sync::mpsc`
+//! behind a mutex), which is what the HTTP worker pool needs.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Cloneable sending half.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Cloneable receiving half; receivers share one queue.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's API shape, backed by
+    //! `std::thread::scope` (stable since 1.63).
+
+    /// Wrapper passed to `scope` closures; `spawn` hands a fresh wrapper
+    /// to each spawned closure like crossbeam does.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before this returns. Unlike
+    /// crossbeam this cannot observe child panics as an `Err` (std's
+    /// scope propagates them), so the result is always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}

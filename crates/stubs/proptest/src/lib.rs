@@ -1,0 +1,607 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, range and regex-character-class strategies,
+//! [`collection::vec`] / [`collection::btree_set`], tuple strategies,
+//! `prop_oneof!`, `Just`, `any::<T>()`, and the `proptest!` test macro
+//! with optional `#![proptest_config(...)]`.
+//!
+//! Differences from the real crate, by design:
+//! * no shrinking — a failing case panics with its (deterministic) case
+//!   number so it can be replayed by rerunning the test;
+//! * inputs are generated from a fixed per-test seed, so runs are fully
+//!   reproducible without a persistence file;
+//! * string strategies support only single character classes (`[...]` or
+//!   `\PC`) with an optional `{m,n}` repetition — which is all the tests
+//!   here use.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// RNG
+
+/// Deterministic generator handed to strategies (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x5851_f42d_4c95_7f2d }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// FNV-1a hash of a test path, used as the per-test base seed.
+pub fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Config
+
+/// Runner configuration (only `cases` is honored).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps simulation-heavy properties
+        // fast while still exploring a meaningful input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Bounded recursive strategies: at each of `depth` levels the result
+    /// is either the base strategy or one application of `branch` to the
+    /// previous level (the `_desired_size` / `_expected_branch` tuning
+    /// knobs of the real crate are accepted and ignored).
+    fn prop_recursive<F, R>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+        R: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = branch(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+}
+
+/// A clonable type-erased strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of its value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let k = rng.below(self.arms.len());
+        self.arms[k].generate(rng)
+    }
+}
+
+// Ranges --------------------------------------------------------------------
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let (a, b) = (self.start as f64, self.end as f64);
+                let v = a + rng.unit() * (b - a);
+                if v >= b { self.start } else { v as $t }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_float!(f32, f64);
+
+// Strings -------------------------------------------------------------------
+
+/// `&str` strategies are regex patterns. Supported grammar: one character
+/// class (`[...]` with escapes and ranges, or `\PC` for "any printable")
+/// followed by an optional `{min,max}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (pool, min, max) = parse_pattern(self);
+        let len = min + rng.below(max - min + 1);
+        (0..len).map(|_| pool[rng.below(pool.len())]).collect()
+    }
+}
+
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let mut chars = pattern.chars().peekable();
+    let pool: Vec<char> = match chars.peek() {
+        Some('[') => {
+            chars.next();
+            let mut pool = Vec::new();
+            let mut pending: Option<char> = None;
+            loop {
+                let c = chars.next().unwrap_or_else(|| {
+                    panic!("unterminated character class in pattern {pattern:?}")
+                });
+                match c {
+                    ']' => {
+                        pool.extend(pending.take());
+                        break;
+                    }
+                    '\\' => {
+                        pool.extend(pending.take());
+                        pending = Some(chars.next().expect("dangling escape"));
+                    }
+                    '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                        let lo = pending.take().unwrap();
+                        let hi = chars.next().unwrap();
+                        assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern:?}");
+                        pool.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+                    }
+                    c => {
+                        pool.extend(pending.take());
+                        pending = Some(c);
+                    }
+                }
+            }
+            pool
+        }
+        Some('\\') => {
+            // \PC ("not a control character"): a representative mixed pool
+            // of ASCII, multi-byte and astral characters.
+            chars.next();
+            assert_eq!(chars.next(), Some('P'), "unsupported escape in {pattern:?}");
+            assert_eq!(chars.next(), Some('C'), "unsupported escape in {pattern:?}");
+            let mut pool: Vec<char> = (' '..='~').collect();
+            pool.extend("éπñ日本語мир😀🚀«»".chars());
+            pool
+        }
+        _ => panic!("unsupported pattern {pattern:?}"),
+    };
+    assert!(!pool.is_empty(), "empty character class in pattern {pattern:?}");
+
+    let rest: String = chars.collect();
+    if rest.is_empty() {
+        return (pool, 1, 1);
+    }
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported quantifier {rest:?} in {pattern:?}"));
+    let (lo, hi) = inner.split_once(',').unwrap_or((inner, inner));
+    let min: usize = lo.trim().parse().expect("bad repetition bound");
+    let max: usize = hi.trim().parse().expect("bad repetition bound");
+    assert!(min <= max, "bad repetition {{{inner}}} in {pattern:?}");
+    (pool, min, max)
+}
+
+// Tuples --------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// any -----------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // finite, sign-symmetric, wide dynamic range
+        let m = rng.unit() * 2.0 - 1.0;
+        let e = rng.below(61) as i32 - 30;
+        m * (2f64).powi(e)
+    }
+}
+
+/// Full-domain strategy for `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// Collections ---------------------------------------------------------------
+
+pub mod collection {
+    use super::{BTreeSet, Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specification for collection strategies.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.min + rng.below(self.size.max - self.size.min + 1);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.min + rng.below(self.size.max - self.size.min + 1);
+            let mut set = BTreeSet::new();
+            // The element domain may be smaller than `target`; cap the
+            // attempts so exhausted domains return a best-effort set.
+            let mut attempts = 0;
+            while set.len() < target && attempts < 50 * (target + 1) {
+                set.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+// Macros --------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let base = $crate::fnv(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::new(
+                        base ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    );
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    // The closure lets a test body bail early with
+                    // `return Ok(());` as real proptest allows.
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!("property failed on case {case}: {e}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::new(1);
+        let s = (1usize..6, 0.5f64..2.0);
+        for _ in 0..200 {
+            let (n, x) = s.generate(&mut rng);
+            assert!((1..6).contains(&n));
+            assert!((0.5..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn char_class_patterns_generate_members() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            let s = "[a-c]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+        let escaped = r#"[a\-\.\"\\/]{0,12}"#.generate(&mut rng);
+        assert!(escaped.chars().all(|c| "a-.\"\\/".contains(c)), "{escaped:?}");
+        let any = r"\PC{0,64}".generate(&mut rng);
+        assert!(any.chars().count() <= 64);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u32..10, 0u32..10), v in collection::vec(0i64..5, 1..4)) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            if v.len() == 1 {
+                return Ok(());
+            }
+            prop_assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+
+        #[test]
+        fn oneof_and_recursive_terminate(x in prop_oneof![Just(-1i64), (0i64..10)]) {
+            prop_assert!(x == -1 || (0..10).contains(&x));
+        }
+    }
+}
