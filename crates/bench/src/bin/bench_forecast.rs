@@ -1,0 +1,148 @@
+//! Forecast-serving perf trajectory: end-to-end HTTP latency and
+//! throughput of the Pilgrim service under concurrent clients, pooled
+//! engine vs the sequential reference path, emitted as
+//! `BENCH_forecast.json`.
+//!
+//! Each measurement starts a fresh `Server` (fresh engine → cold cache),
+//! fires `clients` threads that cycle a fixed 16-query scenario set
+//! (select_fastest over 8 hypotheses each — the serving pattern the
+//! paper's §VI sketches), and records per-request wall-clock latency.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_forecast [out.json]`
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use g5k::{synth, to_simflow, Flavor};
+use pilgrim_core::http::{http_get, Server};
+use pilgrim_core::{Metrology, PilgrimService, Pnfs};
+use simflow::NetworkConfig;
+
+/// The fixed scenario set: 16 `select_fastest` queries, 8 hypotheses
+/// each, mixing intra-cluster, intra-site and inter-site placements.
+fn scenario_set() -> Vec<String> {
+    (0..16)
+        .map(|i| {
+            let mut q = String::from("/pilgrim/select_fastest/g5k_test?");
+            for h in 0..8 {
+                let (src, dst) = match (i + h) % 4 {
+                    0 => (
+                        format!("sagittaire-{}.lyon.grid5000.fr", 1 + (i + h) % 20),
+                        format!("sagittaire-{}.lyon.grid5000.fr", 21 + (i + h) % 20),
+                    ),
+                    1 => (
+                        format!("graphene-{}.nancy.grid5000.fr", 1 + (i + h) % 30),
+                        format!("graphene-{}.nancy.grid5000.fr", 31 + (i + h) % 30),
+                    ),
+                    2 => (
+                        format!("capricorne-{}.lyon.grid5000.fr", 1 + (i + h) % 15),
+                        format!("sagittaire-{}.lyon.grid5000.fr", 1 + (i + h) % 20),
+                    ),
+                    _ => (
+                        format!("sagittaire-{}.lyon.grid5000.fr", 1 + (i + h) % 20),
+                        format!("griffon-{}.nancy.grid5000.fr", 1 + (i + h) % 40),
+                    ),
+                };
+                let size = 1e8 * (1 + (i * 7 + h * 3) % 9) as f64;
+                q.push_str(&format!("hypothesis={src},{dst},{size}&"));
+            }
+            q.pop(); // trailing '&'
+            q
+        })
+        .collect()
+}
+
+fn start_server(sequential: bool, http_workers: usize) -> Server {
+    let mut pnfs = if sequential {
+        Pnfs::sequential_reference(NetworkConfig::default())
+    } else {
+        Pnfs::new(NetworkConfig::default())
+    };
+    pnfs.register_platform("g5k_test", to_simflow(&synth::standard(), Flavor::G5kTest));
+    let service = PilgrimService::new(Metrology::new(), pnfs);
+    Server::start("127.0.0.1:0", http_workers, service.into_handler()).expect("bind")
+}
+
+/// Fires `clients` threads, each issuing `per_client` requests cycling
+/// the scenario set from a client-specific offset. Returns (median
+/// latency in ms, aggregate queries/sec).
+fn run_level(addr: SocketAddr, scenarios: Arc<Vec<String>>, clients: usize, per_client: usize) -> (f64, f64) {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let scenarios = Arc::clone(&scenarios);
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(per_client);
+                for k in 0..per_client {
+                    let q = &scenarios[(c * 5 + k) % scenarios.len()];
+                    let t = Instant::now();
+                    let (status, body) = http_get(addr, q).expect("request");
+                    assert_eq!(status, 200, "{body}");
+                    lat.push(t.elapsed().as_secs_f64() * 1e3);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client"))
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let median = latencies[latencies.len() / 2];
+    let qps = latencies.len() as f64 / wall;
+    (median, qps)
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_forecast.json".to_string());
+    if let Err(e) = std::fs::OpenOptions::new().create(true).append(true).open(&out) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    let scenarios = Arc::new(scenario_set());
+    let mut results: Vec<(String, jsonlite::Value)> = Vec::new();
+
+    for clients in [1usize, 8, 64] {
+        let per_client = match clients {
+            1 => 32,
+            8 => 16,
+            _ => 8,
+        };
+        for (mode, sequential) in [("sequential", true), ("pooled", false)] {
+            // Three repetitions, median run by latency: 64 threads on a
+            // small box make single runs too noisy to compare.
+            let mut runs: Vec<(f64, f64)> = (0..3)
+                .map(|_| {
+                    // fresh server per run: cold engine, equal HTTP-side
+                    // concurrency for both modes
+                    let mut server = start_server(sequential, clients.max(8));
+                    let r = run_level(server.addr(), Arc::clone(&scenarios), clients, per_client);
+                    server.stop();
+                    r
+                })
+                .collect();
+            runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (median_ms, qps) = runs[runs.len() / 2];
+            println!(
+                "select8 clients={clients:<3} {mode:<10} median {median_ms:>9.3} ms   {qps:>8.1} q/s"
+            );
+            results.push((
+                format!("select8/clients={clients}/{mode}"),
+                jsonlite::Value::object(vec![
+                    ("median_ms", jsonlite::Value::Number((median_ms * 1e3).round() / 1e3)),
+                    ("qps", jsonlite::Value::Number((qps * 10.0).round() / 10.0)),
+                ]),
+            ));
+        }
+    }
+
+    let json = jsonlite::Value::Object(results.into_iter().collect());
+    if let Err(e) = std::fs::write(&out, json.to_pretty() + "\n") {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {out}");
+}

@@ -137,13 +137,54 @@ pub fn parse_query(q: &str) -> Vec<(String, String)> {
         .collect()
 }
 
+/// Upper bound on the request line (method + URI + version). Generous —
+/// legitimate Pilgrim queries embed whole transfer lists in the URI —
+/// but finite, so a hostile client cannot grow server memory without
+/// bound by never sending a newline.
+const MAX_REQUEST_LINE_BYTES: usize = 64 * 1024;
+/// Upper bound on the total header bytes after the request line.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+enum LineError {
+    /// The line exceeded its byte cap.
+    TooLong,
+    /// The underlying read failed (timeout, reset, …).
+    Io(String),
+}
+
+impl LineError {
+    /// Maps the cap overflow to `too_long` and passes I/O errors
+    /// through, so a read timeout is never reported as a size overflow.
+    fn message(self, too_long: impl FnOnce() -> String) -> String {
+        match self {
+            LineError::TooLong => too_long(),
+            LineError::Io(e) => e,
+        }
+    }
+}
+
+/// Reads one line of at most `cap` bytes (including the newline).
+/// A longer line — or a stream that keeps feeding bytes without ever
+/// sending `\n` — yields an error instead of unbounded buffering.
+fn read_line_capped(reader: &mut impl BufRead, cap: usize) -> Result<String, LineError> {
+    let mut line = String::new();
+    let mut limited = reader.take(cap as u64 + 1);
+    limited
+        .read_line(&mut line)
+        .map_err(|e| LineError::Io(e.to_string()))?;
+    if line.len() > cap {
+        return Err(LineError::TooLong);
+    }
+    Ok(line)
+}
+
 fn parse_request(stream: &mut TcpStream) -> Result<Request, String> {
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut line = String::new();
-    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let line = read_line_capped(&mut reader, MAX_REQUEST_LINE_BYTES)
+        .map_err(|e| e.message(|| format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes")))?;
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or("missing method")?.to_string();
     let target = parts.next().ok_or("missing target")?.to_string();
@@ -151,13 +192,15 @@ fn parse_request(stream: &mut TcpStream) -> Result<Request, String> {
     if !version.starts_with("HTTP/1.") {
         return Err(format!("unsupported version {version}"));
     }
-    // drain headers
+    // drain headers, within a total byte budget
+    let mut remaining = MAX_HEADER_BYTES;
     loop {
-        let mut h = String::new();
-        reader.read_line(&mut h).map_err(|e| e.to_string())?;
+        let h = read_line_capped(&mut reader, remaining)
+            .map_err(|e| e.message(|| format!("headers exceed {MAX_HEADER_BYTES} bytes")))?;
         if h == "\r\n" || h == "\n" || h.is_empty() {
             break;
         }
+        remaining -= h.len();
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),

@@ -3,32 +3,35 @@
 //!
 //! "Given a list of 3-uples (source, destination, size), it will answer
 //! with the list of 4-uples (source, destination, size, predicted TCP
-//! transfer completion time)." Each request instantiates a fresh
-//! flow-level simulation over the registered platform model, with "one
-//! send and one receive process for each requested transfer" — here, one
-//! kernel transfer per request tuple, all starting at t = 0.
+//! transfer completion time)." Each request runs a flow-level simulation
+//! over the registered platform model, with "one send and one receive
+//! process for each requested transfer" — here, one kernel transfer per
+//! request tuple, all starting at t = 0.
+//!
+//! Since the `forecast` crate landed, all serving-path simulation work
+//! goes through the shared [`ForecastEngine`]: a worker pool, warm
+//! per-platform sessions, and an epoch-keyed result cache (invalidated
+//! whenever the metrology service ingests new data — see
+//! [`Pnfs::bump_epoch`]). The original single-threaded implementations
+//! are kept, verbatim, as [`Pnfs::predict_reference`] and
+//! [`Pnfs::select_fastest_reference`]: they are the oracle the engine's
+//! parallel fan-out is tested against, and the baseline the
+//! `bench_forecast` binary measures.
 //!
 //! The hypothesis-selection service sketched in §VI ("given n different
 //! transfer hypotheses, select the fastest one ... use some heuristic to
 //! prune the n hypotheses") is implemented by [`Pnfs::select_fastest`],
 //! with a lower-bound pruning heuristic.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
+use forecast::{EngineConfig, ForecastEngine, ForecastError};
 use jsonlite::Value;
 use simflow::{NetworkConfig, Platform, SimError, SimTime, Simulation};
 
-/// One requested transfer: the 3-uple of the paper's API.
-#[derive(Clone, Debug, PartialEq)]
-pub struct TransferRequest {
-    /// Source host name.
-    pub src: String,
-    /// Destination host name.
-    pub dst: String,
-    /// Transfer size in bytes.
-    pub size: f64,
-}
+/// One requested transfer: the 3-uple of the paper's API (re-exported
+/// from the `forecast` crate, which owns the canonical definition).
+pub use forecast::TransferSpec as TransferRequest;
 
 /// One prediction: the 4-uple of the paper's API.
 #[derive(Clone, Debug, PartialEq)]
@@ -90,6 +93,18 @@ impl From<SimError> for PnfsError {
     }
 }
 
+impl From<ForecastError> for PnfsError {
+    fn from(e: ForecastError) -> Self {
+        match e {
+            ForecastError::UnknownPlatform(p) => PnfsError::UnknownPlatform(p),
+            ForecastError::UnknownHost(h) => PnfsError::UnknownHost(h),
+            ForecastError::BadSize(s) => PnfsError::BadSize(s),
+            ForecastError::Sim(s) => PnfsError::Sim(s),
+            ForecastError::NoHypotheses => PnfsError::NoHypotheses,
+        }
+    }
+}
+
 /// Outcome of hypothesis selection.
 #[derive(Clone, Debug)]
 pub struct FastestSelection {
@@ -103,52 +118,148 @@ pub struct FastestSelection {
     pub pruned: Vec<usize>,
 }
 
-/// The forecast service: named platform models plus the model config.
+/// The forecast service: named platform models served through the
+/// concurrent [`ForecastEngine`].
 pub struct Pnfs {
-    platforms: HashMap<String, Arc<Platform>>,
-    config: NetworkConfig,
+    engine: ForecastEngine,
+    /// When set, queries bypass the engine and run the original
+    /// single-threaded, uncached implementations (benchmark baseline).
+    sequential: bool,
 }
 
 impl Pnfs {
-    /// A service with the given model configuration.
+    /// A service with the given model configuration and default engine
+    /// tuning (pool sized to the machine, 4096 cached results).
     pub fn new(config: NetworkConfig) -> Self {
-        Pnfs { platforms: HashMap::new(), config }
+        Pnfs { engine: ForecastEngine::new(config), sequential: false }
     }
 
-    /// Registers a platform under `name` (e.g. `"g5k_test"`).
+    /// A service with explicit engine tuning (worker count, cache size).
+    pub fn with_engine_config(config: NetworkConfig, engine: EngineConfig) -> Self {
+        Pnfs { engine: ForecastEngine::with_engine_config(config, engine), sequential: false }
+    }
+
+    /// A service pinned to the sequential reference path: no pool, no
+    /// cache, one simulation at a time on the calling thread. This is
+    /// the paper's original serving behavior, kept as the comparison
+    /// baseline.
+    pub fn sequential_reference(config: NetworkConfig) -> Self {
+        let engine =
+            ForecastEngine::with_engine_config(config, EngineConfig { workers: 1, cache_capacity: 1 });
+        Pnfs { engine, sequential: true }
+    }
+
+    /// Whether this service runs the sequential reference path.
+    pub fn is_sequential(&self) -> bool {
+        self.sequential
+    }
+
+    /// The engine behind the service (epoch control, cache statistics).
+    pub fn engine(&self) -> &ForecastEngine {
+        &self.engine
+    }
+
+    /// Registers a platform under `name` (e.g. `"g5k_test"`), warming a
+    /// forecast session for it.
     pub fn register_platform(&mut self, name: &str, platform: Platform) {
-        self.platforms.insert(name.to_string(), Arc::new(platform));
+        self.engine.register_platform(name, platform);
     }
 
     /// Names of the registered platforms, sorted.
     pub fn platform_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.platforms.keys().cloned().collect();
-        names.sort();
-        names
+        self.engine.platform_names()
     }
 
     /// Shared handle to a registered platform.
     pub fn platform(&self, name: &str) -> Option<Arc<Platform>> {
-        self.platforms.get(name).cloned()
+        self.engine.platform(name)
     }
 
     /// The model configuration in use.
     pub fn config(&self) -> NetworkConfig {
-        self.config
+        self.engine.config()
+    }
+
+    /// Advances the background-traffic epoch, invalidating every cached
+    /// forecast. The REST layer calls this whenever the metrology
+    /// service ingests new measurement data.
+    pub fn bump_epoch(&self) -> u64 {
+        self.engine.bump_epoch()
     }
 
     /// The paper's main service: predicted completion times of a set of
-    /// *concurrent* transfers, all starting together.
+    /// *concurrent* transfers, all starting together. Served through the
+    /// engine (pooled, cached) unless this service is pinned sequential.
     pub fn predict(
         &self,
         platform: &str,
         requests: &[TransferRequest],
     ) -> Result<Vec<Prediction>, PnfsError> {
+        if self.sequential {
+            return self.predict_reference(platform, requests);
+        }
+        let durations = self.engine.predict(platform, requests)?;
+        Ok(requests
+            .iter()
+            .zip(durations.iter())
+            .map(|(r, d)| Prediction {
+                src: r.src.clone(),
+                dst: r.dst.clone(),
+                size: r.size,
+                duration: *d,
+            })
+            .collect())
+    }
+
+    /// §VI extension: simulate `hypotheses` (cheapest lower bound first),
+    /// prune any whose lower bound already exceeds the best simulated
+    /// makespan, and return the fastest. The engine evaluates hypotheses
+    /// in parallel waves; winner, makespan and pruned set are identical
+    /// to [`Pnfs::select_fastest_reference`].
+    pub fn select_fastest(
+        &self,
+        platform: &str,
+        hypotheses: &[Vec<TransferRequest>],
+    ) -> Result<FastestSelection, PnfsError> {
+        if self.sequential {
+            return self.select_fastest_reference(platform, hypotheses);
+        }
+        let sel = self.engine.select_fastest(platform, hypotheses)?;
+        let predictions = hypotheses[sel.best]
+            .iter()
+            .zip(sel.durations.iter())
+            .map(|(r, d)| Prediction {
+                src: r.src.clone(),
+                dst: r.dst.clone(),
+                size: r.size,
+                duration: *d,
+            })
+            .collect();
+        Ok(FastestSelection {
+            best: sel.best,
+            best_makespan: sel.best_makespan,
+            predictions,
+            pruned: sel.pruned.clone(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Sequential reference implementations — the pre-engine serving
+    // path, preserved as the determinism oracle and benchmark baseline.
+    // ------------------------------------------------------------------
+
+    /// The original `predict`: one fresh simulation on the calling
+    /// thread, no session reuse, no cache.
+    pub fn predict_reference(
+        &self,
+        platform: &str,
+        requests: &[TransferRequest],
+    ) -> Result<Vec<Prediction>, PnfsError> {
         let p = self
-            .platforms
-            .get(platform)
+            .engine
+            .platform(platform)
             .ok_or_else(|| PnfsError::UnknownPlatform(platform.to_string()))?;
-        let mut sim = Simulation::new(p, self.config);
+        let mut sim = Simulation::new(&p, self.config());
         let mut ids = Vec::with_capacity(requests.len());
         for r in requests {
             if !r.size.is_finite() || r.size < 0.0 {
@@ -182,6 +293,7 @@ impl Pnfs {
         platform: &Platform,
         requests: &[TransferRequest],
     ) -> Result<f64, PnfsError> {
+        let config = self.config();
         let mut bound = 0.0f64;
         for r in requests {
             let src = platform
@@ -193,22 +305,21 @@ impl Pnfs {
             let route = platform.route_hosts(src, dst).map_err(SimError::Route)?;
             let mut bw = f64::INFINITY;
             for l in &route.links {
-                bw = bw.min(platform.link(*l).bandwidth * self.config.bandwidth_factor);
+                bw = bw.min(platform.link(*l).bandwidth * config.bandwidth_factor);
             }
             if route.latency > 0.0 {
-                bw = bw.min(self.config.tcp_gamma / (2.0 * route.latency));
+                bw = bw.min(config.tcp_gamma / (2.0 * route.latency));
             }
-            let t = self.config.latency_factor * route.latency
+            let t = config.latency_factor * route.latency
                 + if bw.is_finite() { r.size / bw } else { 0.0 };
             bound = bound.max(t);
         }
         Ok(bound)
     }
 
-    /// §VI extension: simulate `hypotheses` (cheapest lower bound first),
-    /// prune any whose lower bound already exceeds the best simulated
-    /// makespan, and return the fastest.
-    pub fn select_fastest(
+    /// The original `select_fastest`: strictly sequential simulation in
+    /// lower-bound order with incremental pruning.
+    pub fn select_fastest_reference(
         &self,
         platform: &str,
         hypotheses: &[Vec<TransferRequest>],
@@ -217,10 +328,9 @@ impl Pnfs {
             return Err(PnfsError::NoHypotheses);
         }
         let p = self
-            .platforms
-            .get(platform)
-            .ok_or_else(|| PnfsError::UnknownPlatform(platform.to_string()))?
-            .clone();
+            .engine
+            .platform(platform)
+            .ok_or_else(|| PnfsError::UnknownPlatform(platform.to_string()))?;
 
         let mut order: Vec<(usize, f64)> = hypotheses
             .iter()
@@ -238,7 +348,7 @@ impl Pnfs {
                     continue;
                 }
             }
-            let preds = self.predict(platform, &hypotheses[i])?;
+            let preds = self.predict_reference(platform, &hypotheses[i])?;
             let mk = preds.iter().map(|p| p.duration).fold(0.0, f64::max);
             let better = best.as_ref().is_none_or(|(_, b, _)| mk < *b);
             if better {
@@ -390,5 +500,22 @@ mod tests {
             pnfs.select_fastest("g5k_test", &[]),
             Err(PnfsError::NoHypotheses)
         ));
+    }
+
+    #[test]
+    fn pooled_predict_matches_reference_exactly() {
+        let pnfs = service();
+        let reqs: Vec<TransferRequest> = (0..12)
+            .map(|i| TransferRequest {
+                src: format!("graphene-{}.nancy.grid5000.fr", i + 1),
+                dst: format!("graphene-{}.nancy.grid5000.fr", i + 40),
+                size: 1e8 * (i + 1) as f64,
+            })
+            .collect();
+        let pooled = pnfs.predict("g5k_test", &reqs).unwrap();
+        let reference = pnfs.predict_reference("g5k_test", &reqs).unwrap();
+        for (p, r) in pooled.iter().zip(&reference) {
+            assert_eq!(p.duration.to_bits(), r.duration.to_bits(), "{p:?} vs {r:?}");
+        }
     }
 }

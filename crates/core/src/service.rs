@@ -5,6 +5,9 @@
 //! * `GET /pilgrim/rrd/<path>?begin=…&end=…` — metrology fetch; bounds
 //!   accept unix timestamps or `"YYYY-MM-DD HH:MM:SS"`; answers
 //!   `[[ts, value], …]`;
+//! * `GET /pilgrim/rrd_update/<path>?ts=…&value=…` — metrology push:
+//!   feeds one measurement and advances the forecast epoch, invalidating
+//!   every cached forecast (the background-traffic picture changed);
 //! * `GET /pilgrim/predict_transfers/<platform>?transfer=src,dst,size&…`
 //!   — PNFS; answers `[{"src","dst","size","duration"}, …]`;
 //! * `GET /pilgrim/select_fastest/<platform>?hypothesis=src,dst,size[;…]&…`
@@ -42,6 +45,9 @@ impl PilgrimService {
     /// Routes one request.
     pub fn handle(&self, req: &Request) -> Response {
         let path = req.path.trim_end_matches('/');
+        if let Some(rrd_path) = path.strip_prefix("/pilgrim/rrd_update/") {
+            return self.handle_rrd_update(rrd_path, req);
+        }
         if let Some(rrd_path) = path.strip_prefix("/pilgrim/rrd/") {
             return self.handle_rrd(rrd_path, req);
         }
@@ -78,6 +84,30 @@ impl PilgrimService {
         };
         match self.metrology.fetch(rrd_path, begin, end) {
             Ok(points) => Response::json(&Metrology::to_json(&points)),
+            Err(e @ MetrologyError::UnknownRrd(_)) => Response::error(404, &e.to_string()),
+            Err(e) => Response::error(400, &e.to_string()),
+        }
+    }
+
+    /// Metrology ingestion. New measurement data means the background
+    /// traffic the forecasts were computed under is stale, so a
+    /// successful update bumps the forecast epoch: every cached result
+    /// becomes unreachable and the next query re-simulates.
+    fn handle_rrd_update(&self, rrd_path: &str, req: &Request) -> Response {
+        let Some(ts) = req.param("ts").and_then(rrd::time::parse_timestamp) else {
+            return Response::error(400, "missing or invalid 'ts'");
+        };
+        let Some(value) = req.param("value").and_then(|v| v.parse::<f64>().ok()) else {
+            return Response::error(400, "missing or invalid 'value'");
+        };
+        match self.metrology.update(rrd_path, ts, value) {
+            Ok(()) => {
+                let epoch = self.pnfs.bump_epoch();
+                Response::json(&Value::object(vec![
+                    ("ok", Value::Bool(true)),
+                    ("epoch", Value::from(epoch as i64)),
+                ]))
+            }
             Err(e @ MetrologyError::UnknownRrd(_)) => Response::error(404, &e.to_string()),
             Err(e) => Response::error(400, &e.to_string()),
         }

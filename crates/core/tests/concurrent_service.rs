@@ -1,0 +1,104 @@
+//! End-to-end concurrency: a real `Server` on an ephemeral port, many
+//! simultaneous `select_fastest`/`predict_transfers` clients, every
+//! response well-formed JSON and equal to the sequential reference
+//! answer for the same query.
+
+use std::sync::Arc;
+
+use g5k::{synth, to_simflow, Flavor};
+use pilgrim_core::http::{http_get, parse_query, Request, Server};
+use pilgrim_core::{Metrology, PilgrimService, Pnfs};
+use simflow::NetworkConfig;
+
+fn make_service(sequential: bool) -> PilgrimService {
+    let mut pnfs = if sequential {
+        Pnfs::sequential_reference(NetworkConfig::default())
+    } else {
+        Pnfs::new(NetworkConfig::default())
+    };
+    pnfs.register_platform("g5k_test", to_simflow(&synth::standard(), Flavor::G5kTest));
+    PilgrimService::new(Metrology::new(), pnfs)
+}
+
+/// A mixed scenario set: predict batches and hypothesis selections.
+fn scenarios() -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..6 {
+        out.push(format!(
+            "/pilgrim/predict_transfers/g5k_test\
+             ?transfer=sagittaire-{}.lyon.grid5000.fr,sagittaire-{}.lyon.grid5000.fr,{}\
+             &transfer=graphene-{}.nancy.grid5000.fr,graphene-{}.nancy.grid5000.fr,2e8",
+            i + 1,
+            i + 10,
+            1e8 * (i + 1) as f64,
+            i + 1,
+            i + 20,
+        ));
+        out.push(format!(
+            "/pilgrim/select_fastest/g5k_test\
+             ?hypothesis=sagittaire-{0}.lyon.grid5000.fr,sagittaire-{1}.lyon.grid5000.fr,5e8\
+             &hypothesis=sagittaire-{0}.lyon.grid5000.fr,graphene-{0}.nancy.grid5000.fr,5e8\
+             &hypothesis=capricorne-{0}.lyon.grid5000.fr,capricorne-{1}.lyon.grid5000.fr,5e8",
+            i + 1,
+            i + 2,
+        ));
+    }
+    out
+}
+
+/// Renders the reference answer for `path_and_query` by routing the
+/// parsed request through a sequential-reference service in-process.
+fn reference_body(svc: &PilgrimService, path_and_query: &str) -> String {
+    let (path, query) = path_and_query.split_once('?').unwrap();
+    let req = Request {
+        method: "GET".into(),
+        path: path.into(),
+        params: parse_query(query),
+    };
+    svc.handle(&req).body
+}
+
+#[test]
+fn concurrent_clients_get_reference_answers() {
+    let pooled = make_service(false);
+    let server = Server::start("127.0.0.1:0", 8, pooled.into_handler()).expect("bind");
+    let addr = server.addr();
+
+    let reference_svc = make_service(true);
+    let scenario_set = scenarios();
+    let expected: Vec<String> = scenario_set
+        .iter()
+        .map(|q| reference_body(&reference_svc, q))
+        .collect();
+    let scenario_set = Arc::new(scenario_set);
+    let expected = Arc::new(expected);
+
+    // 16 clients × 6 requests each, all in flight together, cycling the
+    // scenario set from different offsets so identical queries race.
+    let clients: Vec<_> = (0..16)
+        .map(|c| {
+            let scenario_set = Arc::clone(&scenario_set);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                for k in 0..6 {
+                    let i = (c * 5 + k * 7) % scenario_set.len();
+                    let (status, body) = http_get(addr, &scenario_set[i]).expect("request");
+                    assert_eq!(status, 200, "client {c} query {i}: {body}");
+                    let parsed = jsonlite::Value::parse(&body)
+                        .unwrap_or_else(|e| panic!("client {c} bad JSON ({e:?}): {body}"));
+                    assert!(
+                        matches!(parsed, jsonlite::Value::Array(_) | jsonlite::Value::Object(_)),
+                        "client {c}: unexpected JSON shape: {body}"
+                    );
+                    assert_eq!(
+                        body, expected[i],
+                        "client {c} query {i} diverged from the sequential reference"
+                    );
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+}

@@ -57,6 +57,49 @@ fn very_long_urls_are_handled() {
 }
 
 #[test]
+fn oversized_request_line_gets_400_not_unbounded_memory() {
+    // Beyond the 64 KiB request-line cap the server must answer 400 and
+    // hang up instead of buffering forever (a hostile client could
+    // otherwise stream an endless URI and grow memory without bound).
+    let server = echo_server();
+    let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(80_000));
+    let resp = raw_exchange(&server, huge.as_bytes());
+    assert!(resp.starts_with("HTTP/1.1 400"), "{:?}", &resp[..resp.len().min(80)]);
+    // the pool keeps serving normal requests afterwards
+    let (status, _) = http_get(server.addr(), "/ok").unwrap();
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn header_flood_gets_400() {
+    // Many legitimate-looking header lines whose total exceeds the
+    // 64 KiB header budget must be rejected, not accumulated.
+    let server = echo_server();
+    let mut payload = String::from("GET /ok HTTP/1.1\r\n");
+    for i in 0..2_000 {
+        payload.push_str(&format!("X-Flood-{i}: {}\r\n", "y".repeat(64)));
+    }
+    payload.push_str("\r\n");
+    let resp = raw_exchange(&server, payload.as_bytes());
+    assert!(resp.starts_with("HTTP/1.1 400"), "{:?}", &resp[..resp.len().min(80)]);
+    let (status, _) = http_get(server.addr(), "/ok").unwrap();
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn never_ending_request_line_is_cut_off() {
+    // A request line with no newline at all must be bounded by the cap,
+    // not by the 10 s read timeout times the attacker's patience.
+    let server = echo_server();
+    let resp = raw_exchange(&server, &b"G".repeat(100_000));
+    assert!(
+        resp.is_empty() || resp.starts_with("HTTP/1.1 400"),
+        "{:?}",
+        &resp[..resp.len().min(80)]
+    );
+}
+
+#[test]
 fn weird_percent_escapes_do_not_crash() {
     let server = echo_server();
     for q in ["/p?%", "/p?a=%2", "/p?a=%zz%", "/p?a=%00%ff", "/p?%f0%9f%98%80=1"] {

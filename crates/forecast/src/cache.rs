@@ -1,0 +1,246 @@
+//! The epoch-keyed forecast result cache.
+//!
+//! Forecasts are pure functions of `(platform, background-traffic epoch,
+//! query)`: the platform model is immutable, and everything time-varying
+//! (background flows derived from metrology) is folded into a
+//! monotonically increasing *epoch* counter that the engine bumps
+//! whenever new measurement data is ingested. Keying cache entries by
+//! epoch makes invalidation free — a bump makes every old entry
+//! unreachable, and [`ForecastCache::purge_stale`] reclaims the memory.
+//!
+//! Queries are canonicalized structurally (host names + size bit
+//! patterns), so two textually different requests for the same forecast
+//! (`5e8` vs `500000000`, reordered query parameters upstream) share an
+//! entry, while `-0.0`/`0.0`-style float subtleties cannot collide.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::{Selection, TransferSpec};
+
+/// Canonical form of one transfer tuple: names plus the exact bit
+/// pattern of the size (f64 equality is the wrong notion for keys).
+type CanonicalTransfer = (String, String, u64);
+
+/// Cache key: platform + epoch + canonicalized query.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CacheKey {
+    /// A `predict_transfers` batch.
+    Predict {
+        /// Platform name.
+        platform: String,
+        /// Background-traffic epoch the result was computed under.
+        epoch: u64,
+        /// Canonicalized transfer list, in request order (order matters:
+        /// answers are positional).
+        transfers: Vec<CanonicalTransfer>,
+    },
+    /// A `select_fastest` hypothesis set.
+    Select {
+        /// Platform name.
+        platform: String,
+        /// Background-traffic epoch the result was computed under.
+        epoch: u64,
+        /// Canonicalized hypotheses (order matters: the winner is an
+        /// index into this list).
+        hypotheses: Vec<Vec<CanonicalTransfer>>,
+    },
+}
+
+fn canonicalize(specs: &[TransferSpec]) -> Vec<CanonicalTransfer> {
+    specs
+        .iter()
+        .map(|s| (s.src.clone(), s.dst.clone(), s.size.to_bits()))
+        .collect()
+}
+
+impl CacheKey {
+    /// Key for a predict batch.
+    pub fn predict(platform: &str, epoch: u64, specs: &[TransferSpec]) -> CacheKey {
+        CacheKey::Predict {
+            platform: platform.to_string(),
+            epoch,
+            transfers: canonicalize(specs),
+        }
+    }
+
+    /// Key for a hypothesis-selection query.
+    pub fn select(platform: &str, epoch: u64, hypotheses: &[Vec<TransferSpec>]) -> CacheKey {
+        CacheKey::Select {
+            platform: platform.to_string(),
+            epoch,
+            hypotheses: hypotheses.iter().map(|h| canonicalize(h)).collect(),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        match self {
+            CacheKey::Predict { epoch, .. } | CacheKey::Select { epoch, .. } => *epoch,
+        }
+    }
+}
+
+/// A cached forecast result.
+#[derive(Clone, Debug)]
+pub enum CachedResult {
+    /// Durations of a predict batch, in request order.
+    Predict(Arc<Vec<f64>>),
+    /// Outcome of a selection.
+    Select(Arc<Selection>),
+}
+
+struct Inner {
+    map: HashMap<CacheKey, CachedResult>,
+    /// Insertion order for FIFO eviction once `capacity` is reached.
+    order: VecDeque<CacheKey>,
+}
+
+/// A bounded, thread-safe forecast cache.
+pub struct ForecastCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ForecastCache {
+    /// A cache holding at most `capacity` entries (FIFO eviction).
+    pub fn new(capacity: usize) -> ForecastCache {
+        ForecastCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new() }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks a key up, counting the hit/miss.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedResult> {
+        let inner = self.inner.lock();
+        match inner.map.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a result, evicting the oldest entry when full.
+    pub fn insert(&self, key: CacheKey, value: CachedResult) {
+        let mut inner = self.inner.lock();
+        if inner.map.contains_key(&key) {
+            // A racing query computed the same forecast; results are
+            // deterministic, keep the existing entry.
+            return;
+        }
+        while inner.map.len() >= self.capacity {
+            match inner.order.pop_front() {
+                Some(old) => {
+                    inner.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        inner.order.push_back(key.clone());
+        inner.map.insert(key, value);
+    }
+
+    /// Drops every entry computed under an epoch older than `current`.
+    /// Lookups already miss such entries (the epoch is part of the key);
+    /// this reclaims their memory.
+    pub fn purge_stale(&self, current: u64) {
+        let mut inner = self.inner.lock();
+        inner.order.retain(|k| k.epoch() == current);
+        inner.map.retain(|k, _| k.epoch() == current);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(src: &str, dst: &str, size: f64) -> TransferSpec {
+        TransferSpec { src: src.into(), dst: dst.into(), size }
+    }
+
+    #[test]
+    fn canonical_keys_ignore_text_form_but_not_order() {
+        let a = CacheKey::predict("p", 0, &[spec("a", "b", 5e8)]);
+        let b = CacheKey::predict("p", 0, &[spec("a", "b", 500_000_000.0)]);
+        assert_eq!(a, b, "5e8 and 500000000 are the same query");
+        let swapped = CacheKey::predict("p", 0, &[spec("b", "a", 5e8)]);
+        assert_ne!(a, swapped);
+        let two = CacheKey::predict("p", 0, &[spec("a", "b", 1.0), spec("c", "d", 1.0)]);
+        let two_rev = CacheKey::predict("p", 0, &[spec("c", "d", 1.0), spec("a", "b", 1.0)]);
+        assert_ne!(two, two_rev, "answers are positional; order is part of the key");
+    }
+
+    #[test]
+    fn epoch_is_part_of_the_key() {
+        let cache = ForecastCache::new(16);
+        let k0 = CacheKey::predict("p", 0, &[spec("a", "b", 1.0)]);
+        let k1 = CacheKey::predict("p", 1, &[spec("a", "b", 1.0)]);
+        cache.insert(k0.clone(), CachedResult::Predict(Arc::new(vec![1.0])));
+        assert!(cache.get(&k0).is_some());
+        assert!(cache.get(&k1).is_none(), "new epoch must miss");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn purge_drops_old_epochs() {
+        let cache = ForecastCache::new(16);
+        for e in 0..4u64 {
+            cache.insert(
+                CacheKey::predict("p", e, &[spec("a", "b", e as f64)]),
+                CachedResult::Predict(Arc::new(vec![0.0])),
+            );
+        }
+        assert_eq!(cache.len(), 4);
+        cache.purge_stale(3);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_cache() {
+        let cache = ForecastCache::new(3);
+        for i in 0..10 {
+            cache.insert(
+                CacheKey::predict("p", 0, &[spec("a", "b", i as f64)]),
+                CachedResult::Predict(Arc::new(vec![i as f64])),
+            );
+        }
+        assert_eq!(cache.len(), 3);
+        // the newest entries survive
+        let newest = CacheKey::predict("p", 0, &[spec("a", "b", 9.0)]);
+        assert!(cache.get(&newest).is_some());
+        let oldest = CacheKey::predict("p", 0, &[spec("a", "b", 0.0)]);
+        assert!(cache.get(&oldest).is_none());
+    }
+}

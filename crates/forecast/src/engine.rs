@@ -1,0 +1,552 @@
+//! The concurrent forecast engine.
+//!
+//! [`ForecastEngine`] is the serving core that turns the paper's
+//! per-request "build a simulation, run it, throw it away" loop into
+//! something that can take heavy concurrent traffic:
+//!
+//! * all simulation work runs on a shared [`WorkerPool`]
+//!   (`crate::pool`), never on the caller's thread beyond orchestration;
+//! * per-platform scaffolding (capacity vectors, resolved routes,
+//!   background flows) lives in warm [`Session`]s (`crate::session`);
+//! * results are memoized in an epoch-keyed [`ForecastCache`]
+//!   (`crate::cache`) invalidated wholesale whenever new metrology data
+//!   arrives ([`ForecastEngine::bump_epoch`]).
+//!
+//! ## Determinism
+//!
+//! Parallelism never changes answers:
+//!
+//! * `predict` shards a batch into *link-disjoint components* — groups
+//!   of transfers (and background flows) that transitively share a
+//!   saturable link. Max-min sharing couples flows only through shared
+//!   resources, so simulating components separately is exact, and the
+//!   per-request durations are merged back by request index.
+//! * `select_fastest` simulates hypotheses in waves of pool width
+//!   (cheapest lower bound first, skipping hypotheses that can no longer
+//!   win), then *replays* the sequential prune/select decision procedure
+//!   over the collected makespans. The wave skip is strictly more
+//!   conservative than the sequential prune, so every hypothesis the
+//!   replay needs has been simulated, and the returned winner, makespan
+//!   and pruned set are identical to the sequential algorithm's.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use simflow::{NetworkConfig, Platform, SimError};
+
+use crate::cache::{CacheKey, CachedResult, ForecastCache};
+use crate::pool::WorkerPool;
+use crate::session::{BackgroundFlow, ResolvedSpec, Session};
+
+/// One requested transfer: the 3-uple of the paper's API.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransferSpec {
+    /// Source host name.
+    pub src: String,
+    /// Destination host name.
+    pub dst: String,
+    /// Transfer size in bytes.
+    pub size: f64,
+}
+
+/// Engine errors (mirrors the service-level error surface).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForecastError {
+    /// No platform registered under this name.
+    UnknownPlatform(String),
+    /// A request references a host absent from the platform.
+    UnknownHost(String),
+    /// A request carries a negative or non-finite size.
+    BadSize(f64),
+    /// The simulation kernel failed.
+    Sim(SimError),
+    /// `select_fastest` needs at least one hypothesis.
+    NoHypotheses,
+}
+
+impl fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForecastError::UnknownPlatform(p) => write!(f, "unknown platform '{p}'"),
+            ForecastError::UnknownHost(h) => write!(f, "unknown host '{h}'"),
+            ForecastError::BadSize(s) => write!(f, "invalid transfer size {s}"),
+            ForecastError::Sim(e) => write!(f, "simulation error: {e}"),
+            ForecastError::NoHypotheses => write!(f, "no hypotheses given"),
+        }
+    }
+}
+
+impl std::error::Error for ForecastError {}
+
+impl From<SimError> for ForecastError {
+    fn from(e: SimError) -> Self {
+        ForecastError::Sim(e)
+    }
+}
+
+/// Outcome of hypothesis selection, identical to the sequential
+/// algorithm's by construction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Selection {
+    /// Index of the winning hypothesis.
+    pub best: usize,
+    /// Makespan of the winning hypothesis, seconds.
+    pub best_makespan: f64,
+    /// Per-transfer durations of the winning hypothesis, in request order.
+    pub durations: Vec<f64>,
+    /// Indices of hypotheses skipped by the pruning heuristic, ascending.
+    pub pruned: Vec<usize>,
+}
+
+/// Tuning knobs for [`ForecastEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads in the simulation pool. `0` means
+    /// `available_parallelism`.
+    pub workers: usize,
+    /// Maximum number of cached forecast results.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { workers: 0, cache_capacity: 4096 }
+    }
+}
+
+/// The concurrent forecast engine: platforms, sessions, pool and cache.
+pub struct ForecastEngine {
+    config: NetworkConfig,
+    pool: WorkerPool,
+    sessions: RwLock<HashMap<String, Arc<Session>>>,
+    cache: ForecastCache,
+    /// Background-traffic epoch; bumped on metrology ingestion.
+    epoch: AtomicU64,
+}
+
+impl ForecastEngine {
+    /// An engine with default tuning.
+    pub fn new(config: NetworkConfig) -> ForecastEngine {
+        ForecastEngine::with_engine_config(config, EngineConfig::default())
+    }
+
+    /// An engine with explicit tuning.
+    pub fn with_engine_config(config: NetworkConfig, engine: EngineConfig) -> ForecastEngine {
+        let pool = if engine.workers == 0 {
+            WorkerPool::with_default_size()
+        } else {
+            WorkerPool::new(engine.workers)
+        };
+        ForecastEngine {
+            config,
+            pool,
+            sessions: RwLock::new(HashMap::new()),
+            cache: ForecastCache::new(engine.cache_capacity),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The model configuration in use.
+    pub fn config(&self) -> NetworkConfig {
+        self.config
+    }
+
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.pool.size()
+    }
+
+    /// The shared worker pool (other subsystems may fan out through it).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Registers a platform under `name`, warming a session for it.
+    pub fn register_platform(&self, name: &str, platform: Platform) {
+        self.register_platform_shared(name, Arc::new(platform));
+    }
+
+    /// Registers an already-shared platform under `name`.
+    pub fn register_platform_shared(&self, name: &str, platform: Arc<Platform>) {
+        let session = Arc::new(Session::new(platform, self.config));
+        self.sessions.write().insert(name.to_string(), session);
+    }
+
+    /// Names of the registered platforms, sorted.
+    pub fn platform_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.sessions.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Shared handle to a registered platform.
+    pub fn platform(&self, name: &str) -> Option<Arc<Platform>> {
+        self.sessions.read().get(name).map(|s| Arc::clone(s.platform()))
+    }
+
+    /// The warm session of a platform (observability / tests).
+    pub fn session(&self, name: &str) -> Result<Arc<Session>, ForecastError> {
+        self.sessions
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ForecastError::UnknownPlatform(name.to_string()))
+    }
+
+    /// The current background-traffic epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Advances the epoch (new metrology data arrived): every cached
+    /// forecast becomes unreachable and its memory is reclaimed.
+    pub fn bump_epoch(&self) -> u64 {
+        let new = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        self.cache.purge_stale(new);
+        new
+    }
+
+    /// Replaces the background flows of `platform` (typically derived
+    /// from freshly ingested metrology data) and bumps the epoch.
+    ///
+    /// The epoch is bumped *around* the swap (before and after): queries
+    /// that read the pre-transition epoch computed with the old
+    /// background and stay valid under their key, while anything
+    /// computed during the swap window lands on the intermediate epoch,
+    /// which the second bump immediately invalidates. After this method
+    /// returns, every reachable cache entry is consistent with the new
+    /// background.
+    pub fn set_background(
+        &self,
+        platform: &str,
+        flows: &[TransferSpec],
+    ) -> Result<u64, ForecastError> {
+        let session = self.session(platform)?;
+        let resolved = flows
+            .iter()
+            .map(|f| {
+                let s = session.resolve_spec(f)?;
+                Ok(BackgroundFlow { src: s.src, dst: s.dst, size: s.size, path: s.path })
+            })
+            .collect::<Result<Vec<_>, ForecastError>>()?;
+        self.bump_epoch();
+        session.set_background(resolved);
+        Ok(self.bump_epoch())
+    }
+
+    /// Cache hits so far (tests / observability).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Cache misses so far (tests / observability).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Live cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Predicted completion times (seconds) of a set of concurrent
+    /// transfers, in request order. Cached per epoch; sharded across the
+    /// pool by link-disjoint components.
+    pub fn predict(
+        &self,
+        platform: &str,
+        specs: &[TransferSpec],
+    ) -> Result<Arc<Vec<f64>>, ForecastError> {
+        let session = self.session(platform)?;
+        let epoch = self.epoch();
+        let key = CacheKey::predict(platform, epoch, specs);
+        if let Some(CachedResult::Predict(d)) = self.cache.get(&key) {
+            return Ok(d);
+        }
+        let resolved = specs
+            .iter()
+            .map(|s| session.resolve_spec(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let durations = Arc::new(self.run_batch(&session, &resolved)?);
+        self.cache.insert(key, CachedResult::Predict(Arc::clone(&durations)));
+        Ok(durations)
+    }
+
+    /// Simulates `background ∪ resolved`, sharded by component, returning
+    /// durations in `resolved` order. Exactly equal to one monolithic
+    /// simulation of the whole batch.
+    fn run_batch(
+        &self,
+        session: &Session,
+        resolved: &[ResolvedSpec],
+    ) -> Result<Vec<f64>, ForecastError> {
+        if resolved.is_empty() {
+            return Ok(Vec::new());
+        }
+        let background = session.background();
+        let n_bg = background.len();
+        // Item order: background flows first, then requests — the same
+        // order the monolithic simulation adds them in.
+        let resource_lists: Vec<&[u32]> = background
+            .iter()
+            .map(|b| b.path.resources.as_slice())
+            .chain(resolved.iter().map(|r| r.path.resources.as_slice()))
+            .collect();
+        let comp = components(&resource_lists);
+        let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
+
+        if n_comp <= 1 {
+            let all_bg: Vec<usize> = (0..n_bg).collect();
+            let all: Vec<usize> = (0..resolved.len()).collect();
+            return session.simulate_subset(&background, &all_bg, resolved, &all);
+        }
+
+        // Group item indices per component, preserving order within each.
+        let mut groups: Vec<(Vec<usize>, Vec<usize>)> = vec![(Vec::new(), Vec::new()); n_comp];
+        for (item, &c) in comp.iter().enumerate() {
+            if item < n_bg {
+                groups[c].0.push(item);
+            } else {
+                groups[c].1.push(item - n_bg);
+            }
+        }
+        // Background-only components cannot influence any request (that
+        // is what "disjoint component" means) — simulating them would be
+        // pure waste, so drop them before the fan-out.
+        groups.retain(|g| !g.1.is_empty());
+
+        let outcomes = self.pool.map(&groups, |_, (bg_idx, spec_idx)| {
+            session.simulate_subset(&background, bg_idx, resolved, spec_idx)
+        });
+
+        // Deterministic merge: durations drop into their request slots;
+        // the first failing component (in component order) wins on error.
+        let mut durations = vec![0.0f64; resolved.len()];
+        for (g, out) in groups.iter().zip(outcomes) {
+            let durs = out?;
+            for (slot, d) in g.1.iter().zip(durs) {
+                durations[*slot] = d;
+            }
+        }
+        Ok(durations)
+    }
+
+    /// The sequential algorithm's per-hypothesis makespan lower bound:
+    /// each transfer alone needs at least `latency·factor + size /
+    /// bottleneck` (same float operations as the reference).
+    fn lower_bound(
+        &self,
+        session: &Session,
+        specs: &[TransferSpec],
+    ) -> Result<f64, ForecastError> {
+        let mut bound = 0.0f64;
+        for r in specs {
+            let src = session.host(&r.src)?;
+            let dst = session.host(&r.dst)?;
+            let path = session.resolve(src, dst)?;
+            let mut bw = path.bottleneck;
+            if path.latency > 0.0 {
+                bw = bw.min(self.config.tcp_gamma / (2.0 * path.latency));
+            }
+            let t = path.delay + if bw.is_finite() { r.size / bw } else { 0.0 };
+            bound = bound.max(t);
+        }
+        Ok(bound)
+    }
+
+    /// Simulates one hypothesis (monolithic) and returns `(durations,
+    /// makespan)`.
+    fn simulate_hypothesis(
+        &self,
+        session: &Session,
+        background: &[BackgroundFlow],
+        specs: &[TransferSpec],
+    ) -> Result<(Vec<f64>, f64), ForecastError> {
+        let resolved = specs
+            .iter()
+            .map(|s| session.resolve_spec(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let all_bg: Vec<usize> = (0..background.len()).collect();
+        let all: Vec<usize> = (0..resolved.len()).collect();
+        let durations = session.simulate_subset(background, &all_bg, &resolved, &all)?;
+        let makespan = durations.iter().copied().fold(0.0, f64::max);
+        Ok((durations, makespan))
+    }
+
+    /// Evaluates `hypotheses` and returns the fastest, with pruning.
+    /// Winner, makespan and pruned set are identical to the sequential
+    /// reference algorithm (see the module docs for why); hypotheses are
+    /// simulated in parallel waves of pool width.
+    pub fn select_fastest(
+        &self,
+        platform: &str,
+        hypotheses: &[Vec<TransferSpec>],
+    ) -> Result<Arc<Selection>, ForecastError> {
+        if hypotheses.is_empty() {
+            return Err(ForecastError::NoHypotheses);
+        }
+        let session = self.session(platform)?;
+        let epoch = self.epoch();
+        let key = CacheKey::select(platform, epoch, hypotheses);
+        if let Some(CachedResult::Select(s)) = self.cache.get(&key) {
+            return Ok(s);
+        }
+
+        let mut order: Vec<(usize, f64)> = hypotheses
+            .iter()
+            .enumerate()
+            .map(|(i, h)| Ok((i, self.lower_bound(&session, h)?)))
+            .collect::<Result<_, ForecastError>>()?;
+        order.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+        // Wave-parallel simulation, cheapest lower bound first. The skip
+        // test uses the best makespan over *completed waves*, which never
+        // beats the sequential algorithm's running best over the full
+        // prefix — so everything the sequential algorithm would simulate
+        // lands in some wave.
+        let background = session.background();
+        let width = self.pool.size();
+        type HypOutcome = Result<(Vec<f64>, f64), ForecastError>;
+        let mut results: Vec<Option<HypOutcome>> = Vec::with_capacity(hypotheses.len());
+        results.resize_with(hypotheses.len(), || None);
+        let mut best_mk = f64::INFINITY;
+        let mut wave: Vec<usize> = Vec::new();
+        for k in 0..order.len() {
+            let (i, lower) = order[k];
+            if lower < best_mk {
+                wave.push(i);
+            }
+            if wave.len() == width || (k + 1 == order.len() && !wave.is_empty()) {
+                let outs = self.pool.map(&wave, |_, &i| {
+                    self.simulate_hypothesis(&session, &background, &hypotheses[i])
+                });
+                for (&i, out) in wave.iter().zip(outs) {
+                    if let Ok((_, mk)) = &out {
+                        best_mk = best_mk.min(*mk);
+                    }
+                    results[i] = Some(out);
+                }
+                wave.clear();
+            }
+        }
+
+        // Replay the sequential prune/select decisions over the
+        // simulated makespans: bit-identical winner and pruned set.
+        let mut best: Option<(usize, f64, Vec<f64>)> = None;
+        let mut pruned = Vec::new();
+        for &(i, lower) in &order {
+            if let Some((_, best_mk, _)) = &best {
+                if lower >= *best_mk {
+                    pruned.push(i);
+                    continue;
+                }
+            }
+            let outcome = match results[i].take() {
+                Some(o) => o,
+                // Unreachable by the conservativeness argument; simulate
+                // inline as a safety net rather than panic in serving.
+                None => self.simulate_hypothesis(&session, &background, &hypotheses[i]),
+            };
+            let (durations, mk) = outcome?;
+            let better = best.as_ref().is_none_or(|(_, b, _)| mk < *b);
+            if better {
+                best = Some((i, mk, durations));
+            }
+        }
+        let (best, best_makespan, durations) = best.expect("≥1 hypothesis simulated");
+        pruned.sort_unstable();
+        let selection = Arc::new(Selection { best, best_makespan, durations, pruned });
+        self.cache.insert(key, CachedResult::Select(Arc::clone(&selection)));
+        Ok(selection)
+    }
+}
+
+/// Partitions items (each described by its saturable-resource list) into
+/// connected components: two items share a component iff they
+/// transitively share a resource. Items with *no* saturable resources
+/// cannot interact with anything; they are lumped into one shared
+/// component so a batch of unconstrained flows costs one simulation, not
+/// many. Component ids are dense and assigned in first-appearance order.
+fn components(resource_lists: &[&[u32]]) -> Vec<usize> {
+    let n = resource_lists.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    let mut owner: HashMap<u32, usize> = HashMap::new();
+    let mut free_owner: Option<usize> = None;
+    for (i, resources) in resource_lists.iter().enumerate() {
+        if resources.is_empty() {
+            match free_owner {
+                Some(o) => {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, o));
+                    parent[a] = b;
+                }
+                None => free_owner = Some(i),
+            }
+            continue;
+        }
+        for &r in *resources {
+            match owner.get(&r) {
+                Some(&o) => {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, o));
+                    parent[a] = b;
+                }
+                None => {
+                    owner.insert(r, i);
+                }
+            }
+        }
+    }
+    // densify in first-appearance order
+    let mut dense: HashMap<usize, usize> = HashMap::new();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        let next = dense.len();
+        out.push(*dense.entry(root).or_insert(next));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_group_by_shared_resources() {
+        let lists: Vec<&[u32]> = vec![
+            &[0, 1],  // A
+            &[2],     // B
+            &[1, 3],  // C shares 1 with A
+            &[],      // D unconstrained
+            &[4],     // E
+            &[],      // F unconstrained — shares D's bucket
+            &[3, 4],  // G bridges C and E
+        ];
+        let c = components(&lists);
+        assert_eq!(c[0], c[2], "A and C share link 1");
+        assert_eq!(c[2], c[6], "G bridges into A/C via link 3");
+        assert_eq!(c[4], c[6], "G bridges E via link 4");
+        assert_ne!(c[0], c[1], "B is alone");
+        assert_eq!(c[3], c[5], "unconstrained flows share one bucket");
+        assert_ne!(c[3], c[0]);
+        // dense, first-appearance ids
+        assert_eq!(c[0], 0);
+        assert_eq!(c[1], 1);
+        assert_eq!(c[3], 2);
+    }
+
+    #[test]
+    fn components_of_disjoint_items_are_distinct() {
+        let lists: Vec<&[u32]> = vec![&[0], &[1], &[2]];
+        assert_eq!(components(&lists), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,57 @@
+//! # forecast — the concurrent forecast engine
+//!
+//! The paper's PNFS answers one query by building a fresh flow-level
+//! simulation and running it on the calling thread. That is fine for a
+//! demo and hopeless for a service: under concurrent traffic every HTTP
+//! worker burns CPU rebuilding identical scaffolding and re-simulating
+//! identical questions. This crate is the serving layer that fixes that,
+//! three pieces deep:
+//!
+//! ## Worker pool ([`pool`])
+//!
+//! A hand-rolled fixed-size pool of persistent threads (no rayon in this
+//! environment) with a rayon-style *scoped* submission API, so jobs can
+//! borrow request data from the caller's stack. Pool sizing defaults to
+//! `available_parallelism`; simulation is CPU-bound, so more threads than
+//! cores only add scheduling noise. A waiting scope *helps* by draining
+//! the queue, so nested scopes cannot deadlock. The pool is
+//! engine-agnostic on purpose: `MaxMinSolver`'s independent-component
+//! solves (ROADMAP) can fan out through the same `scope`/`map` API.
+//!
+//! ## Warm sessions ([`session`])
+//!
+//! Per-platform scaffolding that queries should not rebuild: the solver
+//! capacity vector (built once per platform, cloned per simulation), a
+//! memoized route-resolution table (endpoint pair → [`simflow::ResolvedPath`]),
+//! and the *background flows* of the current metrology epoch, resolved
+//! once when the data arrives. Sessions are `Arc`-shared across HTTP and
+//! pool workers; the backing [`simflow::Platform`] is immutable.
+//!
+//! ## Epoch-keyed cache ([`cache`])
+//!
+//! A forecast is a pure function of `(platform, background epoch,
+//! canonicalized query)`. The engine keeps a monotonic epoch counter;
+//! ingesting new metrology data bumps it ([`ForecastEngine::bump_epoch`]),
+//! which makes every cached entry unreachable in O(1) — no per-entry
+//! invalidation to get wrong. Within an epoch, a repeated query returns
+//! the memoized result, which renders to bit-identical JSON upstream.
+//!
+//! ## Determinism
+//!
+//! Parallel execution never changes an answer: `predict` shards batches
+//! into link-disjoint components (exact under max-min sharing) and
+//! merges durations by request index; `select_fastest` simulates
+//! hypothesis waves in parallel but *replays* the sequential
+//! prune/select decision procedure over the collected makespans, so the
+//! winner and pruned set always match the sequential reference
+//! implementation (`pilgrim_core::Pnfs::select_fastest_reference`).
+
+pub mod cache;
+pub mod engine;
+pub mod pool;
+pub mod session;
+
+pub use cache::{CacheKey, CachedResult, ForecastCache};
+pub use engine::{EngineConfig, ForecastEngine, ForecastError, Selection, TransferSpec};
+pub use pool::{Scope, WorkerPool};
+pub use session::{BackgroundFlow, ResolvedSpec, Session};

@@ -1,0 +1,171 @@
+//! Warm per-platform simulation sessions.
+//!
+//! Building a [`Simulation`] involves two per-request costs the serving
+//! path should not pay twice: constructing the solver capacity vector
+//! (`O(links + hosts)`) and resolving routes (`O(zone depth)` per
+//! endpoint pair). A [`Session`] amortizes both across queries against
+//! the same platform: the capacity vector is built once, and every
+//! resolved `(src, dst)` path is memoized. Sessions also carry the
+//! *background traffic* of the current metrology epoch — flows injected
+//! into every simulation to model load the forecast must coexist with —
+//! resolved once when the epoch's data arrives, not per query.
+//!
+//! Sessions are shared (`Arc`) between HTTP workers and pool workers;
+//! interior state is lock-protected and all of it is rebuildable, so a
+//! session is never invalidated — only its background set changes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use simflow::{HostId, NetworkConfig, Platform, ResolvedPath, Simulation};
+
+use crate::engine::{ForecastError, TransferSpec};
+
+/// A background flow: a resolved path plus the bytes in flight, injected
+/// into every simulation of the session's platform.
+#[derive(Clone, Debug)]
+pub struct BackgroundFlow {
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Bytes outstanding.
+    pub size: f64,
+    /// The resolved route.
+    pub path: Arc<ResolvedPath>,
+}
+
+/// Warm scaffolding for one platform.
+pub struct Session {
+    platform: Arc<Platform>,
+    config: NetworkConfig,
+    /// Prebuilt solver capacity vector (see
+    /// [`Simulation::shared_capacities`]); cloned into each simulation.
+    capacities: Vec<f64>,
+    /// Memoized route resolutions, keyed by endpoint pair.
+    routes: RwLock<HashMap<(HostId, HostId), Arc<ResolvedPath>>>,
+    /// Background flows of the current epoch.
+    background: RwLock<Arc<Vec<BackgroundFlow>>>,
+}
+
+impl Session {
+    /// Warms up a session for `platform`.
+    pub fn new(platform: Arc<Platform>, config: NetworkConfig) -> Session {
+        let capacities = Simulation::shared_capacities(&platform, &config);
+        Session {
+            platform,
+            config,
+            capacities,
+            routes: RwLock::new(HashMap::new()),
+            background: RwLock::new(Arc::new(Vec::new())),
+        }
+    }
+
+    /// The platform this session simulates.
+    pub fn platform(&self) -> &Arc<Platform> {
+        &self.platform
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> NetworkConfig {
+        self.config
+    }
+
+    /// Number of memoized routes (observability / tests).
+    pub fn routes_cached(&self) -> usize {
+        self.routes.read().len()
+    }
+
+    /// The current background flows.
+    pub fn background(&self) -> Arc<Vec<BackgroundFlow>> {
+        self.background.read().clone()
+    }
+
+    /// Replaces the background flows (new metrology epoch). The caller
+    /// (the engine) is responsible for bumping the epoch so cached
+    /// results keyed to the old background become unreachable.
+    pub fn set_background(&self, flows: Vec<BackgroundFlow>) {
+        *self.background.write() = Arc::new(flows);
+    }
+
+    /// Looks a host up by name.
+    pub fn host(&self, name: &str) -> Result<HostId, ForecastError> {
+        self.platform
+            .host_by_name(name)
+            .ok_or_else(|| ForecastError::UnknownHost(name.to_string()))
+    }
+
+    /// The memoized route resolution between two hosts.
+    pub fn resolve(&self, src: HostId, dst: HostId) -> Result<Arc<ResolvedPath>, ForecastError> {
+        if let Some(p) = self.routes.read().get(&(src, dst)) {
+            return Ok(Arc::clone(p));
+        }
+        let path = Arc::new(
+            ResolvedPath::resolve(&self.platform, &self.config, src, dst)
+                .map_err(ForecastError::Sim)?,
+        );
+        let mut w = self.routes.write();
+        // A racing resolver may have inserted meanwhile; keep the first
+        // entry so every caller shares one allocation.
+        Ok(Arc::clone(w.entry((src, dst)).or_insert(path)))
+    }
+
+    /// Resolves a request tuple: host names, size validity, route.
+    pub fn resolve_spec(&self, spec: &TransferSpec) -> Result<ResolvedSpec, ForecastError> {
+        if !spec.size.is_finite() || spec.size < 0.0 {
+            return Err(ForecastError::BadSize(spec.size));
+        }
+        let src = self.host(&spec.src)?;
+        let dst = self.host(&spec.dst)?;
+        let path = self.resolve(src, dst)?;
+        Ok(ResolvedSpec { src, dst, size: spec.size, path })
+    }
+
+    /// A fresh simulation using the prewarmed capacity vector.
+    pub fn simulation(&self) -> Simulation<'_> {
+        Simulation::with_capacities(&self.platform, self.config, self.capacities.clone())
+    }
+
+    /// Runs one simulation of the selected background flows and request
+    /// specs (all starting at t=0) and returns the durations of the
+    /// selected specs, in `spec_idx` order. Background flows are added
+    /// first, then requests — the same insertion order for a subset as
+    /// for the whole batch, which is what makes component-sharded
+    /// execution bit-identical to one monolithic simulation.
+    pub fn simulate_subset(
+        &self,
+        background: &[BackgroundFlow],
+        bg_idx: &[usize],
+        specs: &[ResolvedSpec],
+        spec_idx: &[usize],
+    ) -> Result<Vec<f64>, ForecastError> {
+        let mut sim = self.simulation();
+        for &b in bg_idx {
+            let b = &background[b];
+            sim.add_transfer_resolved(b.src, b.dst, b.size, simflow::SimTime::ZERO, &b.path);
+        }
+        let ids: Vec<_> = spec_idx
+            .iter()
+            .map(|&i| {
+                let s = &specs[i];
+                sim.add_transfer_resolved(s.src, s.dst, s.size, simflow::SimTime::ZERO, &s.path)
+            })
+            .collect();
+        let report = sim.run().map_err(ForecastError::Sim)?;
+        Ok(ids.iter().map(|id| report.duration(*id).as_secs()).collect())
+    }
+}
+
+/// A fully resolved transfer request, ready to drop into a simulation.
+#[derive(Clone, Debug)]
+pub struct ResolvedSpec {
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Transfer size in bytes.
+    pub size: f64,
+    /// Resolved route.
+    pub path: Arc<ResolvedPath>,
+}

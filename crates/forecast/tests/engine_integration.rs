@@ -1,0 +1,236 @@
+//! Integration tests of the forecast engine against a synthetic
+//! multi-cluster platform: parallel execution must never change answers,
+//! sessions must actually stay warm, and the epoch must gate the cache.
+
+use forecast::{EngineConfig, ForecastEngine, ForecastError, TransferSpec};
+use simflow::platform::builder::PlatformBuilder;
+use simflow::platform::routing::{Element, RoutingKind};
+use simflow::platform::SharingPolicy;
+use simflow::{NetworkConfig, Platform, SimTime, Simulation};
+
+/// Two 8-host clusters behind per-host access links and one shared
+/// backbone — enough structure for multi-component batches.
+fn two_clusters() -> Platform {
+    let mut b = PlatformBuilder::new("root", RoutingKind::Full);
+    let root = b.root_zone();
+    let bb = b.add_link("bb", 1.25e9, 2e-3, SharingPolicy::Shared);
+    let mut gws = Vec::new();
+    for (c, cluster) in ["alpha", "beta"].iter().enumerate() {
+        let zone = b.add_zone(root, cluster, RoutingKind::Full);
+        let gw = b.add_router(zone, &format!("{cluster}-gw"));
+        b.set_gateway(zone, gw);
+        let mut hosts = Vec::new();
+        let mut eths = Vec::new();
+        for h in 0..8 {
+            let host = b.add_host(zone, &format!("{cluster}-{h}"), 1e9);
+            let l = b.add_link(
+                &format!("{cluster}-{h}-eth"),
+                1.25e8,
+                1e-4,
+                SharingPolicy::Shared,
+            );
+            b.add_route(zone, Element::Point(host.netpoint()), Element::Point(gw), vec![l], true);
+            hosts.push(host);
+            eths.push(l);
+        }
+        // full intra-cluster routing: both access links per pair
+        for i in 0..hosts.len() {
+            for j in (i + 1)..hosts.len() {
+                b.add_route(
+                    zone,
+                    Element::Point(hosts[i].netpoint()),
+                    Element::Point(hosts[j].netpoint()),
+                    vec![eths[i], eths[j]],
+                    true,
+                );
+            }
+        }
+        gws.push(zone);
+        let _ = c;
+    }
+    b.add_route(root, Element::Zone(gws[0]), Element::Zone(gws[1]), vec![bb], true);
+    b.build().unwrap()
+}
+
+fn spec(src: &str, dst: &str, size: f64) -> TransferSpec {
+    TransferSpec { src: src.into(), dst: dst.into(), size }
+}
+
+fn engine(workers: usize) -> ForecastEngine {
+    let e = ForecastEngine::with_engine_config(
+        NetworkConfig::default(),
+        EngineConfig { workers, cache_capacity: 64 },
+    );
+    e.register_platform("twoc", two_clusters());
+    e
+}
+
+/// The engine's reference: one monolithic simulation of the same batch.
+fn monolithic(specs: &[TransferSpec]) -> Vec<f64> {
+    let p = two_clusters();
+    let mut sim = Simulation::new(&p, NetworkConfig::default());
+    let ids: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            sim.add_transfer_at(
+                p.host_by_name(&s.src).unwrap(),
+                p.host_by_name(&s.dst).unwrap(),
+                s.size,
+                SimTime::ZERO,
+            )
+            .unwrap()
+        })
+        .collect();
+    let report = sim.run().unwrap();
+    ids.iter().map(|id| report.duration(*id).as_secs()).collect()
+}
+
+#[test]
+fn sharded_predict_is_bit_identical_to_monolithic() {
+    // 10 transfers forming several link-disjoint components: intra-alpha
+    // pairs, intra-beta pairs, inter-cluster flows (coupled through the
+    // backbone) and a same-host no-op.
+    let specs = vec![
+        spec("alpha-0", "alpha-1", 5e8),
+        spec("alpha-2", "alpha-3", 2e8),
+        spec("beta-0", "beta-1", 7e8),
+        spec("alpha-4", "beta-4", 3e8),
+        spec("alpha-5", "beta-5", 3e8),
+        spec("beta-2", "beta-3", 1e8),
+        spec("alpha-0", "alpha-1", 1e7),
+        spec("beta-6", "beta-7", 9e8),
+        spec("alpha-6", "alpha-7", 4e8),
+        spec("alpha-6", "alpha-6", 1e9), // same host: unconstrained
+    ];
+    let want = monolithic(&specs);
+    for workers in [1, 4] {
+        let e = engine(workers);
+        let got = e.predict("twoc", &specs).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits(), "workers={workers}: {g} vs {w}");
+        }
+    }
+}
+
+#[test]
+fn select_fastest_winner_is_worker_count_invariant() {
+    // Randomized hypothesis sets (deterministic LCG): winner, makespan
+    // and pruned set must agree between 1 worker (sequential waves) and
+    // many workers (parallel waves).
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move |m: usize| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % m
+    };
+    for round in 0..5 {
+        let n_hyp = 4 + next(5); // 4..8 hypotheses
+        let hypotheses: Vec<Vec<TransferSpec>> = (0..n_hyp)
+            .map(|_| {
+                (0..1 + next(4))
+                    .map(|_| {
+                        let cs = ["alpha", "beta"][next(2)];
+                        let cd = ["alpha", "beta"][next(2)];
+                        spec(
+                            &format!("{cs}-{}", next(8)),
+                            &format!("{cd}-{}", next(8)),
+                            1e7 * (1 + next(100)) as f64,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let seq = engine(1).select_fastest("twoc", &hypotheses).unwrap();
+        let par = engine(4).select_fastest("twoc", &hypotheses).unwrap();
+        assert_eq!(seq.best, par.best, "round {round}: winner diverged");
+        assert_eq!(
+            seq.best_makespan.to_bits(),
+            par.best_makespan.to_bits(),
+            "round {round}: makespan diverged"
+        );
+        assert_eq!(seq.pruned, par.pruned, "round {round}: pruned set diverged");
+        assert_eq!(seq.durations, par.durations, "round {round}");
+    }
+}
+
+#[test]
+fn session_stays_warm_across_queries() {
+    let e = engine(2);
+    let q = vec![spec("alpha-0", "beta-3", 5e8), spec("alpha-1", "alpha-2", 5e8)];
+    e.predict("twoc", &q).unwrap();
+    let session = e.session("twoc").unwrap();
+    let warmed = session.routes_cached();
+    assert!(warmed >= 2, "routes memoized: {warmed}");
+    // same endpoints, different sizes: no new resolutions
+    let q2 = vec![spec("alpha-0", "beta-3", 1e6), spec("alpha-1", "alpha-2", 2e6)];
+    e.predict("twoc", &q2).unwrap();
+    assert_eq!(session.routes_cached(), warmed, "repeat endpoints resolve nothing");
+}
+
+#[test]
+fn cache_hits_within_epoch_and_misses_after_bump() {
+    let e = engine(2);
+    let q = vec![spec("alpha-0", "alpha-1", 5e8)];
+    let first = e.predict("twoc", &q).unwrap();
+    assert_eq!(e.cache_hits(), 0);
+    let second = e.predict("twoc", &q).unwrap();
+    assert_eq!(e.cache_hits(), 1, "second identical query must hit");
+    assert_eq!(first, second);
+    // textual variants of the same query share the entry
+    let q_canonical = vec![spec("alpha-0", "alpha-1", 500_000_000.0)];
+    e.predict("twoc", &q_canonical).unwrap();
+    assert_eq!(e.cache_hits(), 2);
+
+    let before = e.epoch();
+    e.bump_epoch();
+    assert_eq!(e.epoch(), before + 1);
+    assert_eq!(e.cache_len(), 0, "stale entries purged");
+    e.predict("twoc", &q).unwrap();
+    assert_eq!(e.cache_hits(), 2, "post-bump query re-simulates");
+}
+
+#[test]
+fn background_flows_slow_foreground_and_bump_epoch() {
+    let e = engine(2);
+    let q = vec![spec("alpha-0", "alpha-1", 5e8)];
+    let quiet = e.predict("twoc", &q).unwrap()[0];
+
+    let epoch_before = e.epoch();
+    // saturate alpha-0's access link with background traffic
+    e.set_background("twoc", &[spec("alpha-0", "alpha-2", 1e10)]).unwrap();
+    assert!(e.epoch() > epoch_before, "background change must advance the epoch");
+
+    let busy = e.predict("twoc", &q).unwrap()[0];
+    assert!(
+        busy > quiet * 1.5,
+        "background contention must slow the forecast: {quiet} -> {busy}"
+    );
+
+    // clearing the background restores the quiet forecast exactly
+    e.set_background("twoc", &[]).unwrap();
+    let again = e.predict("twoc", &q).unwrap()[0];
+    assert_eq!(again.to_bits(), quiet.to_bits());
+}
+
+#[test]
+fn error_surface_matches_inputs() {
+    let e = engine(2);
+    assert!(matches!(
+        e.predict("nope", &[spec("a", "b", 1.0)]),
+        Err(ForecastError::UnknownPlatform(_))
+    ));
+    assert!(matches!(
+        e.predict("twoc", &[spec("ghost", "alpha-0", 1.0)]),
+        Err(ForecastError::UnknownHost(_))
+    ));
+    assert!(matches!(
+        e.predict("twoc", &[spec("alpha-0", "alpha-1", -5.0)]),
+        Err(ForecastError::BadSize(_))
+    ));
+    assert!(matches!(
+        e.select_fastest("twoc", &[]),
+        Err(ForecastError::NoHypotheses)
+    ));
+    // errors are not cached
+    assert_eq!(e.cache_len(), 0);
+}

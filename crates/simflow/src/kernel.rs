@@ -190,6 +190,69 @@ enum Event {
     LatencyDone(WorkId),
 }
 
+/// A route resolved into the model quantities a transfer needs, decoupled
+/// from any particular [`Simulation`] so callers (e.g. a warm forecast
+/// session) can resolve once and replay the result across many
+/// simulations of the same platform. Feeding a `ResolvedPath` back through
+/// [`Simulation::add_transfer_resolved`] produces bit-identical behavior
+/// to [`Simulation::add_transfer_at`] on the same endpoints.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResolvedPath {
+    /// Solver resource ids of the *shared* links along the route.
+    pub resources: Vec<u32>,
+    /// Max-min weight of a flow on this route (RTT + Σ weight_s / C_l).
+    pub weight: f64,
+    /// Per-flow rate cap: fat-pipe bandwidths and the TCP window bound.
+    pub cap: f64,
+    /// End-to-end one-way latency of the route, in seconds.
+    pub latency: f64,
+    /// Modeled startup delay (`latency_factor × latency`).
+    pub delay: f64,
+    /// Minimum effective bandwidth over *all* links of the route (shared
+    /// and fat-pipe alike), before the TCP window bound. Infinite for
+    /// empty routes. A cheap lower-bound ingredient for schedulers.
+    pub bottleneck: f64,
+}
+
+impl ResolvedPath {
+    /// Resolves the route between two hosts under `config`, computing the
+    /// exact quantities [`Simulation::add_transfer_at`] would derive.
+    pub fn resolve(
+        platform: &Platform,
+        config: &NetworkConfig,
+        src: HostId,
+        dst: HostId,
+    ) -> Result<ResolvedPath, SimError> {
+        let route = platform.route_hosts(src, dst)?;
+        let mut resources = Vec::with_capacity(route.links.len());
+        let mut cap = f64::INFINITY;
+        let mut bottleneck = f64::INFINITY;
+        let mut weight = route.latency;
+        for l in &route.links {
+            let link = platform.link(*l);
+            let eff_bw = link.bandwidth * config.bandwidth_factor;
+            weight += config.weight_s / eff_bw;
+            bottleneck = bottleneck.min(eff_bw);
+            match link.policy {
+                SharingPolicy::Shared => resources.push(l.index() as u32),
+                SharingPolicy::FatPipe => cap = cap.min(eff_bw),
+            }
+        }
+        // TCP window bound: γ / (2 · end-to-end latency).
+        if route.latency > 0.0 {
+            cap = cap.min(config.tcp_gamma / (2.0 * route.latency));
+        }
+        Ok(ResolvedPath {
+            resources,
+            weight: weight.max(1e-9),
+            cap,
+            latency: route.latency,
+            delay: config.latency_factor * route.latency,
+            bottleneck,
+        })
+    }
+}
+
 /// A single simulation over a shared [`Platform`].
 pub struct Simulation<'p> {
     platform: &'p Platform,
@@ -213,6 +276,17 @@ impl<'p> Simulation<'p> {
     /// Creates a simulation over `platform` with the given model
     /// configuration.
     pub fn new(platform: &'p Platform, config: NetworkConfig) -> Self {
+        let capacities = Self::shared_capacities(platform, &config);
+        Self::with_capacities(platform, config, capacities)
+    }
+
+    /// The solver capacity vector `new` would build for `platform`: one
+    /// entry per link (its effective shared bandwidth; infinite for fat
+    /// pipes, which only cap individual flows) followed by one entry per
+    /// host (its compute speed). Building this is `O(links + hosts)`;
+    /// warm forecast sessions compute it once per platform and hand
+    /// clones to [`Simulation::with_capacities`].
+    pub fn shared_capacities(platform: &Platform, config: &NetworkConfig) -> Vec<f64> {
         let mut capacities = Vec::with_capacity(platform.link_count() + platform.host_count());
         for i in 0..platform.link_count() {
             let link = &platform.links[i];
@@ -227,6 +301,23 @@ impl<'p> Simulation<'p> {
         for h in &platform.hosts {
             capacities.push(h.speed);
         }
+        capacities
+    }
+
+    /// Creates a simulation from a prebuilt capacity vector (the value of
+    /// [`Simulation::shared_capacities`] for this platform/config pair).
+    /// Behavior is identical to [`Simulation::new`]; this constructor just
+    /// skips rebuilding the vector.
+    pub fn with_capacities(
+        platform: &'p Platform,
+        config: NetworkConfig,
+        capacities: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(
+            capacities.len(),
+            platform.link_count() + platform.host_count(),
+            "capacity vector does not match the platform"
+        );
         Simulation {
             platform,
             config,
@@ -254,26 +345,48 @@ impl<'p> Simulation<'p> {
         size_bytes: f64,
         start: SimTime,
     ) -> Result<WorkId, SimError> {
+        let path = ResolvedPath::resolve(self.platform, &self.config, src, dst)?;
+        let (weight, cap, delay) = (path.weight, path.cap, path.delay);
+        Ok(self.push_transfer(src, dst, size_bytes, start, path.resources, weight, cap, delay))
+    }
+
+    /// Schedules a transfer along an already-resolved path (obtained from
+    /// [`ResolvedPath::resolve`] on the same platform/config, possibly
+    /// cached across simulations). Equivalent to
+    /// [`Simulation::add_transfer_at`] minus the route resolution.
+    pub fn add_transfer_resolved(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        size_bytes: f64,
+        start: SimTime,
+        path: &ResolvedPath,
+    ) -> WorkId {
+        self.push_transfer(
+            src,
+            dst,
+            size_bytes,
+            start,
+            path.resources.clone(),
+            path.weight,
+            path.cap,
+            path.delay,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_transfer(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        size_bytes: f64,
+        start: SimTime,
+        resources: Vec<u32>,
+        weight: f64,
+        cap: f64,
+        delay: f64,
+    ) -> WorkId {
         assert!(size_bytes.is_finite() && size_bytes >= 0.0, "invalid size");
-        let route = self.platform.route_hosts(src, dst)?;
-        let mut resources = Vec::with_capacity(route.links.len());
-        let mut cap = f64::INFINITY;
-        let mut weight = route.latency;
-        for l in &route.links {
-            let link = self.platform.link(*l);
-            let eff_bw = link.bandwidth * self.config.bandwidth_factor;
-            weight += self.config.weight_s / eff_bw;
-            match link.policy {
-                SharingPolicy::Shared => resources.push(l.index() as u32),
-                SharingPolicy::FatPipe => cap = cap.min(eff_bw),
-            }
-        }
-        // TCP window bound: γ / (2 · end-to-end latency).
-        if route.latency > 0.0 {
-            cap = cap.min(self.config.tcp_gamma / (2.0 * route.latency));
-        }
-        let weight = weight.max(1e-9);
-        let delay = self.config.latency_factor * route.latency;
         let id = WorkId(self.works.len() as u32);
         self.solver.register(resources, weight, cap);
         self.works.push(WorkState {
@@ -291,7 +404,7 @@ impl<'p> Simulation<'p> {
             dependents: Vec::new(),
         });
         self.push_event(start, Event::Start(id));
-        Ok(id)
+        id
     }
 
     /// Declares that `work` cannot start before every id in `deps` has
@@ -853,6 +966,34 @@ mod tests {
         let r = sim.run().unwrap();
         assert!(r.completions.is_empty());
         assert_eq!(r.makespan(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn resolved_path_replays_identically() {
+        // A cached ResolvedPath fed back through add_transfer_resolved must
+        // reproduce add_transfer_at bit for bit (warm forecast sessions
+        // rely on this to reuse route resolution across simulations).
+        let p = pair(1.25e8, 1e-4);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let cfg = NetworkConfig::default();
+        let path = ResolvedPath::resolve(&p, &cfg, a, b).unwrap();
+        assert_eq!(path.resources, vec![0]);
+        assert!(path.bottleneck.is_finite());
+
+        let mut direct = Simulation::new(&p, cfg);
+        let mut replayed =
+            Simulation::with_capacities(&p, cfg, Simulation::shared_capacities(&p, &cfg));
+        for i in 0..8 {
+            let size = 1e7 * (i + 1) as f64;
+            let at = SimTime::from_secs(0.05 * i as f64);
+            direct.add_transfer_at(a, b, size, at).unwrap();
+            replayed.add_transfer_resolved(a, b, size, at, &path);
+        }
+        let rd = direct.run().unwrap();
+        let rr = replayed.run().unwrap();
+        for (cd, cr) in rd.completions.iter().zip(&rr.completions) {
+            assert_eq!(cd.finish.as_secs().to_bits(), cr.finish.as_secs().to_bits());
+        }
     }
 
     // -- add_dependencies guards ------------------------------------------

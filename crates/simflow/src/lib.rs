@@ -54,7 +54,7 @@ pub mod trace;
 pub mod units;
 
 pub use config::NetworkConfig;
-pub use kernel::{Completion, Report, SimError, Simulation, WorkId, WorkKind};
+pub use kernel::{Completion, Report, ResolvedPath, SimError, Simulation, WorkId, WorkKind};
 pub use platform::builder::{BuildError, PlatformBuilder};
 pub use platform::routing::{Element, RoutingKind};
 pub use platform::{HostId, LinkId, NetPointId, Platform, Route, RouteError, SharingPolicy, ZoneId};

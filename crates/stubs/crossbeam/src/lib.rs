@@ -1,21 +1,49 @@
 //! Offline stand-in for the `crossbeam` crate: just `channel::unbounded`
-//! with cloneable receivers (an MPMC channel built from `std::sync::mpsc`
-//! behind a mutex), which is what the HTTP worker pool needs.
+//! with cloneable senders *and* receivers (a condvar-based MPMC queue),
+//! which is what the HTTP worker pool and the forecast worker pool need.
 
 pub mod channel {
-    use std::sync::mpsc;
-    use std::sync::{Arc, Mutex};
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        cv: Condvar,
+    }
 
     /// Cloneable sending half.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            let mut inner = self.0.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.senders += 1;
+            drop(inner);
+            Sender(Arc::clone(&self.0))
         }
     }
 
-    /// Error returned when all receivers are gone.
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.senders -= 1;
+            let disconnected = inner.senders == 0;
+            drop(inner);
+            if disconnected {
+                // wake blocked receivers so they can observe the hangup
+                self.0.cv.notify_all();
+            }
+        }
+    }
+
+    /// Error returned when all receivers are gone. (This queue never
+    /// drops receivers' shared state early, so sends cannot actually
+    /// fail; the type exists for API compatibility.)
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
@@ -23,14 +51,29 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by `try_recv` when the queue is momentarily empty
+    /// or all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            let mut inner = self.0.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.queue.push_back(value);
+            drop(inner);
+            self.0.cv.notify_one();
+            Ok(())
         }
     }
 
-    /// Cloneable receiving half; receivers share one queue.
-    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+    /// Cloneable receiving half; receivers share one queue. Unlike the
+    /// previous `std::sync::mpsc`-backed version, a blocked `recv` does
+    /// *not* hold the queue lock, so `try_recv` from another thread
+    /// (e.g. a scope helping while it waits) always makes progress.
+    pub struct Receiver<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
@@ -40,15 +83,39 @@ pub mod channel {
 
     impl<T> Receiver<T> {
         pub fn recv(&self) -> Result<T, RecvError> {
-            let guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
-            guard.recv().map_err(|_| RecvError)
+            let mut inner = self.0.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .0
+                    .cv
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.0.inner.lock().unwrap_or_else(|e| e.into_inner());
+            match inner.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
         }
     }
 
     /// An unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1 }),
+            cv: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
     }
 }
 
@@ -97,5 +164,48 @@ pub mod thread {
             let scope = Scope { inner: s };
             f(&scope)
         }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn mpmc_round_trip() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx2.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+        assert_eq!(rx2.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn blocked_recv_does_not_starve_try_recv() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let rx2 = rx.clone();
+        let blocked = std::thread::spawn(move || rx.recv());
+        // give the thread time to block inside recv()
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // try_recv must not deadlock against the blocked recv
+        assert_eq!(rx2.try_recv(), Err(channel::TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(blocked.join().unwrap(), Ok(7));
+    }
+
+    #[test]
+    fn cloned_senders_keep_the_channel_open() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(9).unwrap();
+        assert_eq!(rx.recv(), Ok(9));
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
     }
 }
