@@ -5,10 +5,12 @@
 //!
 //! Usage: `cargo run --release -p bench --bin bench_kernel [out.json]`
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use exec::WorkerPool;
 use g5k::{synth, to_simflow, Flavor};
-use simflow::{NetworkConfig, Platform, SimTime, Simulation};
+use simflow::{NetworkConfig, Platform, SimTime, SimTuning, Simulation};
 
 /// Median wall-clock nanoseconds of `f` over `samples` runs (one warmup).
 fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
@@ -33,6 +35,26 @@ fn concurrent(platform: &Platform, n: usize) {
         if src != dst {
             sim.add_transfer(src, dst, 1e8).unwrap();
         }
+    }
+    sim.run().unwrap();
+}
+
+/// Disjoint-pair workload: transfer `2k → 2k+1` for each host pair, so
+/// every pair is its own sharing component (hosts have private NIC links;
+/// pairs only merge where a cluster switch group spans them). Pairs inside
+/// one cluster are symmetric, so their completions coincide and every
+/// completion event reshares many components at once — the shape the
+/// solver's pool fan-out targets. `workers == 0` runs without a pool.
+fn multicomp_pairs(platform: &Platform, n: usize, pool: Option<&Arc<WorkerPool>>) {
+    let hosts: Vec<_> = platform.hosts().collect();
+    let tuning = SimTuning { pool: pool.cloned(), warm_start: true };
+    let capacities = Simulation::shared_capacities(platform, &NetworkConfig::default());
+    let mut sim = Simulation::with_tuning(platform, NetworkConfig::default(), capacities, tuning);
+    let n_pairs = hosts.len() / 2;
+    for k in 0..n {
+        let p = k % n_pairs;
+        let (src, dst) = (hosts[2 * p], hosts[2 * p + 1]);
+        sim.add_transfer(src, dst, 5e7 * (1 + k / n_pairs) as f64).unwrap();
     }
     sim.run().unwrap();
 }
@@ -88,6 +110,15 @@ fn main() {
     let ns = median_ns(9, || staggered(&platform, 200));
     println!("kernel_staggered_200        median {ns:>12.0} ns");
     results.push(("kernel_staggered_200".to_string(), ns));
+    // Multi-component variants: same workload, varying solver pool width
+    // (0 = no pool). Output is bit-identical across widths; only the
+    // wall-clock should move.
+    for workers in [0usize, 1, 2, 4, 8] {
+        let pool = (workers > 0).then(|| Arc::new(WorkerPool::new(workers)));
+        let ns = median_ns(7, || multicomp_pairs(&platform, 600, pool.as_ref()));
+        println!("kernel_multicomp_600/w{workers}     median {ns:>12.0} ns");
+        results.push((format!("kernel_multicomp_600/w{workers}"), ns));
+    }
     let ns = median_ns(9, || mixed(&platform, 100));
     println!("kernel_mixed_100t_100c      median {ns:>12.0} ns");
     results.push(("kernel_mixed_100t_100c".to_string(), ns));

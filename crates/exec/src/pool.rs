@@ -16,8 +16,10 @@
 //! to a slice in parallel, results in input order.
 //!
 //! The API is deliberately engine-agnostic: the forecast engine fans
-//! simulation batches out through it today, and `MaxMinSolver`'s
-//! independent-component solves (see ROADMAP) can reuse it unchanged.
+//! simulation batches out through it, and `simflow`'s `MaxMinSolver`
+//! solves its disjoint sharing components through the same pool. See the
+//! crate docs for the determinism contract, panic propagation and
+//! help-while-wait semantics.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -46,7 +48,7 @@ impl WorkerPool {
             .map(|i| {
                 let rx = rx.clone();
                 std::thread::Builder::new()
-                    .name(format!("forecast-worker-{i}"))
+                    .name(format!("exec-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
                             // A panicking job must not take the worker
@@ -158,6 +160,12 @@ impl WorkerPool {
             }
         });
         results.into_iter().map(|r| r.expect("scope joined")).collect()
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("size", &self.size).finish_non_exhaustive()
     }
 }
 

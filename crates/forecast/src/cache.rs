@@ -12,8 +12,13 @@
 //! patterns), so two textually different requests for the same forecast
 //! (`5e8` vs `500000000`, reordered query parameters upstream) share an
 //! entry, while `-0.0`/`0.0`-style float subtleties cannot collide.
+//!
+//! Eviction is LRU: a hit promotes its entry to most-recently-used, so a
+//! small working set of hot queries (the realistic serving mix — a few
+//! dashboards asking the same questions) survives a long tail of one-off
+//! queries that would have flushed it under FIFO.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -92,13 +97,65 @@ pub enum CachedResult {
     Select(Arc<Selection>),
 }
 
-struct Inner {
-    map: HashMap<CacheKey, CachedResult>,
-    /// Insertion order for FIFO eviction once `capacity` is reached.
-    order: VecDeque<CacheKey>,
+/// Slab slot sentinel: "no neighbor".
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: CacheKey,
+    /// `None` only while the slot sits on the free list.
+    value: Option<CachedResult>,
+    prev: usize,
+    next: usize,
 }
 
-/// A bounded, thread-safe forecast cache.
+/// Slab-backed intrusive LRU list + key index. The list is threaded
+/// through slab indices (`head` = most recent, `tail` = next eviction
+/// victim), so a hit promotes in O(1) with no allocation.
+struct Inner {
+    map: HashMap<CacheKey, usize>,
+    entries: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl Inner {
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.entries[idx].prev, self.entries[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.entries[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.entries[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.entries[idx].prev = NIL;
+        self.entries[idx].next = self.head;
+        if self.head != NIL {
+            self.entries[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Removes a linked entry entirely (index structures and slab slot).
+    fn remove(&mut self, idx: usize) {
+        self.unlink(idx);
+        self.map.remove(&self.entries[idx].key);
+        self.entries[idx].value = None;
+        self.free.push(idx);
+    }
+}
+
+/// A bounded, thread-safe forecast cache with LRU eviction.
 pub struct ForecastCache {
     inner: Mutex<Inner>,
     capacity: usize,
@@ -107,23 +164,32 @@ pub struct ForecastCache {
 }
 
 impl ForecastCache {
-    /// A cache holding at most `capacity` entries (FIFO eviction).
+    /// A cache holding at most `capacity` entries (LRU eviction).
     pub fn new(capacity: usize) -> ForecastCache {
         ForecastCache {
-            inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new() }),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                entries: Vec::new(),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+            }),
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// Looks a key up, counting the hit/miss.
+    /// Looks a key up, counting the hit/miss. A hit promotes the entry to
+    /// most-recently-used.
     pub fn get(&self, key: &CacheKey) -> Option<CachedResult> {
-        let inner = self.inner.lock();
-        match inner.map.get(key) {
-            Some(v) => {
+        let mut inner = self.inner.lock();
+        match inner.map.get(key).copied() {
+            Some(idx) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(v.clone())
+                inner.unlink(idx);
+                inner.push_front(idx);
+                inner.entries[idx].value.clone()
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -132,7 +198,8 @@ impl ForecastCache {
         }
     }
 
-    /// Inserts a result, evicting the oldest entry when full.
+    /// Inserts a result, evicting the least-recently-used entry when
+    /// full.
     pub fn insert(&self, key: CacheKey, value: CachedResult) {
         let mut inner = self.inner.lock();
         if inner.map.contains_key(&key) {
@@ -141,15 +208,24 @@ impl ForecastCache {
             return;
         }
         while inner.map.len() >= self.capacity {
-            match inner.order.pop_front() {
-                Some(old) => {
-                    inner.map.remove(&old);
-                }
-                None => break,
+            let victim = inner.tail;
+            if victim == NIL {
+                break;
             }
+            inner.remove(victim);
         }
-        inner.order.push_back(key.clone());
-        inner.map.insert(key, value);
+        let idx = match inner.free.pop() {
+            Some(idx) => {
+                inner.entries[idx] = Entry { key: key.clone(), value: Some(value), prev: NIL, next: NIL };
+                idx
+            }
+            None => {
+                inner.entries.push(Entry { key: key.clone(), value: Some(value), prev: NIL, next: NIL });
+                inner.entries.len() - 1
+            }
+        };
+        inner.map.insert(key, idx);
+        inner.push_front(idx);
     }
 
     /// Drops every entry computed under an epoch older than `current`.
@@ -157,8 +233,15 @@ impl ForecastCache {
     /// this reclaims their memory.
     pub fn purge_stale(&self, current: u64) {
         let mut inner = self.inner.lock();
-        inner.order.retain(|k| k.epoch() == current);
-        inner.map.retain(|k, _| k.epoch() == current);
+        let stale: Vec<usize> = inner
+            .map
+            .iter()
+            .filter(|(k, _)| k.epoch() != current)
+            .map(|(_, &idx)| idx)
+            .collect();
+        for idx in stale {
+            inner.remove(idx);
+        }
     }
 
     /// Number of live entries.
@@ -225,10 +308,18 @@ mod tests {
         assert_eq!(cache.len(), 4);
         cache.purge_stale(3);
         assert_eq!(cache.len(), 1);
+        // list structure stays consistent after the purge
+        let survivor = CacheKey::predict("p", 3, &[spec("a", "b", 3.0)]);
+        assert!(cache.get(&survivor).is_some());
+        cache.insert(
+            CacheKey::predict("p", 3, &[spec("a", "b", 99.0)]),
+            CachedResult::Predict(Arc::new(vec![9.0])),
+        );
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]
-    fn fifo_eviction_bounds_the_cache() {
+    fn lru_eviction_bounds_the_cache() {
         let cache = ForecastCache::new(3);
         for i in 0..10 {
             cache.insert(
@@ -237,10 +328,37 @@ mod tests {
             );
         }
         assert_eq!(cache.len(), 3);
-        // the newest entries survive
+        // with no intervening hits, the newest entries survive
         let newest = CacheKey::predict("p", 0, &[spec("a", "b", 9.0)]);
         assert!(cache.get(&newest).is_some());
         let oldest = CacheKey::predict("p", 0, &[spec("a", "b", 0.0)]);
         assert!(cache.get(&oldest).is_none());
+    }
+
+    #[test]
+    fn hot_key_survives_eviction_pressure() {
+        // The hot key is inserted FIRST and then hit between every
+        // insertion. Under FIFO it would be the first eviction victim
+        // (insertion order alone decides); under LRU the promotions keep
+        // it resident through 20 one-off insertions into a 3-entry cache.
+        let cache = ForecastCache::new(3);
+        let hot = CacheKey::predict("p", 0, &[spec("hot", "hot", 1.0)]);
+        cache.insert(hot.clone(), CachedResult::Predict(Arc::new(vec![42.0])));
+        for i in 0..20 {
+            cache.insert(
+                CacheKey::predict("p", 0, &[spec("a", "b", i as f64)]),
+                CachedResult::Predict(Arc::new(vec![i as f64])),
+            );
+            assert!(
+                cache.get(&hot).is_some(),
+                "hot key evicted after {} one-off insertions",
+                i + 1
+            );
+        }
+        assert_eq!(cache.len(), 3);
+        match cache.get(&hot) {
+            Some(CachedResult::Predict(v)) => assert_eq!(*v, vec![42.0]),
+            other => panic!("hot key lost: {:?}", other.is_some()),
+        }
     }
 }

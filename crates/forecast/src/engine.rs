@@ -120,7 +120,10 @@ impl Default for EngineConfig {
 /// The concurrent forecast engine: platforms, sessions, pool and cache.
 pub struct ForecastEngine {
     config: NetworkConfig,
-    pool: WorkerPool,
+    /// Shared with every warm session (and through them with every
+    /// simulation's solver), so batch-level and component-level fan-out
+    /// draw from one set of threads.
+    pool: Arc<WorkerPool>,
     sessions: RwLock<HashMap<String, Arc<Session>>>,
     cache: ForecastCache,
     /// Background-traffic epoch; bumped on metrology ingestion.
@@ -142,7 +145,7 @@ impl ForecastEngine {
         };
         ForecastEngine {
             config,
-            pool,
+            pool: Arc::new(pool),
             sessions: RwLock::new(HashMap::new()),
             cache: ForecastCache::new(engine.cache_capacity),
             epoch: AtomicU64::new(0),
@@ -164,6 +167,12 @@ impl ForecastEngine {
         &self.pool
     }
 
+    /// A shareable handle to the pool, e.g. for attaching to simulations
+    /// built outside the engine ([`simflow::Simulation::attach_pool`]).
+    pub fn shared_pool(&self) -> Arc<WorkerPool> {
+        Arc::clone(&self.pool)
+    }
+
     /// Registers a platform under `name`, warming a session for it.
     pub fn register_platform(&self, name: &str, platform: Platform) {
         self.register_platform_shared(name, Arc::new(platform));
@@ -171,7 +180,8 @@ impl ForecastEngine {
 
     /// Registers an already-shared platform under `name`.
     pub fn register_platform_shared(&self, name: &str, platform: Arc<Platform>) {
-        let session = Arc::new(Session::new(platform, self.config));
+        let session =
+            Arc::new(Session::with_pool(platform, self.config, Some(Arc::clone(&self.pool))));
         self.sessions.write().insert(name.to_string(), session);
     }
 

@@ -7,16 +7,18 @@
 //! identical questions. This crate is the serving layer that fixes that,
 //! three pieces deep:
 //!
-//! ## Worker pool ([`pool`])
+//! ## Worker pool ([`pool`], re-exported from the `exec` crate)
 //!
 //! A hand-rolled fixed-size pool of persistent threads (no rayon in this
 //! environment) with a rayon-style *scoped* submission API, so jobs can
 //! borrow request data from the caller's stack. Pool sizing defaults to
 //! `available_parallelism`; simulation is CPU-bound, so more threads than
 //! cores only add scheduling noise. A waiting scope *helps* by draining
-//! the queue, so nested scopes cannot deadlock. The pool is
-//! engine-agnostic on purpose: `MaxMinSolver`'s independent-component
-//! solves (ROADMAP) can fan out through the same `scope`/`map` API.
+//! the queue, so nested scopes cannot deadlock. The pool lives in the
+//! bottom-layer `exec` crate and is shared downward: the engine hands its
+//! one pool to every simulation it builds, so `MaxMinSolver`'s
+//! independent-component solves fan out through the same threads instead
+//! of oversubscribing the machine.
 //!
 //! ## Warm sessions ([`session`])
 //!
@@ -48,10 +50,15 @@
 
 pub mod cache;
 pub mod engine;
-pub mod pool;
 pub mod session;
+
+/// The worker pool now lives in the bottom-layer [`exec`] crate so that
+/// `simflow`'s solver can fan out through the same primitive without a
+/// dependency cycle; this alias keeps the historical `forecast::pool`
+/// paths working.
+pub use exec::pool;
 
 pub use cache::{CacheKey, CachedResult, ForecastCache};
 pub use engine::{EngineConfig, ForecastEngine, ForecastError, Selection, TransferSpec};
-pub use pool::{Scope, WorkerPool};
+pub use exec::{Scope, WorkerPool};
 pub use session::{BackgroundFlow, ResolvedSpec, Session};

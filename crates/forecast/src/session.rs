@@ -17,8 +17,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use exec::WorkerPool;
 use parking_lot::RwLock;
-use simflow::{HostId, NetworkConfig, Platform, ResolvedPath, Simulation};
+use simflow::{HostId, NetworkConfig, Platform, ResolvedPath, SimTuning, Simulation};
 
 use crate::engine::{ForecastError, TransferSpec};
 
@@ -47,11 +48,25 @@ pub struct Session {
     routes: RwLock<HashMap<(HostId, HostId), Arc<ResolvedPath>>>,
     /// Background flows of the current epoch.
     background: RwLock<Arc<Vec<BackgroundFlow>>>,
+    /// Pool shared with every simulation this session builds, so the
+    /// solver's component fan-out runs on the engine's threads instead
+    /// of oversubscribing the machine.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Session {
     /// Warms up a session for `platform`.
     pub fn new(platform: Arc<Platform>, config: NetworkConfig) -> Session {
+        Session::with_pool(platform, config, None)
+    }
+
+    /// Warms up a session whose simulations share `pool` with the
+    /// max-min solver (see [`simflow::SimTuning`]).
+    pub fn with_pool(
+        platform: Arc<Platform>,
+        config: NetworkConfig,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> Session {
         let capacities = Simulation::shared_capacities(&platform, &config);
         Session {
             platform,
@@ -59,6 +74,7 @@ impl Session {
             capacities,
             routes: RwLock::new(HashMap::new()),
             background: RwLock::new(Arc::new(Vec::new())),
+            pool,
         }
     }
 
@@ -122,9 +138,11 @@ impl Session {
         Ok(ResolvedSpec { src, dst, size: spec.size, path })
     }
 
-    /// A fresh simulation using the prewarmed capacity vector.
+    /// A fresh simulation using the prewarmed capacity vector (and the
+    /// session's shared pool, when it has one).
     pub fn simulation(&self) -> Simulation<'_> {
-        Simulation::with_capacities(&self.platform, self.config, self.capacities.clone())
+        let tuning = SimTuning { pool: self.pool.clone(), warm_start: true };
+        Simulation::with_tuning(&self.platform, self.config, self.capacities.clone(), tuning)
     }
 
     /// Runs one simulation of the selected background flows and request

@@ -20,11 +20,17 @@
 //! * an **incremental sharing solver** — flows are registered with the
 //!   persistent [`MaxMinSolver`] once at `add_transfer`/`add_compute`,
 //!   starts and finishes toggle per-resource membership, and a reshare
-//!   re-solves only the component of flows transitively sharing a
+//!   re-solves only the components of flows transitively sharing a
 //!   resource with a changed flow. Disjoint clusters keep their rates,
 //!   and the produced rates match re-solving the whole problem from
 //!   scratch (exactly for one-shot solves, within ulps across long
-//!   activate/deactivate histories — see `model.rs`).
+//!   activate/deactivate histories — see `model.rs`). Components are
+//!   solved as independent jobs: attach a worker pool
+//!   ([`Simulation::attach_pool`] / [`crate::SimTuning`]) and a
+//!   multi-component reshare fans out across threads; warm-start filling
+//!   (on by default) resumes each component's progressive filling from
+//!   the first freeze level its seeds invalidate. Neither changes any
+//!   output bit.
 //!
 //! Transfers have two phases, mirroring the CM02/LV08 action model:
 //! a *latency phase* of `latency_factor × route latency` during which no
@@ -36,7 +42,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 
-use crate::config::NetworkConfig;
+use crate::config::{NetworkConfig, SimTuning};
 use crate::model::MaxMinSolver;
 use crate::platform::{HostId, Platform, RouteError, SharingPolicy};
 use crate::trace::{Trace, TraceEvent};
@@ -313,22 +319,52 @@ impl<'p> Simulation<'p> {
         config: NetworkConfig,
         capacities: Vec<f64>,
     ) -> Self {
+        Self::with_tuning(platform, config, capacities, SimTuning::default())
+    }
+
+    /// Creates a simulation with explicit execution tuning: an optional
+    /// worker pool for the solver's parallel component solves and the
+    /// warm-start toggle. Tuning never changes results (solver output is
+    /// bit-identical at every pool size, warm start on or off); it only
+    /// trades threads for latency. The forecast engine uses this to share
+    /// its one pool with every simulation it builds.
+    pub fn with_tuning(
+        platform: &'p Platform,
+        config: NetworkConfig,
+        capacities: Vec<f64>,
+        tuning: SimTuning,
+    ) -> Self {
         debug_assert_eq!(
             capacities.len(),
             platform.link_count() + platform.host_count(),
             "capacity vector does not match the platform"
         );
+        let mut solver = MaxMinSolver::new(capacities);
+        solver.set_pool(tuning.pool);
+        solver.set_warm_start(tuning.warm_start);
         Simulation {
             platform,
             config,
             works: Vec::new(),
             events: BinaryHeap::new(),
             seq: 0,
-            solver: MaxMinSolver::new(capacities),
+            solver,
             calendar: BinaryHeap::new(),
             link_count: platform.link_count(),
             started: false,
         }
+    }
+
+    /// Attaches a worker pool for the solver's disjoint-component
+    /// fan-out (see [`SimTuning`]); results are unchanged at any size.
+    pub fn attach_pool(&mut self, pool: std::sync::Arc<exec::WorkerPool>) {
+        self.solver.set_pool(Some(pool));
+    }
+
+    /// Enables or disables the solver's warm-start filling (on by
+    /// default); results are unchanged either way.
+    pub fn set_warm_start(&mut self, on: bool) {
+        self.solver.set_warm_start(on);
     }
 
     fn push_event(&mut self, t: SimTime, e: Event) {

@@ -53,7 +53,7 @@ pub mod platform;
 pub mod trace;
 pub mod units;
 
-pub use config::NetworkConfig;
+pub use config::{NetworkConfig, SimTuning};
 pub use kernel::{Completion, Report, ResolvedPath, SimError, Simulation, WorkId, WorkKind};
 pub use platform::builder::{BuildError, PlatformBuilder};
 pub use platform::routing::{Element, RoutingKind};

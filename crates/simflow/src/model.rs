@@ -14,6 +14,14 @@
 //! freezes the flows it concerns; repeat on the reduced problem. Every
 //! iteration saturates at least one flow, so the loop runs at most
 //! `#flows` times.
+//!
+//! Two implementations live here: [`SharingProblem::solve`], the one-shot
+//! reference kept deliberately simple, and [`MaxMinSolver`], the
+//! persistent incremental solver the kernel drives — with per-component
+//! resharing, optional pool-parallel component solves, and warm-start
+//! filling, all pinned bit-identical to the reference (see the
+//! `MaxMinSolver` docs for the argument and `maxmin_properties.rs` for
+//! the enforcement).
 
 /// One flow to allocate: the (shared) resources it crosses, its weight and
 /// its rate cap.
@@ -159,7 +167,6 @@ impl SharingProblem {
         rate
     }
 }
-
 /// Ordering key for the saturation-candidate heap: a non-NaN `f64`
 /// compared via `total_cmp`, smallest first under `Reverse`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -195,9 +202,27 @@ struct Candidate {
 const RESOURCE: u8 = 0;
 const FLOW_CAP: u8 = 1;
 
+const REL_EPS: f64 = 1e-12;
+
+/// Components below this size fill with contiguous scans per round; the
+/// candidate heap's lazy-deletion churn only pays off once a round would
+/// otherwise rescan hundreds of constraints (measured crossover on the
+/// kernel benches).
+const HEAP_THRESHOLD: usize = 1536;
+
+/// Default minimum component size (flows) for pool dispatch; see
+/// [`MaxMinSolver::set_parallel_threshold`].
+const DEFAULT_PAR_THRESHOLD: usize = 32;
+
+/// Default minimum component size (flows) for warm-start recording and
+/// replay; see [`MaxMinSolver::set_warm_threshold`]. Below this, a cold
+/// fill's few hundred nanoseconds undercut the replay's validation work
+/// (measured crossover on `bench_kernel`'s concurrent scenarios).
+const DEFAULT_WARM_THRESHOLD: usize = 128;
+
 #[derive(Clone, Debug)]
 struct SolverFlow {
-    /// Span into [`MaxMinSolver::res_arena`].
+    /// Span into [`SolverCore::res_arena`].
     res_start: u32,
     res_len: u32,
     weight: f64,
@@ -205,28 +230,15 @@ struct SolverFlow {
     active: bool,
 }
 
-/// A persistent, incremental weighted max-min solver.
-///
-/// Where [`SharingProblem`] is built afresh for every solve (cloning the
-/// capacity vector and every flow's resource list), `MaxMinSolver` is
-/// created once per simulation and keeps all flows registered across the
-/// whole run. Activating or deactivating a flow only touches the
-/// per-resource membership lists, and [`MaxMinSolver::reshare`] re-solves
-/// only the **affected component** — the flows transitively sharing a
-/// resource with a changed flow — leaving every disjoint cluster's rates
-/// untouched.
-///
-/// Within a component the algorithm is the same progressive filling as
-/// the reference [`SharingProblem::solve`], executed in ascending flow
-/// order with per-resource sums rebuilt from scratch, so the produced
-/// rates match the reference **exactly** (progressive filling never moves
-/// capacity between disjoint components, and the per-resource float
-/// operations happen in the identical order). The only acceleration
-/// inside a filling round is the saturation-candidate min-heap that finds
-/// the binding potential `φ` in `O(log)` instead of rescanning every
-/// resource; the value it returns is the same minimum.
-#[derive(Clone, Debug)]
-pub struct MaxMinSolver {
+/// The solver state every component job reads and none writes: the
+/// registered problem (capacities, flows, routes, delta-maintained base
+/// sums, last solved rates) plus the epoch-stamped marks the reshare
+/// prologue writes *before* any job is dispatched. Splitting this off
+/// from [`MaxMinSolver`] is what lets disjoint components solve in
+/// parallel — jobs share one `&SolverCore` and keep all mutable state in
+/// their own [`SolveScratch`].
+#[derive(Clone, Debug, Default)]
+struct SolverCore {
     capacity: Vec<f64>,
     flows: Vec<SolverFlow>,
     /// All flows' resource ids, contiguous; each flow owns a span
@@ -238,39 +250,333 @@ pub struct MaxMinSolver {
     /// Σ 1/w over the *active* flows of each resource, maintained by
     /// delta in [`MaxMinSolver::activate`]/[`MaxMinSolver::deactivate`].
     base_inv_w_sum: Vec<f64>,
-    /// Last solved rate per flow (0.0 until first solved).
-    rates: Vec<f64>,
-
-    // -- reusable scratch (no per-reshare allocation) --
+    /// `cap × weight` per registered flow: the potential at which the
+    /// flow's own cap binds.
+    phi_cap: Vec<f64>,
+    /// Reshare counter; the `*_mark` arrays below compare against it.
     epoch: u64,
-    res_mark: Vec<u64>,
+    /// Flow is a seed of the current reshare (it started or finished).
+    seed_mark: Vec<u64>,
+    /// Flow is in the current reshare's marked set.
     flow_mark: Vec<u64>,
-    /// Flow froze (got its rate) during the reshare of this epoch.
-    frozen_mark: Vec<u64>,
-    /// Per-resource remaining capacity, valid when `res_mark == epoch`.
+    /// Component index of a marked flow (valid when `flow_mark == epoch`).
+    flow_comp: Vec<u32>,
+    /// Resource is in the current reshare's marked set.
+    res_mark: Vec<u64>,
+    /// Resource is crossed by a seed: its working sums differ from the
+    /// previous solve's, so cached freeze levels touching it are suspect.
+    res_dirty: Vec<u64>,
+}
+
+impl SolverCore {
+    #[inline]
+    fn res_span(&self, f: u32) -> &[u32] {
+        let fl = &self.flows[f as usize];
+        &self.res_arena[fl.res_start as usize..(fl.res_start + fl.res_len) as usize]
+    }
+}
+
+/// One component solve's mutable state. Every array is either cleared per
+/// run or guarded by a stamp (`stamp` for flow freezes, `round_stamp` for
+/// per-round resource dedup), so a scratch can be reused across solves —
+/// and handed from worker to worker — without clearing and without any
+/// history leaking into results.
+#[derive(Clone, Debug, Default)]
+struct SolveScratch {
+    /// Bumped per component solve; `frozen_stamp[f] == stamp` means flow
+    /// `f` froze (got its rate) during this solve.
+    stamp: u64,
+    frozen_stamp: Vec<u64>,
+    /// Per-resource working state, valid only for the component's
+    /// resources (initialized at solve start).
     remaining: Vec<f64>,
     inv_w_sum: Vec<f64>,
     active_count_on: Vec<u32>,
-    comp_flows: Vec<u32>,
-    comp_res: Vec<u32>,
-    bfs_queue: Vec<u32>,
+    /// Cached `remaining/inv_w_sum` per live resource (scan path).
+    ratio: Vec<f64>,
+    /// Unfrozen component flows, ascending.
     live: Vec<u32>,
+    /// Component resources that still carry unfrozen flows.
     live_res: Vec<u32>,
+    /// This round's freeze list (flow ids).
     touched: Vec<u32>,
     /// Round-stamp for deduplicating dirty-resource pushes within a round.
     touched_mark: Vec<u64>,
     round_stamp: u64,
-    dirty_res: Vec<u32>,
-    /// Cached `remaining/inv_w_sum` per live resource (scan path).
-    ratio: Vec<f64>,
-    /// `cap × weight` per registered flow: the potential at which the
-    /// flow's own cap binds.
-    phi_cap: Vec<f64>,
+    /// Resources whose sums the current round's freezes changed.
+    dirty_round: Vec<u32>,
+    /// The component's seed-crossed resources (warm-start validity checks).
+    dirty: Vec<u32>,
+    /// The component's live seed flows (warm-start validity checks).
+    seed_flows: Vec<u32>,
     /// Candidate staging area, heapified in O(n) at solve start and
     /// recycled afterwards.
     cand: Vec<std::cmp::Reverse<Candidate>>,
     heap: std::collections::BinaryHeap<std::cmp::Reverse<Candidate>>,
+    // -- per-solve outputs --
+    /// Flows whose rate moved, with their new rate (ascending by id once
+    /// the run finishes).
+    changed: Vec<(u32, f64)>,
+    /// Recorded freeze order: one `φ` per round...
+    rec_phis: Vec<f64>,
+    /// ...with `rec_frozen[rec_offsets[k]..rec_offsets[k+1]]` the flows
+    /// round `k` froze, ascending.
+    rec_offsets: Vec<u32>,
+    rec_frozen: Vec<u32>,
+}
+
+impl SolveScratch {
+    fn ensure(&mut self, nr: usize, nf: usize) {
+        if self.frozen_stamp.len() < nf {
+            self.frozen_stamp.resize(nf, 0);
+        }
+        if self.remaining.len() < nr {
+            self.remaining.resize(nr, 0.0);
+            self.inv_w_sum.resize(nr, 0.0);
+            self.active_count_on.resize(nr, 0);
+            self.ratio.resize(nr, 0.0);
+            self.touched_mark.resize(nr, 0);
+        }
+    }
+}
+
+/// The freeze order of one component solve: per filling round, the
+/// binding potential `φ` and the flows it froze (ascending). A later
+/// reshare of the same component replays this order up to the first
+/// level its seeds invalidate instead of refilling from zero.
+#[derive(Clone, Debug, Default)]
+struct CachedSolve {
+    /// Resources whose `res_solve` entry points here; the record is
+    /// dropped when the last one is re-solved under a new id.
+    refs: u32,
+    phis: Vec<f64>,
+    /// `frozen[offsets[k]..offsets[k+1]]` froze in round `k`.
+    offsets: Vec<u32>,
+    frozen: Vec<u32>,
+}
+
+/// Warm-start bookkeeping: which solve last covered each resource, and
+/// the recorded freeze orders of the solves still referenced.
+#[derive(Clone, Debug, Default)]
+struct WarmCache {
+    /// Per resource: id of the solve that last covered it (0 = none).
+    res_solve: Vec<u64>,
+    solves: std::collections::HashMap<u64, CachedSolve>,
+    next_id: u64,
+}
+
+impl WarmCache {
+    /// The cached freeze order usable for a component, if any: every
+    /// component resource must have been covered by the *same* last
+    /// solve. Uniformity is what guarantees that the only changes to the
+    /// component since that solve are exactly the current seeds (any
+    /// other change would have re-solved — and re-stamped — some of
+    /// these resources).
+    fn lookup(&self, comp_res: &[u32]) -> Option<&CachedSolve> {
+        let first = *comp_res.first()?;
+        let id = self.res_solve[first as usize];
+        if id == 0 || comp_res.iter().any(|&r| self.res_solve[r as usize] != id) {
+            return None;
+        }
+        self.solves.get(&id)
+    }
+
+    /// Re-stamps a just-solved component's resources, releasing their old
+    /// records, and stores the fresh freeze order by *copying* it out of
+    /// the scratch into a recycled entry — in the steady state (the same
+    /// component re-solving event after event) this allocates nothing.
+    fn store_from_scratch(&mut self, comp_res: &[u32], s: &SolveScratch) {
+        let mut recycled = self.detach(comp_res);
+        if comp_res.is_empty() {
+            return;
+        }
+        let mut c = recycled.take().unwrap_or_default();
+        c.refs = comp_res.len() as u32;
+        c.phis.clear();
+        c.phis.extend_from_slice(&s.rec_phis);
+        c.offsets.clear();
+        c.offsets.extend_from_slice(&s.rec_offsets);
+        c.frozen.clear();
+        c.frozen.extend_from_slice(&s.rec_frozen);
+        self.insert(comp_res, c);
+    }
+
+    /// Like [`WarmCache::store_from_scratch`] but takes an owned record
+    /// (parallel path, where the record crossed a thread boundary).
+    fn store_owned(&mut self, comp_res: &[u32], rec: Option<CachedSolve>) {
+        self.detach(comp_res);
+        if let Some(mut c) = rec {
+            if comp_res.is_empty() {
+                return;
+            }
+            c.refs = comp_res.len() as u32;
+            self.insert(comp_res, c);
+        }
+    }
+
+    /// Unlinks the component's resources from their previous solves,
+    /// returning a freed record (buffers intact) for recycling if the
+    /// last reference died.
+    fn detach(&mut self, comp_res: &[u32]) -> Option<CachedSolve> {
+        let mut freed = None;
+        for &r in comp_res {
+            // Read-first: on the fast path (nothing recorded) this loop is
+            // pure loads.
+            let old = self.res_solve[r as usize];
+            if old != 0 {
+                self.res_solve[r as usize] = 0;
+                if let Some(c) = self.solves.get_mut(&old) {
+                    c.refs -= 1;
+                    if c.refs == 0 {
+                        freed = self.solves.remove(&old);
+                    }
+                }
+            }
+        }
+        freed
+    }
+
+    fn insert(&mut self, comp_res: &[u32], c: CachedSolve) {
+        self.next_id += 1;
+        let id = self.next_id;
+        for &r in comp_res {
+            self.res_solve[r as usize] = id;
+        }
+        self.solves.insert(id, c);
+    }
+
+    fn clear(&mut self) {
+        self.solves.clear();
+        self.res_solve.fill(0);
+    }
+}
+
+/// One parallel component job: id, flow/resource slices, optional cached
+/// freeze order, and whether to record a fresh one.
+type CompJob<'a> = (u32, &'a [u32], &'a [u32], Option<&'a CachedSolve>, bool);
+
+/// Flow/resource ranges of one component within the flat discovery
+/// arrays.
+#[derive(Clone, Copy, Debug)]
+struct CompSpan {
+    flows: (u32, u32),
+    res: (u32, u32),
+}
+
+/// Owned result of one component job (parallel path only; the sequential
+/// path harvests straight out of the scratch).
+struct CompOut {
+    changed: Vec<(u32, f64)>,
+    rec: Option<CachedSolve>,
+}
+
+/// Where a component solve delivers its rates. The sequential path
+/// writes them straight into the solver's rate table (no intermediate
+/// buffer, like the pre-refactor solver); parallel jobs only *read* the
+/// shared table for change detection and buffer `(flow, rate)` pairs the
+/// main thread applies in component order — same values, same `changed`
+/// set either way.
+enum RateSink<'a> {
+    Direct { rates: &'a mut Vec<f64>, changed: &'a mut Vec<u32> },
+    Buffered { rates: &'a [f64] },
+}
+
+/// A persistent, incremental weighted max-min solver.
+///
+/// Where [`SharingProblem`] is built afresh for every solve (cloning the
+/// capacity vector and every flow's resource list), `MaxMinSolver` is
+/// created once per simulation and keeps all flows registered across the
+/// whole run. Activating or deactivating a flow only touches the
+/// per-resource membership lists, and [`MaxMinSolver::reshare`] re-solves
+/// only the **affected components** — the flows transitively sharing a
+/// resource with a changed flow — leaving every disjoint cluster's rates
+/// untouched.
+///
+/// Two accelerations sit on top of the incremental core, both pinned to
+/// produce bit-identical rates and `changed` lists:
+///
+/// * **Parallel component solves.** The marked set is partitioned into
+///   its disjoint components; each solves as an independent job, fanned
+///   out over an optionally [attached](MaxMinSolver::set_pool)
+///   [`exec::WorkerPool`]. Max-min sharing couples flows only through
+///   shared resources, so disjoint components are independent
+///   sub-problems; jobs read the shared [`SolverCore`], keep all mutable
+///   state in per-job scratches, and their `changed` lists merge by
+///   ascending flow id — the output is bit-identical to the sequential
+///   in-order loop at every pool size (including none).
+///
+/// * **Warm-start filling.** Each component solve records its freeze
+///   order (`φ` levels plus per-round freeze lists). A later reshare of
+///   the same component replays that order, validating each level
+///   against the seeds (a dirty resource binding at or below the level's
+///   threshold, a seed frozen in the level, or a binding resource gone
+///   dirty all invalidate it), and resumes normal progressive filling
+///   from the first invalidated level. Replaying applies the identical
+///   float operations the cold solve would, so rates stay bitwise equal
+///   to a cold reshare — the property tests in `maxmin_properties.rs`
+///   enforce this across worker counts with warm start on and off.
+///
+/// Within a component the algorithm is the same progressive filling as
+/// the reference [`SharingProblem::solve`], executed in ascending flow
+/// order with per-resource sums rebuilt from scratch, so the produced
+/// rates match the reference **exactly** (progressive filling never moves
+/// capacity between disjoint components, and the per-resource float
+/// operations happen in the identical order). The only acceleration
+/// inside a filling round is the saturation-candidate min-heap that finds
+/// the binding potential `φ` in `O(log)` instead of rescanning every
+/// resource; the value it returns is the same minimum.
+#[derive(Debug)]
+pub struct MaxMinSolver {
+    core: SolverCore,
+    /// Last solved rate per flow (0.0 until first solved).
+    rates: Vec<f64>,
+    pool: Option<std::sync::Arc<exec::WorkerPool>>,
+    warm_start: bool,
+    /// Minimum flows for a component to count as pool-worthy; see
+    /// [`MaxMinSolver::set_parallel_threshold`].
+    par_threshold: usize,
+    /// Minimum flows for warm-start recording/replay; see
+    /// [`MaxMinSolver::set_warm_threshold`].
+    warm_threshold: usize,
+    warm: WarmCache,
+    /// Flows activated/deactivated since the last reshare; folded into
+    /// the next reshare's seeds so no membership change can slip past the
+    /// warm-start validity checks.
+    pending: Vec<u32>,
+    // -- reusable reshare scratch (no per-reshare allocation on the
+    //    single-component hot path) --
+    seed_buf: Vec<u32>,
+    bfs_queue: Vec<u32>,
+    comp_flows: Vec<u32>,
+    comp_res: Vec<u32>,
+    comps: Vec<CompSpan>,
     changed: Vec<u32>,
+    scratch_main: SolveScratch,
+    /// Scratches for pool workers; grabbed and returned per job.
+    scratch_pool: std::sync::Mutex<Vec<SolveScratch>>,
+}
+
+impl Clone for MaxMinSolver {
+    fn clone(&self) -> Self {
+        MaxMinSolver {
+            core: self.core.clone(),
+            rates: self.rates.clone(),
+            pool: self.pool.clone(),
+            warm_start: self.warm_start,
+            par_threshold: self.par_threshold,
+            warm_threshold: self.warm_threshold,
+            warm: self.warm.clone(),
+            pending: self.pending.clone(),
+            seed_buf: Vec::new(),
+            bfs_queue: Vec::new(),
+            comp_flows: Vec::new(),
+            comp_res: Vec::new(),
+            comps: Vec::new(),
+            changed: self.changed.clone(),
+            scratch_main: SolveScratch::default(),
+            scratch_pool: std::sync::Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl MaxMinSolver {
@@ -278,33 +584,78 @@ impl MaxMinSolver {
     pub fn new(capacity: Vec<f64>) -> Self {
         let nr = capacity.len();
         MaxMinSolver {
-            capacity,
-            flows: Vec::new(),
-            res_arena: Vec::new(),
-            res_flows: vec![Vec::new(); nr],
-            base_inv_w_sum: vec![0.0; nr],
             rates: Vec::new(),
-            epoch: 0,
-            res_mark: vec![0; nr],
-            flow_mark: Vec::new(),
-            frozen_mark: Vec::new(),
-            remaining: vec![0.0; nr],
-            inv_w_sum: vec![0.0; nr],
-            active_count_on: vec![0; nr],
+            core: SolverCore {
+                capacity,
+                flows: Vec::new(),
+                res_arena: Vec::new(),
+                res_flows: vec![Vec::new(); nr],
+                base_inv_w_sum: vec![0.0; nr],
+                phi_cap: Vec::new(),
+                epoch: 0,
+                seed_mark: Vec::new(),
+                flow_mark: Vec::new(),
+                flow_comp: Vec::new(),
+                res_mark: vec![0; nr],
+                res_dirty: vec![0; nr],
+            },
+            pool: None,
+            warm_start: true,
+            par_threshold: DEFAULT_PAR_THRESHOLD,
+            warm_threshold: DEFAULT_WARM_THRESHOLD,
+            warm: WarmCache {
+                res_solve: vec![0; nr],
+                solves: std::collections::HashMap::new(),
+                next_id: 0,
+            },
+            pending: Vec::new(),
+            seed_buf: Vec::new(),
+            bfs_queue: Vec::new(),
             comp_flows: Vec::new(),
             comp_res: Vec::new(),
-            bfs_queue: Vec::new(),
-            live: Vec::new(),
-            live_res: Vec::new(),
-            touched: Vec::new(),
-            touched_mark: vec![0; nr],
-            round_stamp: 0,
-            dirty_res: Vec::new(),
-            ratio: vec![0.0; nr],
-            phi_cap: Vec::new(),
-            cand: Vec::new(),
-            heap: std::collections::BinaryHeap::new(),
+            comps: Vec::new(),
             changed: Vec::new(),
+            scratch_main: SolveScratch::default(),
+            scratch_pool: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Attaches (or detaches) a worker pool for component fan-out. With a
+    /// pool, a reshare touching several disjoint components solves them
+    /// concurrently; results are bit-identical either way, so this is a
+    /// pure throughput knob. Share one pool process-wide (the forecast
+    /// engine hands its own pool down here) to avoid oversubscription.
+    pub fn set_pool(&mut self, pool: Option<std::sync::Arc<exec::WorkerPool>>) {
+        self.pool = pool;
+    }
+
+    /// Minimum component size (flows) for pool dispatch: a reshare fans
+    /// out only when at least two components reach this size, since
+    /// shipping micro-components to workers costs more than solving them
+    /// inline. Results are bit-identical regardless; tests drop this to 1
+    /// to force the parallel path onto small inputs.
+    pub fn set_parallel_threshold(&mut self, min_flows: usize) {
+        self.par_threshold = min_flows.max(1);
+    }
+
+    /// Minimum component size (flows) for warm-start recording and
+    /// replay. Dense small components invalidate their first cached
+    /// level on almost every completion (the seed usually crosses the
+    /// binding resource), so below this size the replay's validation
+    /// costs more than the cold fill it would skip. Results are
+    /// bit-identical regardless; tests drop this to 1 to exercise the
+    /// replay on small inputs.
+    pub fn set_warm_threshold(&mut self, min_flows: usize) {
+        self.warm_threshold = min_flows.max(1);
+    }
+
+    /// Enables or disables warm-start filling (on by default). Disabling
+    /// also drops all cached freeze orders. Results are bit-identical
+    /// either way; the cache only skips refilling work.
+    pub fn set_warm_start(&mut self, on: bool) {
+        self.warm_start = on;
+        if !on {
+            self.warm.clear();
         }
     }
 
@@ -312,16 +663,17 @@ impl MaxMinSolver {
     /// dense and never reused.
     pub fn register(&mut self, resources: Vec<u32>, weight: f64, cap: f64) -> u32 {
         debug_assert!(weight > 0.0, "flow weight must be positive");
-        debug_assert!(resources.iter().all(|&r| (r as usize) < self.capacity.len()));
-        let id = self.flows.len() as u32;
-        self.phi_cap.push(cap * weight);
-        let res_start = self.res_arena.len() as u32;
+        debug_assert!(resources.iter().all(|&r| (r as usize) < self.core.capacity.len()));
+        let id = self.core.flows.len() as u32;
+        self.core.phi_cap.push(cap * weight);
+        let res_start = self.core.res_arena.len() as u32;
         let res_len = resources.len() as u32;
-        self.res_arena.extend_from_slice(&resources);
-        self.flows.push(SolverFlow { res_start, res_len, weight, cap, active: false });
+        self.core.res_arena.extend_from_slice(&resources);
+        self.core.flows.push(SolverFlow { res_start, res_len, weight, cap, active: false });
         self.rates.push(0.0);
-        self.flow_mark.push(0);
-        self.frozen_mark.push(0);
+        self.core.seed_mark.push(0);
+        self.core.flow_mark.push(0);
+        self.core.flow_comp.push(0);
         id
     }
 
@@ -340,270 +692,818 @@ impl MaxMinSolver {
     /// deterministic and far inside the kernel's completion tolerance.
     pub fn activate(&mut self, flow: u32) {
         let fi = flow as usize;
-        debug_assert!(!self.flows[fi].active, "flow {flow} already active");
-        self.flows[fi].active = true;
-        let inv_w = 1.0 / self.flows[fi].weight;
-        let (start, len) = (self.flows[fi].res_start as usize, self.flows[fi].res_len as usize);
+        debug_assert!(!self.core.flows[fi].active, "flow {flow} already active");
+        self.core.flows[fi].active = true;
+        let inv_w = 1.0 / self.core.flows[fi].weight;
+        let (start, len) =
+            (self.core.flows[fi].res_start as usize, self.core.flows[fi].res_len as usize);
         for j in start..start + len {
-            let r = self.res_arena[j] as usize;
-            let list = &mut self.res_flows[r];
+            let r = self.core.res_arena[j] as usize;
+            let list = &mut self.core.res_flows[r];
             let pos = list.partition_point(|&x| x < flow);
             list.insert(pos, flow);
-            self.base_inv_w_sum[r] += inv_w;
+            self.core.base_inv_w_sum[r] += inv_w;
         }
+        self.pending.push(flow);
     }
 
     /// Removes `flow` from the competition (it finished).
     pub fn deactivate(&mut self, flow: u32) {
         let fi = flow as usize;
-        debug_assert!(self.flows[fi].active, "flow {flow} not active");
-        self.flows[fi].active = false;
-        let inv_w = 1.0 / self.flows[fi].weight;
-        let (start, len) = (self.flows[fi].res_start as usize, self.flows[fi].res_len as usize);
+        debug_assert!(self.core.flows[fi].active, "flow {flow} not active");
+        self.core.flows[fi].active = false;
+        let inv_w = 1.0 / self.core.flows[fi].weight;
+        let (start, len) =
+            (self.core.flows[fi].res_start as usize, self.core.flows[fi].res_len as usize);
         for j in start..start + len {
-            let r = self.res_arena[j] as usize;
-            let list = &mut self.res_flows[r];
+            let r = self.core.res_arena[j] as usize;
+            let list = &mut self.core.res_flows[r];
             let pos = list.partition_point(|&x| x < flow);
             debug_assert!(list.get(pos) == Some(&flow));
             list.remove(pos);
             if list.is_empty() {
                 // Re-anchor: an empty resource must carry an exact zero so
                 // its next filling starts drift-free.
-                self.base_inv_w_sum[r] = 0.0;
+                self.core.base_inv_w_sum[r] = 0.0;
             } else {
-                self.base_inv_w_sum[r] -= inv_w;
+                self.core.base_inv_w_sum[r] -= inv_w;
             }
         }
+        self.pending.push(flow);
     }
 
     /// Re-solves every component containing a flow of `seeds` (flows just
     /// activated or deactivated; deactivated seeds contribute their
-    /// resources but are not solved). Returns the ascending ids of active
-    /// flows whose rate changed; their new rates are readable via
-    /// [`MaxMinSolver::rate`].
+    /// resources but are not solved). Flows toggled since the previous
+    /// reshare are folded into the seed set automatically. Returns the
+    /// ascending ids of active flows whose rate changed; their new rates
+    /// are readable via [`MaxMinSolver::rate`].
     pub fn reshare(&mut self, seeds: &[u32]) -> &[u32] {
-        self.epoch += 1;
-        let epoch = self.epoch;
+        self.core.epoch += 1;
+        let epoch = self.core.epoch;
+        self.changed.clear();
         self.comp_flows.clear();
         self.comp_res.clear();
-        self.bfs_queue.clear();
-        self.changed.clear();
+        self.comps.clear();
 
-        // Affected component: BFS over the flow–resource bipartite graph.
-        // Discovery doubles as solve setup — each newly marked resource
-        // gets its working state (full capacity, base Σ1/w, member count)
-        // via `visit_resource` below.
-        for &s in seeds {
-            if self.flows[s as usize].active && self.flow_mark[s as usize] != epoch {
-                self.visit_flow(s, epoch);
-            }
-            let fi = s as usize;
-            let (start, len) = (self.flows[fi].res_start as usize, self.flows[fi].res_len as usize);
-            for j in start..start + len {
-                let r = self.res_arena[j];
-                if self.res_mark[r as usize] != epoch {
-                    self.visit_resource(r, epoch);
+        // Effective seeds: caller's list ∪ everything toggled since the
+        // last reshare (defense against under-seeded calls — a membership
+        // change the warm-start validity checks don't know about would
+        // silently corrupt a replay).
+        self.seed_buf.clear();
+        self.seed_buf.extend_from_slice(seeds);
+        self.seed_buf.append(&mut self.pending);
+        self.seed_buf.sort_unstable();
+        self.seed_buf.dedup();
+
+        // Mark seeds and their (dirty) resources before discovery; jobs
+        // read these marks concurrently later. The marks only steer
+        // warm-start replay validity, and a replay needs a cached solve
+        // to replay — with nothing recorded the pass is skipped.
+        if self.warm_start && !self.warm.solves.is_empty() {
+            for i in 0..self.seed_buf.len() {
+                let fi = self.seed_buf[i] as usize;
+                self.core.seed_mark[fi] = epoch;
+                let (start, len) = (
+                    self.core.flows[fi].res_start as usize,
+                    self.core.flows[fi].res_len as usize,
+                );
+                for j in start..start + len {
+                    self.core.res_dirty[self.core.res_arena[j] as usize] = epoch;
                 }
             }
         }
-        while let Some(r) = self.bfs_queue.pop() {
-            for i in 0..self.res_flows[r as usize].len() {
-                let fl = self.res_flows[r as usize][i];
-                if self.flow_mark[fl as usize] == epoch {
+
+        // Partition the affected flows into disjoint components: BFS over
+        // the flow–resource bipartite graph, one component per connected
+        // piece. A deactivated seed's resources may now sit in several
+        // pieces (it was the bridge), so each unmarked resource starts its
+        // own BFS.
+        for i in 0..self.seed_buf.len() {
+            let s = self.seed_buf[i];
+            let fi = s as usize;
+            if self.core.flows[fi].active && self.core.flow_mark[fi] != epoch {
+                let comp_id = self.comps.len() as u32;
+                let start = (self.comp_flows.len() as u32, self.comp_res.len() as u32);
+                self.visit_flow(s, epoch, comp_id);
+                self.drain_bfs(epoch, comp_id);
+                self.push_span(start);
+            }
+            let (start, len) =
+                (self.core.flows[fi].res_start as usize, self.core.flows[fi].res_len as usize);
+            for j in start..start + len {
+                let r = self.core.res_arena[j];
+                if self.core.res_mark[r as usize] != epoch {
+                    let comp_id = self.comps.len() as u32;
+                    let start = (self.comp_flows.len() as u32, self.comp_res.len() as u32);
+                    self.visit_resource(r, epoch);
+                    self.drain_bfs(epoch, comp_id);
+                    self.push_span(start);
+                }
+            }
+        }
+
+        if self.comps.is_empty() {
+            return &self.changed;
+        }
+
+        let record = self.warm_start;
+        // Pool dispatch only pays once at least two components carry real
+        // work; micro-components cost more to ship than to solve.
+        let big = self
+            .comps
+            .iter()
+            .filter(|c| (c.flows.1 - c.flows.0) as usize >= self.par_threshold)
+            .count();
+        let use_pool = self.pool.is_some() && self.comps.len() > 1 && big >= 2;
+        if !use_pool {
+            // Sequential path: one reused scratch, results harvested in
+            // component discovery order.
+            for ci in 0..self.comps.len() {
+                let span = self.comps[ci];
+                let flows =
+                    &self.comp_flows[span.flows.0 as usize..span.flows.1 as usize];
+                let res = &self.comp_res[span.res.0 as usize..span.res.1 as usize];
+                // Warm-start pays only on components big enough that
+                // skipped levels outweigh the replay validation; smaller
+                // ones solve cold and just drop their stale records.
+                let use_warm = record && flows.len() >= self.warm_threshold;
+                if !use_warm && flows.len() <= 1 {
+                    // Trivial components are common (lone compute tasks,
+                    // drained resources after a completion wave) and need
+                    // none of the solve machinery: a single flow's rate is
+                    // the minimum of its constraints, computed with the
+                    // exact float operations the general fill would use.
+                    if let Some(&f) = flows.first() {
+                        let fi = f as usize;
+                        let mut phi = f64::INFINITY;
+                        for &r in self.core.res_span(f) {
+                            let ri = r as usize;
+                            let ratio = self.core.capacity[ri] / self.core.base_inv_w_sum[ri];
+                            if ratio < phi {
+                                phi = ratio;
+                            }
+                        }
+                        let pc = self.core.phi_cap[fi];
+                        if pc < phi {
+                            phi = pc;
+                        }
+                        let rate = if phi.is_infinite() {
+                            f64::INFINITY
+                        } else {
+                            let threshold = phi * (1.0 + REL_EPS) + f64::MIN_POSITIVE;
+                            if pc <= threshold {
+                                self.core.flows[fi].cap
+                            } else {
+                                phi / self.core.flows[fi].weight
+                            }
+                        };
+                        if self.rates[fi] != rate {
+                            self.rates[fi] = rate;
+                            self.changed.push(f);
+                        }
+                    }
+                    if record && !self.warm.solves.is_empty() {
+                        // Stale records must still be dropped: the warm
+                        // validity argument needs every membership change
+                        // to re-stamp the resources it touched.
+                        self.warm.detach(res);
+                    }
                     continue;
                 }
-                self.visit_flow(fl, epoch);
-                let fli = fl as usize;
-                let (start, len) =
-                    (self.flows[fli].res_start as usize, self.flows[fli].res_len as usize);
-                for j in start..start + len {
-                    let r2 = self.res_arena[j];
-                    if self.res_mark[r2 as usize] != epoch {
-                        self.visit_resource(r2, epoch);
-                    }
+                let warm = if use_warm { self.warm.lookup(res) } else { None };
+                let mut sink =
+                    RateSink::Direct { rates: &mut self.rates, changed: &mut self.changed };
+                run_component(
+                    &self.core,
+                    ci as u32,
+                    flows,
+                    res,
+                    warm,
+                    use_warm,
+                    &mut sink,
+                    &mut self.scratch_main,
+                );
+                if use_warm {
+                    self.warm.store_from_scratch(res, &self.scratch_main);
+                } else if record && !self.warm.solves.is_empty() {
+                    // Sub-threshold solve: drop any stale record covering
+                    // these resources. With nothing recorded anywhere
+                    // (`solves` empty ⇒ every `res_solve` entry is 0) the
+                    // sweep is skipped outright — the common small-network
+                    // case pays nothing for warm-start being enabled.
+                    self.warm.detach(res);
                 }
             }
-        }
-
-        self.solve_component();
-
-        // `changed` is pushed freeze-by-freeze; restore ascending order
-        // for deterministic consumers.
-        self.changed.sort_unstable();
-        &self.changed
-    }
-
-    /// BFS discovery of one resource: mark, enqueue, and initialize its
-    /// solve state from the delta-maintained base sums.
-    #[inline]
-    fn visit_resource(&mut self, r: u32, epoch: u64) {
-        let ri = r as usize;
-        self.res_mark[ri] = epoch;
-        self.bfs_queue.push(r);
-        self.comp_res.push(r);
-        self.remaining[ri] = self.capacity[ri];
-        self.inv_w_sum[ri] = self.base_inv_w_sum[ri];
-        self.active_count_on[ri] = self.res_flows[ri].len() as u32;
-    }
-
-    /// BFS discovery of one flow: mark and collect it.
-    #[inline]
-    fn visit_flow(&mut self, f: u32, epoch: u64) {
-        let fi = f as usize;
-        self.flow_mark[fi] = epoch;
-        self.comp_flows.push(f);
-    }
-
-    /// Progressive filling over the marked component, matching
-    /// [`SharingProblem::solve`] restricted to the same flows (see the
-    /// `activate` note on the one-ulp caveat of delta-maintained sums).
-    fn solve_component(&mut self) {
-        // Small components resolve fastest with contiguous scans per
-        // filling round; the candidate heap's lazy-deletion churn only
-        // pays off once a round would otherwise rescan hundreds of
-        // constraints (measured crossover on the kernel benches).
-        const HEAP_THRESHOLD: usize = 1536;
-        if self.comp_flows.len() <= HEAP_THRESHOLD {
-            self.solve_component_scan();
         } else {
-            self.solve_component_heap();
-        }
-    }
-
-    /// Scan-per-round progressive filling: the reference algorithm
-    /// restricted to the component's live arrays, replaying the
-    /// reference's float operations (and even its in-pass threshold
-    /// effects) exactly.
-    fn solve_component_scan(&mut self) {
-        const REL_EPS: f64 = 1e-12;
-
-        self.comp_flows.sort_unstable();
-        self.live.clear();
-        self.live.extend_from_slice(&self.comp_flows);
-        self.live_res.clear();
-        for k in 0..self.comp_res.len() {
-            let r = self.comp_res[k];
-            let ri = r as usize;
-            if self.active_count_on[ri] > 0 {
-                self.live_res.push(r);
-                self.ratio[ri] = self.remaining[ri] / self.inv_w_sum[ri];
-            }
-        }
-
-        let mut unfrozen = self.live.len();
-        while unfrozen > 0 {
-            // Potential at which the tightest constraint binds. Ratios are
-            // cached (recomputed only for resources touched by a freeze),
-            // so each round is a pure compare scan — no divisions.
-            let mut phi = f64::INFINITY;
-            for k in 0..self.live_res.len() {
-                let ratio = self.ratio[self.live_res[k] as usize];
-                if ratio < phi {
-                    phi = ratio;
+            // Parallel path: identical jobs fanned out over the pool,
+            // results merged in the same discovery order — bit-identical
+            // to the sequential path at any worker count.
+            let pool = self.pool.clone().expect("checked above");
+            let core = &self.core;
+            let rates = &self.rates;
+            let scratch_pool = &self.scratch_pool;
+            let jobs: Vec<CompJob<'_>> = self
+                .comps
+                .iter()
+                .enumerate()
+                .map(|(ci, span)| {
+                    let flows =
+                        &self.comp_flows[span.flows.0 as usize..span.flows.1 as usize];
+                    let res = &self.comp_res[span.res.0 as usize..span.res.1 as usize];
+                    let use_warm = record && flows.len() >= self.warm_threshold;
+                    let warm = if use_warm { self.warm.lookup(res) } else { None };
+                    (ci as u32, flows, res, warm, use_warm)
+                })
+                .collect();
+            let outs: Vec<CompOut> =
+                pool.map(&jobs, |_, &(comp_id, flows, res, warm, use_warm)| {
+                    let mut scratch = scratch_pool
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .pop()
+                        .unwrap_or_default();
+                    let mut sink = RateSink::Buffered { rates };
+                    run_component(
+                        core, comp_id, flows, res, warm, use_warm, &mut sink, &mut scratch,
+                    );
+                    // Take, don't clone: the buffers cross the thread
+                    // boundary as-is (store_owned keeps the rec ones
+                    // alive in the cache) and the scratch regrows lazily.
+                    let out = CompOut {
+                        changed: std::mem::take(&mut scratch.changed),
+                        rec: use_warm.then(|| CachedSolve {
+                            refs: 0,
+                            phis: std::mem::take(&mut scratch.rec_phis),
+                            offsets: std::mem::take(&mut scratch.rec_offsets),
+                            frozen: std::mem::take(&mut scratch.rec_frozen),
+                        }),
+                    };
+                    scratch_pool.lock().unwrap_or_else(|e| e.into_inner()).push(scratch);
+                    out
+                });
+            drop(jobs);
+            for (ci, out) in outs.into_iter().enumerate() {
+                for (f, rate) in out.changed {
+                    self.rates[f as usize] = rate;
+                    self.changed.push(f);
                 }
-            }
-            for k in 0..self.live.len() {
-                let pc = self.phi_cap[self.live[k] as usize];
-                if pc < phi {
-                    phi = pc;
-                }
-            }
-
-            if phi.is_infinite() {
-                // No binding constraint: the remaining flows are unbounded.
-                for k in 0..self.live.len() {
-                    let f = self.live[k];
-                    self.set_rate(f, f64::INFINITY);
-                }
-                break;
-            }
-
-            let threshold = phi * (1.0 + REL_EPS) + f64::MIN_POSITIVE;
-
-            // Collect this round's freezes from the binding constraints:
-            // every resource at the threshold freezes all its unfrozen
-            // flows, every binding cap freezes its flow. (The reference's
-            // in-pass sum updates can only pull extra constraints under
-            // the threshold within its 1e-12 slack; see the module doc.)
-            self.touched.clear(); // this round's freeze list (flow ids)
-            for k in 0..self.live_res.len() {
-                let r = self.live_res[k];
-                if self.ratio[r as usize] <= threshold {
-                    for &f in &self.res_flows[r as usize] {
-                        if self.frozen_mark[f as usize] != self.epoch {
-                            self.frozen_mark[f as usize] = self.epoch;
-                            self.touched.push(f);
+                if record {
+                    let span = self.comps[ci];
+                    let res = &self.comp_res[span.res.0 as usize..span.res.1 as usize];
+                    match out.rec {
+                        Some(rec) => self.warm.store_owned(res, Some(rec)),
+                        None => {
+                            if !self.warm.solves.is_empty() {
+                                self.warm.detach(res);
+                            }
                         }
                     }
                 }
             }
-            let mut keep = 0;
-            for k in 0..self.live.len() {
-                let f = self.live[k];
-                let fi = f as usize;
-                if self.frozen_mark[fi] == self.epoch {
-                    continue; // frozen via a binding resource above
-                }
-                if self.phi_cap[fi] <= threshold {
-                    self.frozen_mark[fi] = self.epoch;
-                    self.touched.push(f);
-                } else {
-                    self.live[keep] = f;
-                    keep += 1;
-                }
-            }
-            self.live.truncate(keep);
+        }
 
-            if self.touched.is_empty() {
-                // Cannot happen (the φ constraint always yields a freeze),
-                // but guarantee progress against float oddities.
-                for k in 0..self.live.len() {
-                    let f = self.live[k];
-                    let fi = f as usize;
-                    let rate = (phi / self.flows[fi].weight).min(self.flows[fi].cap);
-                    self.set_rate(f, rate);
-                }
-                break;
-            }
+        // Components are disjoint, so the merged list has no duplicates;
+        // restore ascending order for deterministic consumers.
+        self.changed.sort_unstable();
+        &self.changed
+    }
 
-            unfrozen -= self.apply_round_freezes(phi, threshold);
+    fn push_span(&mut self, start: (u32, u32)) {
+        self.comps.push(CompSpan {
+            flows: (start.0, self.comp_flows.len() as u32),
+            res: (start.1, self.comp_res.len() as u32),
+        });
+    }
 
-            // Refresh the cached ratios the freezes invalidated.
-            for k in 0..self.dirty_res.len() {
-                let ri = self.dirty_res[k] as usize;
-                if self.active_count_on[ri] > 0 {
-                    self.ratio[ri] = self.remaining[ri] / self.inv_w_sum[ri];
-                }
-            }
+    /// BFS discovery of one resource: mark, enqueue, collect.
+    #[inline]
+    fn visit_resource(&mut self, r: u32, epoch: u64) {
+        self.core.res_mark[r as usize] = epoch;
+        self.bfs_queue.push(r);
+        self.comp_res.push(r);
+    }
 
-            // Drop fully frozen resources from the scan set.
-            let mut keep = 0;
-            for k in 0..self.live_res.len() {
-                let r = self.live_res[k];
-                if self.active_count_on[r as usize] > 0 {
-                    self.live_res[keep] = r;
-                    keep += 1;
-                }
+    /// BFS discovery of one flow: mark, label, collect, and enqueue its
+    /// unmarked resources.
+    #[inline]
+    fn visit_flow(&mut self, f: u32, epoch: u64, comp_id: u32) {
+        let fi = f as usize;
+        self.core.flow_mark[fi] = epoch;
+        self.core.flow_comp[fi] = comp_id;
+        self.comp_flows.push(f);
+        let (start, len) =
+            (self.core.flows[fi].res_start as usize, self.core.flows[fi].res_len as usize);
+        for j in start..start + len {
+            let r = self.core.res_arena[j];
+            if self.core.res_mark[r as usize] != epoch {
+                self.visit_resource(r, epoch);
             }
-            self.live_res.truncate(keep);
         }
     }
 
-    /// Heap-driven progressive filling for large components: saturation
-    /// candidates live in a lazy-deletion min-heap, so a round touches
-    /// only the constraints that actually bind instead of rescanning
-    /// every resource and cap.
-    fn solve_component_heap(&mut self) {
-        const REL_EPS: f64 = 1e-12;
-
-        self.cand.clear();
-        for k in 0..self.comp_res.len() {
-            let r = self.comp_res[k];
+    /// Drains the BFS queue into the current component.
+    fn drain_bfs(&mut self, epoch: u64, comp_id: u32) {
+        while let Some(r) = self.bfs_queue.pop() {
             let ri = r as usize;
-            if self.active_count_on[ri] > 0 {
-                let ratio = self.remaining[ri] / self.inv_w_sum[ri];
+            for i in 0..self.core.res_flows[ri].len() {
+                let fl = self.core.res_flows[ri][i];
+                if self.core.flow_mark[fl as usize] != epoch {
+                    self.visit_flow(fl, epoch, comp_id);
+                }
+            }
+        }
+    }
+}
+
+/// Solves one component: initializes its working state from the shared
+/// core, replays as much of the cached freeze order as the seeds leave
+/// valid, and finishes with normal progressive filling. Pure function of
+/// `(core, comp_flows, comp_res, warm)` — the scratch carries no history
+/// into the result — which is what makes pool-parallel execution
+/// bit-identical to sequential.
+#[allow(clippy::too_many_arguments)]
+fn run_component(
+    core: &SolverCore,
+    comp_id: u32,
+    comp_flows: &[u32],
+    comp_res: &[u32],
+    warm: Option<&CachedSolve>,
+    record: bool,
+    sink: &mut RateSink<'_>,
+    s: &mut SolveScratch,
+) {
+    s.ensure(core.capacity.len(), core.flows.len());
+    s.stamp += 1;
+    s.changed.clear();
+    s.rec_phis.clear();
+    s.rec_frozen.clear();
+    s.rec_offsets.clear();
+    s.rec_offsets.push(0);
+
+    if let Some(w) = warm {
+        // Component working state: full capacity, delta-maintained base
+        // Σ1/w, live member count per resource — the replay consumes and
+        // updates it.
+        for &r in comp_res {
+            let ri = r as usize;
+            s.remaining[ri] = core.capacity[ri];
+            s.inv_w_sum[ri] = core.base_inv_w_sum[ri];
+            s.active_count_on[ri] = core.res_flows[ri].len() as u32;
+        }
+        let unfrozen = comp_flows.len() - replay_rounds(core, comp_id, comp_flows, comp_res, w, record, sink, s);
+        // Remaining flows fill normally from the replayed state.
+        s.live.clear();
+        for &f in comp_flows {
+            if s.frozen_stamp[f as usize] != s.stamp {
+                s.live.push(f);
+            }
+        }
+        s.live.sort_unstable();
+        debug_assert_eq!(s.live.len(), unfrozen);
+        let scan = s.live.len() <= HEAP_THRESHOLD;
+        s.live_res.clear();
+        for &r in comp_res {
+            let ri = r as usize;
+            if s.active_count_on[ri] > 0 {
+                s.live_res.push(r);
+                if scan {
+                    s.ratio[ri] = s.remaining[ri] / s.inv_w_sum[ri];
+                }
+            }
+        }
+        if !s.live.is_empty() {
+            if scan {
+                fill_scan(core, record, sink, s);
+            } else {
+                fill_heap(core, record, sink, s);
+            }
+        }
+    } else {
+        // Cold solve: one fused pass initializes the per-resource state,
+        // collects the live resources and seeds the scan ratios (the
+        // event-loop hot path — keep it to a single sweep).
+        s.live.clear();
+        s.live.extend_from_slice(comp_flows);
+        s.live.sort_unstable();
+        let scan = s.live.len() <= HEAP_THRESHOLD;
+        s.live_res.clear();
+        for &r in comp_res {
+            let ri = r as usize;
+            let members = core.res_flows[ri].len() as u32;
+            s.remaining[ri] = core.capacity[ri];
+            s.inv_w_sum[ri] = core.base_inv_w_sum[ri];
+            s.active_count_on[ri] = members;
+            if members > 0 {
+                s.live_res.push(r);
+                if scan {
+                    s.ratio[ri] = core.capacity[ri] / core.base_inv_w_sum[ri];
+                }
+            }
+        }
+        if !s.live.is_empty() {
+            if scan {
+                fill_scan(core, record, sink, s);
+            } else {
+                fill_heap(core, record, sink, s);
+            }
+        }
+    }
+
+    // `changed` is left in freeze order; the reshare's single global sort
+    // restores ascending ids after the per-component merge.
+}
+
+/// Replays the cached freeze order until a level the seeds invalidate,
+/// returning how many flows froze. A cached level stays valid when (a) no
+/// dirty constraint — a seed-crossed resource's current ratio or a live
+/// seed's cap potential — binds at or below the level's threshold, and
+/// (b) every flow the level froze is still active, not a seed, and still
+/// pinned by its cap or by one of its (clean-valued) resources. Replayed
+/// levels apply the identical float operations a cold fill would, so the
+/// state handed to the remaining filling is bitwise the cold state.
+#[allow(clippy::too_many_arguments)]
+fn replay_rounds(
+    core: &SolverCore,
+    comp_id: u32,
+    comp_flows: &[u32],
+    comp_res: &[u32],
+    w: &CachedSolve,
+    record: bool,
+    sink: &mut RateSink<'_>,
+    s: &mut SolveScratch,
+) -> usize {
+    s.dirty.clear();
+    for &r in comp_res {
+        if core.res_dirty[r as usize] == core.epoch {
+            s.dirty.push(r);
+        }
+    }
+    s.seed_flows.clear();
+    for &f in comp_flows {
+        if core.seed_mark[f as usize] == core.epoch {
+            s.seed_flows.push(f);
+        }
+    }
+
+    let mut frozen_total = 0;
+    'rounds: for k in 0..w.phis.len() {
+        let phi = w.phis[k];
+        let threshold = phi * (1.0 + REL_EPS) + f64::MIN_POSITIVE;
+
+        // A dirty constraint binding at or below this level means the
+        // seeds reshuffle the filling from here on: stop replaying.
+        for di in 0..s.dirty.len() {
+            let ri = s.dirty[di] as usize;
+            if s.active_count_on[ri] > 0 && s.remaining[ri] / s.inv_w_sum[ri] <= threshold {
+                break 'rounds;
+            }
+        }
+        for si in 0..s.seed_flows.len() {
+            if core.phi_cap[s.seed_flows[si] as usize] <= threshold {
+                break 'rounds;
+            }
+        }
+
+        s.touched.clear();
+        let (lo, hi) = (w.offsets[k] as usize, w.offsets[k + 1] as usize);
+        for &f in &w.frozen[lo..hi] {
+            let fi = f as usize;
+            if core.flow_mark[fi] != core.epoch || core.flow_comp[fi] != comp_id {
+                // The cached solve covered a larger component that has
+                // since split; this flow's piece is someone else's job
+                // (or untouched) and shares none of our resources.
+                continue;
+            }
+            if core.seed_mark[fi] == core.epoch
+                || !core.flows[fi].active
+                || s.frozen_stamp[fi] == s.stamp
+            {
+                break 'rounds;
+            }
+            if core.phi_cap[fi] <= threshold {
+                s.touched.push(f);
+                continue;
+            }
+            // Must still be pinned by one of its resources; clean
+            // resources carry bitwise the cached solve's values, so this
+            // recomputation *is* the cached binding test.
+            let mut bound = false;
+            for &r in core.res_span(f) {
+                let ri = r as usize;
+                if s.active_count_on[ri] > 0 && s.remaining[ri] / s.inv_w_sum[ri] <= threshold
+                {
+                    bound = true;
+                    break;
+                }
+            }
+            if !bound {
+                break 'rounds;
+            }
+            s.touched.push(f);
+        }
+        if s.touched.is_empty() {
+            // Level belonged entirely to a split-off piece; skip it.
+            continue;
+        }
+        frozen_total += apply_round(core, record, phi, threshold, sink, s);
+    }
+    frozen_total
+}
+
+/// Applies one round's freeze list (`touched`) in ascending flow order —
+/// replaying the reference's float-operation sequence — collecting the
+/// resources whose sums changed into `dirty_round` (round-stamp deduped)
+/// and recording the round in the freeze-order cache. Returns how many
+/// flows froze.
+fn apply_round(
+    core: &SolverCore,
+    record: bool,
+    phi: f64,
+    threshold: f64,
+    sink: &mut RateSink<'_>,
+    s: &mut SolveScratch,
+) -> usize {
+    s.touched.sort_unstable();
+    s.round_stamp += 1;
+    s.dirty_round.clear();
+    for k in 0..s.touched.len() {
+        let f = s.touched[k];
+        let fi = f as usize;
+        let allocated = if core.phi_cap[fi] <= threshold {
+            core.flows[fi].cap
+        } else {
+            phi / core.flows[fi].weight
+        };
+        set_rate(sink, f, allocated, s);
+        let inv_w = 1.0 / core.flows[fi].weight;
+        for &r in core.res_span(f) {
+            let ri = r as usize;
+            s.remaining[ri] = (s.remaining[ri] - allocated).max(0.0);
+            s.inv_w_sum[ri] -= inv_w;
+            s.active_count_on[ri] -= 1;
+            if s.touched_mark[ri] != s.round_stamp {
+                s.touched_mark[ri] = s.round_stamp;
+                s.dirty_round.push(r);
+            }
+        }
+    }
+    if record {
+        s.rec_phis.push(phi);
+        s.rec_frozen.extend_from_slice(&s.touched);
+        s.rec_offsets.push(s.rec_frozen.len() as u32);
+    }
+    s.touched.len()
+}
+
+fn set_rate(sink: &mut RateSink<'_>, flow: u32, rate: f64, s: &mut SolveScratch) {
+    let fi = flow as usize;
+    match sink {
+        RateSink::Direct { rates, changed } => {
+            if rates[fi] != rate {
+                rates[fi] = rate;
+                changed.push(flow);
+            }
+        }
+        RateSink::Buffered { rates } => {
+            if rates[fi] != rate {
+                s.changed.push((flow, rate));
+            }
+        }
+    }
+    s.frozen_stamp[fi] = s.stamp;
+}
+
+/// Scan-per-round progressive filling: the reference algorithm restricted
+/// to the component's live arrays, replaying the reference's float
+/// operations (and even its in-pass threshold effects) exactly.
+fn fill_scan(core: &SolverCore, record: bool, sink: &mut RateSink<'_>, s: &mut SolveScratch) {
+    // `ratio[r]` is seeded by the caller for every live resource and
+    // refreshed here only when a freeze dirties it.
+    let mut unfrozen = s.live.len();
+    while unfrozen > 0 {
+        // Potential at which the tightest constraint binds. Ratios are
+        // cached (recomputed only for resources touched by a freeze), so
+        // each round is a pure compare scan — no divisions.
+        let mut phi = f64::INFINITY;
+        for k in 0..s.live_res.len() {
+            let ratio = s.ratio[s.live_res[k] as usize];
+            if ratio < phi {
+                phi = ratio;
+            }
+        }
+        for k in 0..s.live.len() {
+            let pc = core.phi_cap[s.live[k] as usize];
+            if pc < phi {
+                phi = pc;
+            }
+        }
+
+        if phi.is_infinite() {
+            // No binding constraint: the remaining flows are unbounded.
+            for k in 0..s.live.len() {
+                let f = s.live[k];
+                set_rate(sink, f, f64::INFINITY, s);
+            }
+            break;
+        }
+
+        let threshold = phi * (1.0 + REL_EPS) + f64::MIN_POSITIVE;
+
+        // Collect this round's freezes from the binding constraints:
+        // every resource at the threshold freezes all its unfrozen flows,
+        // every binding cap freezes its flow. (The reference's in-pass
+        // sum updates can only pull extra constraints under the threshold
+        // within its 1e-12 slack; see the module doc.)
+        s.touched.clear();
+        for k in 0..s.live_res.len() {
+            let r = s.live_res[k];
+            let ri = r as usize;
+            if s.ratio[ri] <= threshold {
+                for i in 0..core.res_flows[ri].len() {
+                    let f = core.res_flows[ri][i];
+                    if s.frozen_stamp[f as usize] != s.stamp {
+                        s.frozen_stamp[f as usize] = s.stamp;
+                        s.touched.push(f);
+                    }
+                }
+            }
+        }
+        let mut keep = 0;
+        for k in 0..s.live.len() {
+            let f = s.live[k];
+            let fi = f as usize;
+            if s.frozen_stamp[fi] == s.stamp {
+                continue; // frozen via a binding resource above
+            }
+            if core.phi_cap[fi] <= threshold {
+                s.frozen_stamp[fi] = s.stamp;
+                s.touched.push(f);
+            } else {
+                s.live[keep] = f;
+                keep += 1;
+            }
+        }
+        s.live.truncate(keep);
+
+        if s.touched.is_empty() {
+            // Cannot happen (the φ constraint always yields a freeze),
+            // but guarantee progress against float oddities.
+            for k in 0..s.live.len() {
+                let f = s.live[k];
+                let fi = f as usize;
+                let rate = (phi / core.flows[fi].weight).min(core.flows[fi].cap);
+                set_rate(sink, f, rate, s);
+            }
+            break;
+        }
+
+        unfrozen -= apply_round(core, record, phi, threshold, sink, s);
+
+        // Refresh the cached ratios the freezes invalidated.
+        for k in 0..s.dirty_round.len() {
+            let ri = s.dirty_round[k] as usize;
+            if s.active_count_on[ri] > 0 {
+                s.ratio[ri] = s.remaining[ri] / s.inv_w_sum[ri];
+            }
+        }
+
+        // Drop fully frozen resources from the scan set.
+        let mut keep = 0;
+        for k in 0..s.live_res.len() {
+            let r = s.live_res[k];
+            if s.active_count_on[r as usize] > 0 {
+                s.live_res[keep] = r;
+                keep += 1;
+            }
+        }
+        s.live_res.truncate(keep);
+    }
+}
+
+/// Heap-driven progressive filling for large components: saturation
+/// candidates live in a lazy-deletion min-heap, so a round touches only
+/// the constraints that actually bind instead of rescanning every
+/// resource and cap.
+fn fill_heap(core: &SolverCore, record: bool, sink: &mut RateSink<'_>, s: &mut SolveScratch) {
+    s.cand.clear();
+    for k in 0..s.live_res.len() {
+        let r = s.live_res[k];
+        let ri = r as usize;
+        let ratio = s.remaining[ri] / s.inv_w_sum[ri];
+        if ratio.is_finite() {
+            s.cand.push(std::cmp::Reverse(Candidate { value: OrdF64(ratio), kind: RESOURCE, id: r }));
+        }
+    }
+    for k in 0..s.live.len() {
+        let f = s.live[k];
+        let pc = core.phi_cap[f as usize];
+        if pc.is_finite() {
+            s.cand.push(std::cmp::Reverse(Candidate { value: OrdF64(pc), kind: FLOW_CAP, id: f }));
+        }
+    }
+    // O(n) heapify of the staged candidates, recycling both buffers.
+    debug_assert!(s.heap.is_empty());
+    let staged = std::mem::take(&mut s.cand);
+    s.heap = std::collections::BinaryHeap::from(staged);
+
+    let mut unfrozen = s.live.len();
+
+    while unfrozen > 0 {
+        // Peek the tightest still-valid constraint; its value is the same
+        // minimum the reference finds by scanning everything.
+        let mut phi = f64::INFINITY;
+        while let Some(&std::cmp::Reverse(c)) = s.heap.peek() {
+            let valid = if c.kind == RESOURCE {
+                let ri = c.id as usize;
+                s.active_count_on[ri] > 0 && s.remaining[ri] / s.inv_w_sum[ri] == c.value.0
+            } else {
+                s.frozen_stamp[c.id as usize] != s.stamp
+            };
+            if valid {
+                phi = c.value.0;
+                break;
+            }
+            s.heap.pop();
+        }
+
+        if phi.is_infinite() {
+            // No binding constraint: the remaining flows are unbounded.
+            for k in 0..s.live.len() {
+                let f = s.live[k];
+                if s.frozen_stamp[f as usize] != s.stamp {
+                    set_rate(sink, f, f64::INFINITY, s);
+                }
+            }
+            break;
+        }
+
+        let threshold = phi * (1.0 + REL_EPS) + f64::MIN_POSITIVE;
+
+        // Collect this round's freezes straight from the candidate heap:
+        // every resource whose ratio binds at `threshold` freezes all its
+        // unfrozen flows, every binding cap freezes its flow. Freezing a
+        // flow at ≤ φ/w only *raises* other ratios, so the binding set is
+        // fixed at round start and no per-flow scan is needed (the
+        // reference's in-pass updates cannot pull new resources under the
+        // threshold except within its 1e-12 slack, which random inputs do
+        // not hit).
+        s.touched.clear();
+        while let Some(&std::cmp::Reverse(c)) = s.heap.peek() {
+            let valid = if c.kind == RESOURCE {
+                let ri = c.id as usize;
+                s.active_count_on[ri] > 0 && s.remaining[ri] / s.inv_w_sum[ri] == c.value.0
+            } else {
+                s.frozen_stamp[c.id as usize] != s.stamp
+            };
+            if !valid {
+                s.heap.pop();
+                continue;
+            }
+            if c.value.0 > threshold {
+                break;
+            }
+            s.heap.pop();
+            if c.kind == RESOURCE {
+                let ri = c.id as usize;
+                for i in 0..core.res_flows[ri].len() {
+                    let f = core.res_flows[ri][i];
+                    if s.frozen_stamp[f as usize] != s.stamp {
+                        s.frozen_stamp[f as usize] = s.stamp;
+                        s.touched.push(f);
+                    }
+                }
+            } else if s.frozen_stamp[c.id as usize] != s.stamp {
+                s.frozen_stamp[c.id as usize] = s.stamp;
+                s.touched.push(c.id);
+            }
+        }
+
+        if s.touched.is_empty() {
+            // Cannot happen (the φ candidate itself always yields a
+            // freeze), but guarantee progress against float oddities.
+            for k in 0..s.live.len() {
+                let f = s.live[k];
+                let fi = f as usize;
+                if s.frozen_stamp[fi] != s.stamp {
+                    let rate = (phi / core.flows[fi].weight).min(core.flows[fi].cap);
+                    set_rate(sink, f, rate, s);
+                }
+            }
+            break;
+        }
+
+        unfrozen -= apply_round(core, record, phi, threshold, sink, s);
+
+        // Freezes changed these resources' ratios; push fresh candidates
+        // (old entries turn stale and are skipped on pop).
+        for k in 0..s.dirty_round.len() {
+            let r = s.dirty_round[k];
+            let ri = r as usize;
+            if s.active_count_on[ri] > 0 {
+                let ratio = s.remaining[ri] / s.inv_w_sum[ri];
                 if ratio.is_finite() {
-                    self.cand.push(std::cmp::Reverse(Candidate {
+                    s.heap.push(std::cmp::Reverse(Candidate {
                         value: OrdF64(ratio),
                         kind: RESOURCE,
                         id: r,
@@ -611,176 +1511,12 @@ impl MaxMinSolver {
                 }
             }
         }
-        for k in 0..self.comp_flows.len() {
-            let f = self.comp_flows[k];
-            let pc = self.phi_cap[f as usize];
-            if pc.is_finite() {
-                self.cand.push(std::cmp::Reverse(Candidate {
-                    value: OrdF64(pc),
-                    kind: FLOW_CAP,
-                    id: f,
-                }));
-            }
-        }
-        // O(n) heapify of the staged candidates, recycling both buffers.
-        debug_assert!(self.heap.is_empty());
-        let staged = std::mem::take(&mut self.cand);
-        self.heap = std::collections::BinaryHeap::from(staged);
-
-        let mut unfrozen = self.comp_flows.len();
-
-        while unfrozen > 0 {
-            // Peek the tightest still-valid constraint; its value is the
-            // same minimum the reference finds by scanning everything.
-            let mut phi = f64::INFINITY;
-            while let Some(&std::cmp::Reverse(c)) = self.heap.peek() {
-                let valid = if c.kind == RESOURCE {
-                    let ri = c.id as usize;
-                    self.active_count_on[ri] > 0
-                        && self.remaining[ri] / self.inv_w_sum[ri] == c.value.0
-                } else {
-                    self.frozen_mark[c.id as usize] != self.epoch
-                };
-                if valid {
-                    phi = c.value.0;
-                    break;
-                }
-                self.heap.pop();
-            }
-
-            if phi.is_infinite() {
-                // No binding constraint: the remaining flows are unbounded.
-                for k in 0..self.comp_flows.len() {
-                    let f = self.comp_flows[k];
-                    if self.frozen_mark[f as usize] != self.epoch {
-                        self.set_rate(f, f64::INFINITY);
-                    }
-                }
-                break;
-            }
-
-            let threshold = phi * (1.0 + REL_EPS) + f64::MIN_POSITIVE;
-
-            // Collect this round's freezes straight from the candidate
-            // heap: every resource whose ratio binds at `threshold`
-            // freezes all its unfrozen flows, every binding cap freezes
-            // its flow. Freezing a flow at ≤ φ/w only *raises* other
-            // ratios, so the binding set is fixed at round start and no
-            // per-flow scan is needed (the reference's in-pass updates
-            // cannot pull new resources under the threshold except within
-            // its 1e-12 slack, which random inputs do not hit).
-            self.touched.clear(); // this round's freeze list
-            while let Some(&std::cmp::Reverse(c)) = self.heap.peek() {
-                let valid = if c.kind == RESOURCE {
-                    let ri = c.id as usize;
-                    self.active_count_on[ri] > 0
-                        && self.remaining[ri] / self.inv_w_sum[ri] == c.value.0
-                } else {
-                    self.frozen_mark[c.id as usize] != self.epoch
-                };
-                if !valid {
-                    self.heap.pop();
-                    continue;
-                }
-                if c.value.0 > threshold {
-                    break;
-                }
-                self.heap.pop();
-                if c.kind == RESOURCE {
-                    for &f in &self.res_flows[c.id as usize] {
-                        if self.frozen_mark[f as usize] != self.epoch {
-                            self.frozen_mark[f as usize] = self.epoch;
-                            self.touched.push(f);
-                        }
-                    }
-                } else if self.frozen_mark[c.id as usize] != self.epoch {
-                    self.frozen_mark[c.id as usize] = self.epoch;
-                    self.touched.push(c.id);
-                }
-            }
-
-            if self.touched.is_empty() {
-                // Cannot happen (the φ candidate itself always yields a
-                // freeze), but guarantee progress against float oddities.
-                for k in 0..self.comp_flows.len() {
-                    let f = self.comp_flows[k];
-                    let fi = f as usize;
-                    if self.frozen_mark[fi] != self.epoch {
-                        let rate = (phi / self.flows[fi].weight).min(self.flows[fi].cap);
-                        self.set_rate(f, rate);
-                    }
-                }
-                break;
-            }
-
-            unfrozen -= self.apply_round_freezes(phi, threshold);
-
-            // Freezes changed these resources' ratios; push fresh
-            // candidates (old entries turn stale and are skipped on pop).
-            for k in 0..self.dirty_res.len() {
-                let r = self.dirty_res[k];
-                let ri = r as usize;
-                if self.active_count_on[ri] > 0 {
-                    let ratio = self.remaining[ri] / self.inv_w_sum[ri];
-                    if ratio.is_finite() {
-                        self.heap.push(std::cmp::Reverse(Candidate {
-                            value: OrdF64(ratio),
-                            kind: RESOURCE,
-                            id: r,
-                        }));
-                    }
-                }
-            }
-        }
-
-        // Recycle the heap's buffer for the next solve's staging.
-        let mut spent = std::mem::take(&mut self.heap).into_vec();
-        spent.clear();
-        self.cand = spent;
     }
 
-    /// Applies one round's freeze list (`touched`) in ascending flow
-    /// order — replaying the reference's float-operation sequence — and
-    /// collects the resources whose sums changed into `dirty_res`
-    /// (round-stamp deduped). Returns how many flows froze.
-    fn apply_round_freezes(&mut self, phi: f64, threshold: f64) -> usize {
-        self.touched.sort_unstable();
-        self.round_stamp += 1;
-        self.dirty_res.clear();
-        for k in 0..self.touched.len() {
-            let f = self.touched[k];
-            let fi = f as usize;
-            let allocated = if self.phi_cap[fi] <= threshold {
-                self.flows[fi].cap
-            } else {
-                phi / self.flows[fi].weight
-            };
-            self.set_rate(f, allocated);
-            let inv_w = 1.0 / self.flows[fi].weight;
-            let (start, len) =
-                (self.flows[fi].res_start as usize, self.flows[fi].res_len as usize);
-            for j in start..start + len {
-                let r = self.res_arena[j] as usize;
-                self.remaining[r] = (self.remaining[r] - allocated).max(0.0);
-                self.inv_w_sum[r] -= inv_w;
-                self.active_count_on[r] -= 1;
-                if self.touched_mark[r] != self.round_stamp {
-                    self.touched_mark[r] = self.round_stamp;
-                    self.dirty_res.push(r as u32);
-                }
-            }
-        }
-        self.touched.len()
-    }
-
-    fn set_rate(&mut self, flow: u32, rate: f64) {
-        let fi = flow as usize;
-        if self.rates[fi] != rate {
-            self.rates[fi] = rate;
-            self.changed.push(flow);
-        }
-        self.frozen_mark[fi] = self.epoch;
-    }
+    // Recycle the heap's buffer for the next solve's staging.
+    let mut spent = std::mem::take(&mut s.heap).into_vec();
+    spent.clear();
+    s.cand = spent;
 }
 
 #[cfg(test)]
@@ -891,3 +1627,5 @@ mod tests {
         assert_eq!(r1, r2, "solver must be deterministic");
     }
 }
+
+

@@ -304,6 +304,191 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Parallel component solves + warm-start filling vs the sequential reshare
+
+/// A problem with `groups` *disjoint* resource groups: every flow's
+/// resources stay inside one group, so a multi-seed reshare spans several
+/// independent components — exactly the shape the pool fans out.
+fn arb_multicomponent() -> impl Strategy<Value = SharingProblem> {
+    (2usize..5, 2usize..5, 1usize..5).prop_flat_map(|(groups, res_per, flows_per)| {
+        let caps = proptest::collection::vec(1.0f64..1000.0, groups * res_per);
+        let flows = proptest::collection::vec(
+            (
+                0usize..groups,
+                proptest::collection::btree_set(0..res_per as u32, 1..=res_per),
+                0.1f64..10.0,
+                prop_oneof![Just(f64::INFINITY), 0.1f64..500.0],
+            ),
+            groups..=groups * flows_per,
+        );
+        (caps, flows).prop_map(move |(capacity, flows)| {
+            let mut p = SharingProblem::with_capacities(capacity);
+            for (g, res, w, cap) in flows {
+                let res: Vec<u32> = res.into_iter().map(|r| (g * res_per) as u32 + r).collect();
+                p.add_flow(res, w, cap);
+            }
+            p
+        })
+    })
+}
+
+/// Runs one activate/deactivate history (batched toggles; each batch is
+/// one reshare with all toggled flows as seeds, mimicking simultaneous
+/// completions) under a given pool size and warm-start setting, and
+/// snapshots `(rate bit patterns, changed list)` after every reshare.
+fn run_history(
+    p: &SharingProblem,
+    batches: &[Vec<usize>],
+    workers: usize,
+    warm: bool,
+) -> Vec<(Vec<u64>, Vec<u32>)> {
+    let n = p.flows.len();
+    let mut solver = MaxMinSolver::new(p.capacity.clone());
+    solver.set_pool((workers > 0).then(|| std::sync::Arc::new(exec::WorkerPool::new(workers))));
+    solver.set_parallel_threshold(1); // force pool dispatch onto tiny components
+    solver.set_warm_threshold(1); // ...and warm-start replay likewise
+    solver.set_warm_start(warm);
+    for f in &p.flows {
+        solver.register(f.resources.clone(), f.weight, f.cap);
+    }
+    let mut active = vec![false; n];
+    let mut out = Vec::new();
+    for batch in batches {
+        let mut seeds = Vec::new();
+        for &t in batch {
+            let i = t % n;
+            if active[i] {
+                solver.deactivate(i as u32);
+            } else {
+                solver.activate(i as u32);
+            }
+            active[i] = !active[i];
+            seeds.push(i as u32);
+        }
+        let changed = solver.reshare(&seeds).to_vec();
+        let rates: Vec<u64> = (0..n).map(|k| solver.rate(k as u32).to_bits()).collect();
+        out.push((rates, changed));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One multi-seed reshare activating everything at once (several
+    /// disjoint components in one call): rates and `changed` must be
+    /// bit-identical to the one-shot reference at every worker count,
+    /// warm start on and off.
+    #[test]
+    fn multicomponent_activation_matches_reference_exactly(p in arb_multicomponent()) {
+        let reference = p.solve();
+        let all: Vec<u32> = (0..p.flows.len() as u32).collect();
+        for workers in [0usize, 1, 2, 4, 8] {
+            for warm in [false, true] {
+                let mut inc = incremental_from(&p, &all);
+                inc.set_pool(
+                    (workers > 0).then(|| std::sync::Arc::new(exec::WorkerPool::new(workers))),
+                );
+                inc.set_parallel_threshold(1); // force pool dispatch
+                inc.set_warm_threshold(1); // ...and warm-start replay likewise
+                inc.set_warm_start(warm);
+                let changed = inc.reshare(&all).to_vec();
+                prop_assert_eq!(
+                    &changed,
+                    &all,
+                    "every first-solve rate moves (workers={}, warm={})", workers, warm
+                );
+                for (i, want) in reference.iter().enumerate() {
+                    let got = inc.rate(i as u32);
+                    prop_assert!(
+                        exactly_equal(got, *want),
+                        "flow {i}: {got:?} != reference {want:?} (workers={}, warm={})",
+                        workers,
+                        warm
+                    );
+                }
+            }
+        }
+    }
+
+    /// Randomized batched activate/deactivate histories (multi-seed
+    /// reshares spanning several disjoint components): every snapshot —
+    /// rate bit patterns *and* `changed` lists — is bit-identical across
+    /// worker counts 0/1/2/4/8 with warm start on and off, and tracks a
+    /// fresh reference solve of the active subset.
+    #[test]
+    fn histories_are_bit_identical_across_workers_and_warm_start(
+        p in arb_multicomponent(),
+        toggles in proptest::collection::vec(0usize..32, 1..40),
+        batching in proptest::collection::vec(1usize..4, 1..40),
+    ) {
+        // Slice the toggle stream into reshare batches of 1–3 toggles.
+        let mut batches: Vec<Vec<usize>> = Vec::new();
+        let mut it = toggles.iter();
+        'outer: for &b in &batching {
+            let mut batch = Vec::new();
+            for _ in 0..b {
+                match it.next() {
+                    Some(&t) => batch.push(t),
+                    None => {
+                        if !batch.is_empty() {
+                            batches.push(batch);
+                        }
+                        break 'outer;
+                    }
+                }
+            }
+            batches.push(batch);
+        }
+        if batches.is_empty() {
+            return Ok(());
+        }
+
+        // The sequential, cold path is the pinned reference.
+        let baseline = run_history(&p, &batches, 0, false);
+        for workers in [0usize, 1, 2, 4, 8] {
+            for warm in [false, true] {
+                if workers == 0 && !warm {
+                    continue;
+                }
+                let got = run_history(&p, &batches, workers, warm);
+                prop_assert_eq!(
+                    &got,
+                    &baseline,
+                    "divergence from sequential cold reshare (workers={}, warm={})",
+                    workers,
+                    warm
+                );
+            }
+        }
+
+        // And the baseline itself tracks the from-scratch reference.
+        let n = p.flows.len();
+        let mut active = vec![false; n];
+        for (batch, (rates, _)) in batches.iter().zip(&baseline) {
+            for &t in batch {
+                active[t % n] = !active[t % n];
+            }
+            let ids: Vec<u32> =
+                (0..n).filter(|k| active[*k]).map(|k| k as u32).collect();
+            let mut sub = SharingProblem::with_capacities(p.capacity.clone());
+            for &k in &ids {
+                let f = &p.flows[k as usize];
+                sub.add_flow(f.resources.clone(), f.weight, f.cap);
+            }
+            let reference = sub.solve();
+            for (slot, &k) in ids.iter().enumerate() {
+                let got = f64::from_bits(rates[k as usize]);
+                let want = reference[slot];
+                let ok = exactly_equal(got, want)
+                    || (got - want).abs() <= 1e-9 * want.abs().max(1e-9);
+                prop_assert!(ok, "flow {k}: incremental {got} vs reference {want}");
+            }
+        }
+    }
+}
+
 #[test]
 fn incremental_heap_path_matches_reference() {
     // Large single-bottleneck component: forces the solver onto its

@@ -8,8 +8,14 @@
 //! with optional `#![proptest_config(...)]`.
 //!
 //! Differences from the real crate, by design:
-//! * no shrinking — a failing case panics with its (deterministic) case
-//!   number so it can be replayed by rerunning the test;
+//! * *basic* shrinking only: integer-range strategies shrink toward the
+//!   range start, `collection::vec` strategies drop elements and shrink
+//!   the survivors, and tuple/boxed strategies delegate componentwise
+//!   ([`Strategy::shrink`] proposes candidates; the runner greedily keeps
+//!   any candidate that still fails, bounded by [`MAX_SHRINK_ITERS`]).
+//!   Mapped/flat-mapped strategies do not shrink — there is no value tree
+//!   to walk back through — so properties that want minimal
+//!   counterexamples should bind raw integer/`Vec` inputs;
 //! * inputs are generated from a fixed per-test seed, so runs are fully
 //!   reproducible without a persistence file;
 //! * string strategies support only single character classes (`[...]` or
@@ -90,11 +96,21 @@ impl Default for ProptestConfig {
 // ---------------------------------------------------------------------------
 // Strategy
 
+/// Cap on total shrink attempts per failing case.
+pub const MAX_SHRINK_ITERS: usize = 256;
+
 /// A generator of random values of one type.
 pub trait Strategy {
     type Value;
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, most aggressive first. The
+    /// default is no shrinking; integer ranges, `collection::vec` and
+    /// tuples override it.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     fn prop_map<T, F>(self, f: F) -> Map<Self, F>
     where
@@ -160,6 +176,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         self.0.generate(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink(value)
     }
 }
 
@@ -231,6 +250,25 @@ macro_rules! impl_range_strategy_int {
                 let span = (self.end as i128 - self.start as i128) as u128;
                 let v = (rng.next_u64() as u128) % span;
                 (self.start as i128 + v as i128) as $t
+            }
+            /// Shrinks toward the range start: the start itself, the
+            /// midpoint, and one step down — enough for the greedy
+            /// runner to bisect to a minimal failing value.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, v) = (self.start as i128, *value as i128);
+                let mut out = Vec::new();
+                if v <= lo {
+                    return out;
+                }
+                out.push(self.start);
+                let mid = lo + (v - lo) / 2;
+                if mid > lo && mid < v {
+                    out.push(mid as $t);
+                }
+                if v - 1 > lo && v - 1 != mid {
+                    out.push((v - 1) as $t);
+                }
+                out
             }
         }
     )*};
@@ -334,24 +372,38 @@ fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
 // Tuples --------------------------------------------------------------------
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                ($(self.$idx.generate(rng),)+)
+            }
+            /// Componentwise shrinking: each position's candidates with
+            /// the sibling values held fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut c = value.clone();
+                        c.$idx = cand;
+                        out.push(c);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A 0);
+impl_tuple_strategy!(A 0, B 1);
+impl_tuple_strategy!(A 0, B 1, C 2);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
 
 // any -----------------------------------------------------------------------
 
@@ -442,11 +494,41 @@ pub mod collection {
         VecStrategy { elem, size: size.into() }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = self.size.min + rng.below(self.size.max - self.size.min + 1);
             (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+        /// Shorter vectors first (drop the tail half, then single
+        /// elements), then elementwise shrinks — so a failing 200-step
+        /// history collapses to the few steps that matter.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let n = value.len();
+            let min = self.size.min;
+            let mut out = Vec::new();
+            if n > min {
+                let keep = (n / 2).max(min);
+                if keep < n {
+                    out.push(value[..keep].to_vec());
+                }
+                for i in (0..n).rev().take(16) {
+                    let mut c = value.clone();
+                    c.remove(i);
+                    out.push(c);
+                }
+            }
+            for (i, v) in value.iter().enumerate().take(16) {
+                for cand in self.elem.shrink(v).into_iter().take(3) {
+                    let mut c = value.clone();
+                    c[i] = cand;
+                    out.push(c);
+                }
+            }
+            out
         }
     }
 
@@ -480,6 +562,84 @@ pub mod collection {
             }
             set
         }
+    }
+}
+
+// Shrinking runner ----------------------------------------------------------
+
+/// Greedily minimizes a failing input: repeatedly asks the strategy for
+/// candidates and keeps the first one that still fails, until no
+/// candidate fails or the attempt budget runs out. `failing` must return
+/// `true` for `input` (and for whatever it returns). The default panic
+/// hook is silenced for the duration — every probed candidate that still
+/// fails would otherwise spray a panic report.
+pub fn shrink_to_minimal<S: Strategy>(
+    strategy: &S,
+    mut input: S::Value,
+    failing: impl Fn(&S::Value) -> bool,
+) -> S::Value {
+    // The panic hook is process-global and the default test harness runs
+    // tests on several threads: serialize the swap/restore so two
+    // concurrently shrinking properties can't capture each other's
+    // silent hook and leave it installed forever.
+    static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut budget = MAX_SHRINK_ITERS;
+    'outer: while budget > 0 {
+        for cand in strategy.shrink(&input) {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            if failing(&cand) {
+                input = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    std::panic::set_hook(prev_hook);
+    input
+}
+
+/// The `proptest!` runner: generates `config.cases` inputs from the
+/// per-test seed, and on the first failing case shrinks it to a minimal
+/// failing input before re-running it unprotected — so the panic that
+/// surfaces carries the real assertion message *and* the minimal input
+/// has been printed to stderr.
+pub fn run_cases<S: Strategy>(
+    test_path: &str,
+    config: ProptestConfig,
+    strategy: &S,
+    run: impl Fn(&S::Value) -> Result<(), String>,
+) where
+    S::Value: Clone + std::fmt::Debug,
+{
+    let base = fnv(test_path);
+    let fails = |vals: &S::Value| -> bool {
+        !matches!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(vals))),
+            Ok(Ok(()))
+        )
+    };
+    for case in 0..config.cases {
+        let mut rng =
+            TestRng::new(base ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let input = strategy.generate(&mut rng);
+        if !fails(&input) {
+            continue;
+        }
+        let minimal = shrink_to_minimal(strategy, input, fails);
+        eprintln!("proptest case {case} of {test_path} failed; shrunk input: {minimal:?}");
+        if let Err(e) = run(&minimal) {
+            panic!("property failed on case {case} (shrunk input above): {e}");
+        }
+        panic!(
+            "property failed on case {case} but its shrunk input passed on rerun — \
+             the body is nondeterministic"
+        );
     }
 }
 
@@ -528,21 +688,21 @@ macro_rules! __proptest_impl {
         $(
             $(#[$meta])*
             fn $name() {
-                let config: $crate::ProptestConfig = $cfg;
-                let base = $crate::fnv(concat!(module_path!(), "::", stringify!($name)));
-                for case in 0..config.cases {
-                    let mut rng = $crate::TestRng::new(
-                        base ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                    );
-                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)*
-                    // The closure lets a test body bail early with
+                // One tuple strategy over all bindings, so failing cases
+                // can shrink componentwise.
+                let strategy = ($($strat,)*);
+                $crate::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    $cfg,
+                    &strategy,
+                    // The inner closure lets a test body bail early with
                     // `return Ok(());` as real proptest allows.
-                    let outcome: ::std::result::Result<(), ::std::string::String> =
-                        (|| { $body Ok(()) })();
-                    if let Err(e) = outcome {
-                        panic!("property failed on case {case}: {e}");
-                    }
-                }
+                    |__vals| {
+                        let ($($pat,)*) = ::std::clone::Clone::clone(__vals);
+                        #[allow(clippy::redundant_closure_call)]
+                        (|| { $body Ok(()) })()
+                    },
+                );
             }
         )*
     };
@@ -552,8 +712,9 @@ macro_rules! __proptest_impl {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
-        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        shrink_to_minimal, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+        Union, MAX_SHRINK_ITERS,
     };
 }
 
@@ -586,6 +747,58 @@ mod tests {
         assert!(any.chars().count() <= 64);
     }
 
+    #[test]
+    fn int_range_shrinks_toward_start() {
+        let s = 3u32..100;
+        assert!(s.shrink(&3).is_empty(), "start value is already minimal");
+        let cands = s.shrink(&80);
+        assert_eq!(cands[0], 3, "range start first");
+        assert!(cands.contains(&41), "midpoint: {cands:?}");
+        assert!(cands.contains(&79), "one step down: {cands:?}");
+        let signed = (-10i64..10).shrink(&-10);
+        assert!(signed.is_empty());
+    }
+
+    #[test]
+    fn vec_strategy_shrinks_shorter_and_elementwise() {
+        let s = collection::vec(0u32..100, 1..10);
+        let v = vec![5u32, 80, 7];
+        let cands = s.shrink(&v);
+        assert!(cands.contains(&vec![5]), "tail-half drop: {cands:?}");
+        assert!(cands.contains(&vec![5, 80]), "single-element drop: {cands:?}");
+        assert!(cands.contains(&vec![0, 80, 7]), "elementwise shrink: {cands:?}");
+        // min size is respected
+        let s1 = collection::vec(0u32..100, 3..=3);
+        assert!(s1.shrink(&v).iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn shrink_to_minimal_finds_small_counterexample() {
+        // "Fails" when any element reaches 10: the unique minimal failing
+        // input under this strategy is the one-element vector [10].
+        let strat = (collection::vec(0u32..100, 0..20),);
+        let failing = |v: &(Vec<u32>,)| v.0.iter().any(|&x| x >= 10);
+        let input = (vec![3u32, 50, 7, 99, 2],);
+        assert!(failing(&input));
+        let minimal = shrink_to_minimal(&strat, input, failing);
+        assert!(failing(&minimal), "shrinking must preserve failure");
+        assert_eq!(minimal.0, vec![10], "greedy shrink should reach the minimum");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        #[should_panic(expected = "property failed")]
+        fn failing_property_panics_after_shrinking(v in collection::vec(0u32..100, 0..30)) {
+            // Most generated cases contain an element ≥ 50, so this fails
+            // fast, shrinks, and re-raises through the runner.
+            if v.iter().any(|&x| x >= 50) {
+                return Err("element out of tolerance".to_string());
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -600,7 +813,7 @@ mod tests {
         }
 
         #[test]
-        fn oneof_and_recursive_terminate(x in prop_oneof![Just(-1i64), (0i64..10)]) {
+        fn oneof_and_recursive_terminate(x in prop_oneof![Just(-1i64), 0i64..10]) {
             prop_assert!(x == -1 || (0..10).contains(&x));
         }
     }
