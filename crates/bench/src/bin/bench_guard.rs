@@ -1,0 +1,88 @@
+//! Perf regression gate: re-measures the standard kernel scenarios (the
+//! same suite `bench_kernel` records) and compares each fresh median
+//! against the committed `BENCH_kernel.json`, exiting nonzero when any
+//! scenario regresses beyond the tolerance. Wired into the extended
+//! verify line (see ROADMAP.md) so kernel changes cannot silently lose
+//! the perf the trajectory file pins.
+//!
+//! The box the trajectory numbers were recorded on is noisy, so the
+//! guard takes the *minimum of two medians* per scenario (one median is
+//! regularly 10–20% off on an otherwise idle machine) and applies a
+//! ±15% tolerance by default.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_guard \
+//!             [BENCH_kernel.json] [--tolerance <percent>]`
+
+use bench::scenarios::{kernel_suite, standard_platform};
+
+fn main() {
+    let mut committed_path = "BENCH_kernel.json".to_string();
+    let mut tolerance = 15.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--tolerance" {
+            let v = args.next().unwrap_or_default();
+            tolerance = match v.parse() {
+                Ok(t) => t,
+                Err(_) => {
+                    eprintln!("error: --tolerance needs a number, got '{v}'");
+                    std::process::exit(2);
+                }
+            };
+        } else {
+            committed_path = a;
+        }
+    }
+
+    let committed = match std::fs::read_to_string(&committed_path) {
+        Ok(text) => match jsonlite::Value::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {committed_path} is not valid JSON: {e:?}");
+                std::process::exit(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot read {committed_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let platform = standard_platform();
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    println!("{:<27} {:>12} {:>12} {:>8}", "scenario", "committed", "fresh", "delta");
+    for scenario in kernel_suite() {
+        let Some(want) = committed.get(&scenario.name).and_then(|v| v.as_f64()) else {
+            println!("{:<27} {:>12} (not in {committed_path}; skipped)", scenario.name, "-");
+            missing += 1;
+            continue;
+        };
+        // Min of two medians: robust against one-off scheduler hiccups
+        // without tripling the runtime.
+        let fresh = scenario.measure(&platform).min(scenario.measure(&platform));
+        let delta = (fresh - want) / want * 100.0;
+        let verdict = if delta > tolerance {
+            regressions += 1;
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "{:<27} {:>12.0} {:>12.0} {:>+7.1}%{verdict}",
+            scenario.name, want, fresh, delta
+        );
+    }
+
+    if missing > 0 {
+        println!("note: {missing} scenario(s) not present in {committed_path} (new since last regen?)");
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_guard: {regressions} scenario(s) regressed more than {tolerance}% — \
+             investigate or regenerate {committed_path} with bench_kernel if intentional"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_guard: all scenarios within {tolerance}% of {committed_path}");
+}

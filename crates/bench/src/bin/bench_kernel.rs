@@ -1,91 +1,13 @@
 //! Kernel perf trajectory: times the flow-level kernel's standard
-//! scenarios with `std::time` and emits `BENCH_kernel.json` (median ns per
-//! scenario) so successive PRs can compare numbers without Criterion's
-//! human-oriented output.
+//! scenarios (see [`bench::scenarios`]) with `std::time` and emits
+//! `BENCH_kernel.json` (median ns per scenario) so successive PRs can
+//! compare numbers without Criterion's human-oriented output. The
+//! `bench_guard` binary re-measures the same suite and gates regressions
+//! against the committed file.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_kernel [out.json]`
 
-use std::sync::Arc;
-use std::time::Instant;
-
-use exec::WorkerPool;
-use g5k::{synth, to_simflow, Flavor};
-use simflow::{NetworkConfig, Platform, SimTime, SimTuning, Simulation};
-
-/// Median wall-clock nanoseconds of `f` over `samples` runs (one warmup).
-fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warmup
-    let mut times: Vec<f64> = (0..samples)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64() * 1e9
-        })
-        .collect();
-    times.sort_by(|a, b| a.total_cmp(b));
-    times[times.len() / 2]
-}
-
-fn concurrent(platform: &Platform, n: usize) {
-    let hosts: Vec<_> = platform.hosts().collect();
-    let mut sim = Simulation::new(platform, NetworkConfig::default());
-    for i in 0..n {
-        let src = hosts[i % hosts.len()];
-        let dst = hosts[(i * 7 + 13) % hosts.len()];
-        if src != dst {
-            sim.add_transfer(src, dst, 1e8).unwrap();
-        }
-    }
-    sim.run().unwrap();
-}
-
-/// Disjoint-pair workload: transfer `2k → 2k+1` for each host pair, so
-/// every pair is its own sharing component (hosts have private NIC links;
-/// pairs only merge where a cluster switch group spans them). Pairs inside
-/// one cluster are symmetric, so their completions coincide and every
-/// completion event reshares many components at once — the shape the
-/// solver's pool fan-out targets. `workers == 0` runs without a pool.
-fn multicomp_pairs(platform: &Platform, n: usize, pool: Option<&Arc<WorkerPool>>) {
-    let hosts: Vec<_> = platform.hosts().collect();
-    let tuning = SimTuning { pool: pool.cloned(), warm_start: true };
-    let capacities = Simulation::shared_capacities(platform, &NetworkConfig::default());
-    let mut sim = Simulation::with_tuning(platform, NetworkConfig::default(), capacities, tuning);
-    let n_pairs = hosts.len() / 2;
-    for k in 0..n {
-        let p = k % n_pairs;
-        let (src, dst) = (hosts[2 * p], hosts[2 * p + 1]);
-        sim.add_transfer(src, dst, 5e7 * (1 + k / n_pairs) as f64).unwrap();
-    }
-    sim.run().unwrap();
-}
-
-fn staggered(platform: &Platform, n: usize) {
-    let hosts: Vec<_> = platform.hosts().collect();
-    let mut sim = Simulation::new(platform, NetworkConfig::default());
-    for i in 0..n {
-        let src = hosts[i % hosts.len()];
-        let dst = hosts[(i * 11 + 29) % hosts.len()];
-        if src != dst {
-            sim.add_transfer_at(src, dst, 5e7, SimTime::from_secs(0.01 * i as f64))
-                .unwrap();
-        }
-    }
-    sim.run().unwrap();
-}
-
-fn mixed(platform: &Platform, n: usize) {
-    let hosts: Vec<_> = platform.hosts().collect();
-    let mut sim = Simulation::new(platform, NetworkConfig::default());
-    for i in 0..n {
-        let src = hosts[i % hosts.len()];
-        let dst = hosts[(i * 7 + 13) % hosts.len()];
-        if src != dst {
-            sim.add_transfer(src, dst, 1e8).unwrap();
-        }
-        sim.add_compute(hosts[(i * 3) % hosts.len()], 1e10);
-    }
-    sim.run().unwrap();
-}
+use bench::scenarios::{kernel_suite, standard_platform};
 
 fn main() {
     let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernel.json".to_string());
@@ -95,33 +17,14 @@ fn main() {
         eprintln!("error: cannot write {out}: {e}");
         std::process::exit(2);
     }
-    let api = synth::standard();
-    let platform = to_simflow(&api, Flavor::G5kTest);
+    let platform = standard_platform();
 
     let mut results: Vec<(String, f64)> = Vec::new();
-    for n in [10usize, 50, 100, 400, 1000, 2000] {
-        // fewer samples for the big sizes: medians stabilize quickly and
-        // the tail sizes dominate total runtime
-        let samples = if n >= 1000 { 5 } else { 9 };
-        let ns = median_ns(samples, || concurrent(&platform, n));
-        println!("kernel_concurrent_flows/{n:<5} median {:>12.0} ns", ns);
-        results.push((format!("kernel_concurrent_flows/{n}"), ns));
+    for scenario in kernel_suite() {
+        let ns = scenario.measure(&platform);
+        println!("{:<27} median {ns:>12.0} ns", scenario.name);
+        results.push((scenario.name, ns));
     }
-    let ns = median_ns(9, || staggered(&platform, 200));
-    println!("kernel_staggered_200        median {ns:>12.0} ns");
-    results.push(("kernel_staggered_200".to_string(), ns));
-    // Multi-component variants: same workload, varying solver pool width
-    // (0 = no pool). Output is bit-identical across widths; only the
-    // wall-clock should move.
-    for workers in [0usize, 1, 2, 4, 8] {
-        let pool = (workers > 0).then(|| Arc::new(WorkerPool::new(workers)));
-        let ns = median_ns(7, || multicomp_pairs(&platform, 600, pool.as_ref()));
-        println!("kernel_multicomp_600/w{workers}     median {ns:>12.0} ns");
-        results.push((format!("kernel_multicomp_600/w{workers}"), ns));
-    }
-    let ns = median_ns(9, || mixed(&platform, 100));
-    println!("kernel_mixed_100t_100c      median {ns:>12.0} ns");
-    results.push(("kernel_mixed_100t_100c".to_string(), ns));
 
     let json = jsonlite::Value::Object(
         results

@@ -1,0 +1,197 @@
+//! The standard kernel perf scenarios, shared by the `bench_kernel`
+//! trajectory binary (which records medians into `BENCH_kernel.json`) and
+//! the `bench_guard` regression gate (which re-measures them and compares
+//! against the committed copy). Keeping one definition ensures the guard
+//! always measures exactly what the trajectory file pins.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use exec::WorkerPool;
+use g5k::{synth, to_simflow, Flavor};
+use simflow::{NetworkConfig, Platform, SimTime, SimTuning, Simulation};
+
+/// Median wall-clock nanoseconds of `f` over `samples` runs (one warmup).
+pub fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// The platform every kernel scenario runs on (the synthetic three-site
+/// Grid'5000 model, 450 hosts / 457 links).
+pub fn standard_platform() -> Platform {
+    let api = synth::standard();
+    to_simflow(&api, Flavor::G5kTest)
+}
+
+fn concurrent(platform: &Platform, n: usize) {
+    let hosts: Vec<_> = platform.hosts().collect();
+    let mut sim = Simulation::new(platform, NetworkConfig::default());
+    for i in 0..n {
+        let src = hosts[i % hosts.len()];
+        let dst = hosts[(i * 7 + 13) % hosts.len()];
+        if src != dst {
+            sim.add_transfer(src, dst, 1e8).unwrap();
+        }
+    }
+    sim.run().unwrap();
+}
+
+/// Disjoint-pair workload: transfer `2k → 2k+1` for each host pair, so
+/// every pair is its own sharing component (hosts have private NIC links;
+/// pairs only merge where a cluster switch group spans them). Pairs inside
+/// one cluster are symmetric, so their completions coincide and every
+/// completion event reshares many components at once — the shape the
+/// solver's pool fan-out targets. `workers == 0` runs without a pool.
+fn multicomp_pairs(platform: &Platform, n: usize, pool: Option<&Arc<WorkerPool>>) {
+    let hosts: Vec<_> = platform.hosts().collect();
+    let tuning = SimTuning { pool: pool.cloned(), warm_start: true };
+    let capacities = Simulation::shared_capacities(platform, &NetworkConfig::default());
+    let mut sim = Simulation::with_tuning(platform, NetworkConfig::default(), capacities, tuning);
+    let n_pairs = hosts.len() / 2;
+    for k in 0..n {
+        let p = k % n_pairs;
+        let (src, dst) = (hosts[2 * p], hosts[2 * p + 1]);
+        sim.add_transfer(src, dst, 5e7 * (1 + k / n_pairs) as f64).unwrap();
+    }
+    sim.run().unwrap();
+}
+
+fn staggered(platform: &Platform, n: usize) {
+    let hosts: Vec<_> = platform.hosts().collect();
+    let mut sim = Simulation::new(platform, NetworkConfig::default());
+    for i in 0..n {
+        let src = hosts[i % hosts.len()];
+        let dst = hosts[(i * 11 + 29) % hosts.len()];
+        if src != dst {
+            sim.add_transfer_at(src, dst, 5e7, SimTime::from_secs(0.01 * i as f64))
+                .unwrap();
+        }
+    }
+    sim.run().unwrap();
+}
+
+fn mixed(platform: &Platform, n: usize) {
+    let hosts: Vec<_> = platform.hosts().collect();
+    let mut sim = Simulation::new(platform, NetworkConfig::default());
+    for i in 0..n {
+        let src = hosts[i % hosts.len()];
+        let dst = hosts[(i * 7 + 13) % hosts.len()];
+        if src != dst {
+            sim.add_transfer(src, dst, 1e8).unwrap();
+        }
+        sim.add_compute(hosts[(i * 3) % hosts.len()], 1e10);
+    }
+    sim.run().unwrap();
+}
+
+/// Churn workload: staggered arrivals with sizes short enough that flows
+/// finish while later ones are still starting, mostly pair-local with a
+/// periodic long-haul transfer that bridges components and later releases
+/// them — activations and deactivations interleave throughout, exercising
+/// the connectivity structure's union-on-activate and lazy-split paths
+/// rather than the one-burst-then-drain shape of the other scenarios.
+fn churn(platform: &Platform, n: usize) {
+    let hosts: Vec<_> = platform.hosts().collect();
+    let nh = hosts.len();
+    let mut sim = Simulation::new(platform, NetworkConfig::default());
+    for i in 0..n {
+        let (src, dst) = if i % 5 == 4 {
+            // Occasional bridge across the platform: merges otherwise
+            // disjoint pair components for the flow's lifetime.
+            (hosts[(i * 13) % nh], hosts[(i * 31 + nh / 2) % nh])
+        } else {
+            let p = (i / 2) % (nh / 2);
+            (hosts[2 * p], hosts[2 * p + 1])
+        };
+        if src != dst {
+            sim.add_transfer_at(
+                src,
+                dst,
+                2e7 + 1e6 * (i % 7) as f64,
+                SimTime::from_secs(0.002 * i as f64),
+            )
+            .unwrap();
+        }
+    }
+    sim.run().unwrap();
+}
+
+/// One named, self-contained kernel scenario.
+pub struct KernelScenario {
+    /// The name under which `BENCH_kernel.json` records the median.
+    pub name: String,
+    /// Timing samples (medians stabilize quickly; tail sizes dominate
+    /// total runtime, so big scenarios take fewer).
+    pub samples: usize,
+    run: Box<dyn Fn(&Platform)>,
+}
+
+impl KernelScenario {
+    /// Runs the scenario once.
+    pub fn run(&self, platform: &Platform) {
+        (self.run)(platform)
+    }
+
+    /// The scenario's median over its configured sample count.
+    pub fn measure(&self, platform: &Platform) -> f64 {
+        median_ns(self.samples, || self.run(platform))
+    }
+}
+
+/// The standard suite, in execution order. Names are stable: they key the
+/// committed `BENCH_kernel.json` the guard compares against.
+pub fn kernel_suite() -> Vec<KernelScenario> {
+    let mut suite: Vec<KernelScenario> = Vec::new();
+    for n in [10usize, 50, 100, 400, 1000, 2000] {
+        suite.push(KernelScenario {
+            name: format!("kernel_concurrent_flows/{n}"),
+            samples: if n >= 1000 { 5 } else { 9 },
+            run: Box::new(move |p| concurrent(p, n)),
+        });
+    }
+    // Alias pinning the known-regressed dense shape on its own key, so
+    // the guard flags it even if the concurrent ladder is ever reshaped.
+    suite.push(KernelScenario {
+        name: "kernel_dense_400".to_string(),
+        samples: 9,
+        run: Box::new(|p| concurrent(p, 400)),
+    });
+    suite.push(KernelScenario {
+        name: "kernel_staggered_200".to_string(),
+        samples: 9,
+        run: Box::new(|p| staggered(p, 200)),
+    });
+    suite.push(KernelScenario {
+        name: "kernel_churn_500".to_string(),
+        samples: 7,
+        run: Box::new(|p| churn(p, 500)),
+    });
+    // Multi-component variants: same workload, varying solver pool width
+    // (0 = no pool). Output is bit-identical across widths; only the
+    // wall-clock should move.
+    for workers in [0usize, 1, 2, 4, 8] {
+        // One pool per width, shared across samples (thread spawn cost
+        // must not pollute the per-run timing).
+        let pool = (workers > 0).then(|| Arc::new(WorkerPool::new(workers)));
+        suite.push(KernelScenario {
+            name: format!("kernel_multicomp_600/w{workers}"),
+            samples: 7,
+            run: Box::new(move |p| multicomp_pairs(p, 600, pool.as_ref())),
+        });
+    }
+    suite.push(KernelScenario {
+        name: "kernel_mixed_100t_100c".to_string(),
+        samples: 9,
+        run: Box::new(|p| mixed(p, 100)),
+    });
+    suite
+}

@@ -18,9 +18,11 @@
 //!
 //! * `predict` shards a batch into *link-disjoint components* — groups
 //!   of transfers (and background flows) that transitively share a
-//!   saturable link. Max-min sharing couples flows only through shared
-//!   resources, so simulating components separately is exact, and the
-//!   per-request durations are merged back by request index.
+//!   saturable link, labeled by the same connectivity structure the
+//!   max-min solver keeps internally ([`simflow::Connectivity`]).
+//!   Max-min sharing couples flows only through shared resources, so
+//!   simulating components separately is exact, and the per-request
+//!   durations are merged back by request index.
 //! * `select_fastest` simulates hypotheses in waves of pool width
 //!   (cheapest lower bound first, skipping hypotheses that can no longer
 //!   win), then *replays* the sequential prune/select decision procedure
@@ -305,7 +307,8 @@ impl ForecastEngine {
             .map(|b| b.path.resources.as_slice())
             .chain(resolved.iter().map(|r| r.path.resources.as_slice()))
             .collect();
-        let comp = components(&resource_lists);
+        let comp =
+            simflow::Connectivity::label_batch(session.resource_count(), &resource_lists);
         let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
 
         if n_comp <= 1 {
@@ -474,64 +477,16 @@ impl ForecastEngine {
     }
 }
 
-/// Partitions items (each described by its saturable-resource list) into
-/// connected components: two items share a component iff they
-/// transitively share a resource. Items with *no* saturable resources
-/// cannot interact with anything; they are lumped into one shared
-/// component so a batch of unconstrained flows costs one simulation, not
-/// many. Component ids are dense and assigned in first-appearance order.
-fn components(resource_lists: &[&[u32]]) -> Vec<usize> {
-    let n = resource_lists.len();
-    let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut [usize], mut x: usize) -> usize {
-        while parent[x] != x {
-            parent[x] = parent[parent[x]]; // path halving
-            x = parent[x];
-        }
-        x
-    }
-    let mut owner: HashMap<u32, usize> = HashMap::new();
-    let mut free_owner: Option<usize> = None;
-    for (i, resources) in resource_lists.iter().enumerate() {
-        if resources.is_empty() {
-            match free_owner {
-                Some(o) => {
-                    let (a, b) = (find(&mut parent, i), find(&mut parent, o));
-                    parent[a] = b;
-                }
-                None => free_owner = Some(i),
-            }
-            continue;
-        }
-        for &r in *resources {
-            match owner.get(&r) {
-                Some(&o) => {
-                    let (a, b) = (find(&mut parent, i), find(&mut parent, o));
-                    parent[a] = b;
-                }
-                None => {
-                    owner.insert(r, i);
-                }
-            }
-        }
-    }
-    // densify in first-appearance order
-    let mut dense: HashMap<usize, usize> = HashMap::new();
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        let root = find(&mut parent, i);
-        let next = dense.len();
-        out.push(*dense.entry(root).or_insert(next));
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
+    // Batch sharding now reuses the solver's connectivity structure
+    // (`simflow::Connectivity::label_batch`) instead of re-deriving
+    // link-disjointness with its own union-find; these tests pin the
+    // semantics the engine depends on at the call site.
+    use simflow::Connectivity;
 
     #[test]
-    fn components_group_by_shared_resources() {
+    fn label_batch_groups_by_shared_resources() {
         let lists: Vec<&[u32]> = vec![
             &[0, 1],  // A
             &[2],     // B
@@ -541,7 +496,7 @@ mod tests {
             &[],      // F unconstrained — shares D's bucket
             &[3, 4],  // G bridges C and E
         ];
-        let c = components(&lists);
+        let c = Connectivity::label_batch(5, &lists);
         assert_eq!(c[0], c[2], "A and C share link 1");
         assert_eq!(c[2], c[6], "G bridges into A/C via link 3");
         assert_eq!(c[4], c[6], "G bridges E via link 4");
@@ -555,8 +510,8 @@ mod tests {
     }
 
     #[test]
-    fn components_of_disjoint_items_are_distinct() {
+    fn label_batch_of_disjoint_items_is_distinct() {
         let lists: Vec<&[u32]> = vec![&[0], &[1], &[2]];
-        assert_eq!(components(&lists), vec![0, 1, 2]);
+        assert_eq!(Connectivity::label_batch(3, &lists), vec![0, 1, 2]);
     }
 }

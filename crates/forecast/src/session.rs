@@ -83,6 +83,13 @@ impl Session {
         &self.platform
     }
 
+    /// Number of solver resources on this platform (links + host CPUs) —
+    /// the id space of [`simflow::ResolvedPath::resources`], needed by
+    /// connectivity labeling over resolved routes.
+    pub fn resource_count(&self) -> usize {
+        self.capacities.len()
+    }
+
     /// The model configuration.
     pub fn config(&self) -> NetworkConfig {
         self.config

@@ -15,13 +15,22 @@
 //!   pushed; entries whose generation no longer matches are skipped on
 //!   pop. Each work's `remaining` amount is settled lazily (only when its
 //!   rate changes or it completes), so an event costs `O(log n)` plus the
-//!   size of the affected component instead of a scan of every work;
+//!   size of the affected component instead of a scan of every work.
+//!   Events settling at one simulated instant — completions, starts,
+//!   and any chain of dependents that become ready and finish instantly
+//!   (zero-size transfers) — batch into a *single* merged-seed reshare
+//!   ([`Report::reshares`] counts them), not a solver round-trip per
+//!   event (the one exception: an instant completion only a reshare can
+//!   reveal, i.e. an infinite-rate unconstrained work, settles in a
+//!   second pass at the same instant);
 //!
 //! * an **incremental sharing solver** — flows are registered with the
 //!   persistent [`MaxMinSolver`] once at `add_transfer`/`add_compute`,
-//!   starts and finishes toggle per-resource membership, and a reshare
-//!   re-solves only the components of flows transitively sharing a
-//!   resource with a changed flow. Disjoint clusters keep their rates,
+//!   starts and finishes toggle per-resource membership (and a
+//!   persistent connectivity index, so a reshare resolves its components
+//!   from standing labels instead of a per-event graph search — see
+//!   [`crate::connect`]), and a reshare re-solves only the components of
+//!   flows transitively sharing a resource with a changed flow. Disjoint clusters keep their rates,
 //!   and the produced rates match re-solving the whole problem from
 //!   scratch (exactly for one-shot solves, within ulps across long
 //!   activate/deactivate histories — see `model.rs`). Components are
@@ -98,6 +107,13 @@ impl Completion {
 pub struct Report {
     /// One record per scheduled work, sorted by [`WorkId`].
     pub completions: Vec<Completion>,
+    /// How many solver reshares the run performed (observability: all
+    /// same-instant events *known before rates are needed* —
+    /// completions, starts, chained ready dependents, and zero-size
+    /// works completing instantly — batch into one; only works whose
+    /// instant completion is discovered *by* a reshare, i.e.
+    /// infinite-rate unconstrained transfers, need a second one).
+    pub reshares: u64,
 }
 
 impl Report {
@@ -585,6 +601,20 @@ impl<'p> Simulation<'p> {
 
             seeds.clear();
 
+            // Same-instant fixpoint: a work that enters Running already
+            // within tolerance (a zero-size transfer) books its completion
+            // at `now` itself — and completing it may unblock dependents
+            // that start, finish, and unblock more, all at this instant.
+            // Looping here folds the whole chain into ONE merged-seed
+            // reshare instead of a solver round-trip per link; completion
+            // times are unchanged (no simulated time passes, so the
+            // intermediate rate blips the per-event loop would compute
+            // transfer zero bytes). Only instant completions a reshare
+            // itself discovers — infinite-rate unconstrained works — still
+            // need a second pass at this instant, since their rate does
+            // not exist before the solver runs.
+            loop {
+
             // Completions due now, in ascending work order (heap ties
             // resolve by id). `remaining` needs no settling: the predicted
             // instant is exactly when it reaches zero at the current rate.
@@ -665,6 +695,15 @@ impl<'p> Simulation<'p> {
                 }
             }
 
+            // Anything newly due at `now` (an instant completion booked by
+            // a start above) joins this batch; otherwise the instant is
+            // fully drained.
+            if self.peek_calendar().is_none_or(|tc| tc > now) {
+                break;
+            }
+
+            } // same-instant fixpoint
+
             // Reshare the affected component and reschedule predictions
             // for every flow whose rate moved.
             if !seeds.is_empty() {
@@ -705,6 +744,7 @@ impl<'p> Simulation<'p> {
             }
         }
 
+        let reshares = self.solver.reshares();
         let completions = self
             .works
             .into_iter()
@@ -716,7 +756,7 @@ impl<'p> Simulation<'p> {
                 finish: w.finish,
             })
             .collect();
-        Ok((Report { completions }, trace))
+        Ok((Report { completions, reshares }, trace))
     }
 }
 
@@ -1145,6 +1185,54 @@ mod tests {
         let t = sim.add_transfer(a, c, 1e15).unwrap();
         let r = sim.run().unwrap();
         assert!(close(r.duration(t).as_secs(), 1e-3), "{}", r.duration(t));
+    }
+
+    #[test]
+    fn fanout_and_instant_chain_cost_one_reshare() {
+        // A completes → unblocks B, C, D (zero offset, same instant) and
+        // a chain of zero-size works z1 → z2 → z3 that start *and*
+        // finish at that instant. The same-instant batch must fold the
+        // whole cascade — completions, dependent starts, chained instant
+        // completions — into ONE merged-seed reshare.
+        let p = pair(1e8, 0.0);
+        let (a, b) = (p.host_by_name("a").unwrap(), p.host_by_name("b").unwrap());
+        let mut sim = Simulation::new(&p, NetworkConfig::ideal());
+        let t_a = sim.add_transfer(a, b, 1e8).unwrap(); // 1 s alone
+        let deps: Vec<WorkId> =
+            (0..3).map(|_| sim.add_transfer(a, b, 1e8).unwrap()).collect();
+        for &d in &deps {
+            sim.add_dependencies(d, &[t_a]);
+        }
+        let z: Vec<WorkId> = (0..3).map(|_| sim.add_transfer(a, b, 0.0).unwrap()).collect();
+        sim.add_dependencies(z[0], &[t_a]);
+        sim.add_dependencies(z[1], &[z[0]]);
+        sim.add_dependencies(z[2], &[z[1]]);
+        let (r, trace) = sim.run_traced().unwrap();
+
+        // Completion order and times: the zero-size chain finishes at
+        // A's completion instant; B, C, D share the link and finish
+        // together 3 s later.
+        for &zi in &z {
+            assert!(close(r.completion(zi).finish.as_secs(), 1.0), "{r:?}");
+        }
+        for &d in &deps {
+            assert!(close(r.completion(d).finish.as_secs(), 4.0), "{r:?}");
+        }
+        let finish_order: Vec<WorkId> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Finished { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(finish_order, vec![t_a, z[0], z[1], z[2], deps[0], deps[1], deps[2]]);
+
+        // Exactly three reshares: A's start; A's completion batch (B, C,
+        // D starting plus the whole z-chain starting and finishing); the
+        // B/C/D completion batch. Per-event dispatch would pay one per
+        // chain link instead.
+        assert_eq!(r.reshares, 3, "{r:?}");
     }
 
     /// A from-scratch event loop in the style of the original kernel

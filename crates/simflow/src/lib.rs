@@ -47,6 +47,7 @@
 //! * [`units`] — typed time/bytes/rate scalars.
 
 pub mod config;
+pub mod connect;
 pub mod kernel;
 pub mod model;
 pub mod platform;
@@ -54,6 +55,7 @@ pub mod trace;
 pub mod units;
 
 pub use config::{NetworkConfig, SimTuning};
+pub use connect::Connectivity;
 pub use kernel::{Completion, Report, ResolvedPath, SimError, Simulation, WorkId, WorkKind};
 pub use platform::builder::{BuildError, PlatformBuilder};
 pub use platform::routing::{Element, RoutingKind};

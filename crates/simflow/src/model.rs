@@ -23,6 +23,8 @@
 //! `MaxMinSolver` docs for the argument and `maxmin_properties.rs` for
 //! the enforcement).
 
+use crate::connect::Connectivity;
+
 /// One flow to allocate: the (shared) resources it crosses, its weight and
 /// its rate cap.
 #[derive(Clone, Debug)]
@@ -242,11 +244,22 @@ struct SolverCore {
     capacity: Vec<f64>,
     flows: Vec<SolverFlow>,
     /// All flows' resource ids, contiguous; each flow owns a span
-    /// (`res_start..res_start+res_len`). Keeps the BFS and freeze loops
-    /// on one cache-friendly array.
+    /// (`res_start..res_start+res_len`). Keeps the freeze loops on one
+    /// cache-friendly array.
     res_arena: Vec<u32>,
-    /// Ascending active flow ids per resource.
-    res_flows: Vec<Vec<u32>>,
+    /// Flat CSR of the reverse incidence: resource `r`'s *active* member
+    /// flows live at `res_members[res_off[r]..res_off[r]+res_active[r]]`,
+    /// ascending. Each resource owns a slot region of `res_cap[r]`
+    /// entries (its registered incidence), so activation inserts and
+    /// deactivation removes by shifting within the region — one
+    /// contiguous array instead of a `Vec` per resource.
+    res_off: Vec<u32>,
+    /// Active member count per resource.
+    res_active: Vec<u32>,
+    /// Registered incidence per resource (the slot-region capacity).
+    res_cap: Vec<u32>,
+    /// The member arena; see `res_off`.
+    res_members: Vec<u32>,
     /// Σ 1/w over the *active* flows of each resource, maintained by
     /// delta in [`MaxMinSolver::activate`]/[`MaxMinSolver::deactivate`].
     base_inv_w_sum: Vec<f64>,
@@ -274,6 +287,13 @@ impl SolverCore {
         let fl = &self.flows[f as usize];
         &self.res_arena[fl.res_start as usize..(fl.res_start + fl.res_len) as usize]
     }
+
+    /// The active member flows of resource `r`, ascending.
+    #[inline]
+    fn members(&self, r: usize) -> &[u32] {
+        let off = self.res_off[r] as usize;
+        &self.res_members[off..off + self.res_active[r] as usize]
+    }
 }
 
 /// One component solve's mutable state. Every array is either cleared per
@@ -300,6 +320,8 @@ struct SolveScratch {
     live_res: Vec<u32>,
     /// This round's freeze list (flow ids).
     touched: Vec<u32>,
+    /// This round's binding resources (ratio at or below the threshold).
+    round_bind: Vec<u32>,
     /// Round-stamp for deduplicating dirty-resource pushes within a round.
     touched_mark: Vec<u64>,
     round_stamp: u64,
@@ -323,6 +345,10 @@ struct SolveScratch {
     /// round `k` froze, ascending.
     rec_offsets: Vec<u32>,
     rec_frozen: Vec<u32>,
+    /// ...and `rec_bind[rec_bind_offsets[k]..rec_bind_offsets[k+1]]` the
+    /// resources that bound in round `k`.
+    rec_bind_offsets: Vec<u32>,
+    rec_bind: Vec<u32>,
 }
 
 impl SolveScratch {
@@ -353,19 +379,41 @@ struct CachedSolve {
     /// `frozen[offsets[k]..offsets[k+1]]` froze in round `k`.
     offsets: Vec<u32>,
     frozen: Vec<u32>,
+    /// `bind[bind_offsets[k]..bind_offsets[k+1]]` are the resources whose
+    /// ratio bound at round `k` (caps excluded). Replay validity hinges
+    /// on them: a clean binding resource carries bitwise the cached
+    /// ratio, so it still binds — which lets the replay validate a level
+    /// with a handful of dirty-flag loads instead of re-dividing every
+    /// frozen flow's resource ratios.
+    bind_offsets: Vec<u32>,
+    bind: Vec<u32>,
 }
 
 /// Warm-start bookkeeping: which solve last covered each resource, and
-/// the recorded freeze orders of the solves still referenced.
+/// the recorded freeze orders of the solves still referenced. Records
+/// live in a dense slab indexed by solve id (slot + 1; 0 = none), so the
+/// warm-start hot path — lookup, detach, re-insert on every component
+/// re-solve — never hashes.
 #[derive(Clone, Debug, Default)]
 struct WarmCache {
     /// Per resource: id of the solve that last covered it (0 = none).
-    res_solve: Vec<u64>,
-    solves: std::collections::HashMap<u64, CachedSolve>,
-    next_id: u64,
+    res_solve: Vec<u32>,
+    /// Slab of records; `solves[id - 1]` holds the record of solve `id`.
+    solves: Vec<Option<CachedSolve>>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
+    /// Occupied slots (cheap `has_records` check).
+    live: usize,
 }
 
 impl WarmCache {
+    /// Whether any freeze order is recorded at all (when not, every
+    /// stale-record sweep can be skipped outright).
+    #[inline]
+    fn has_records(&self) -> bool {
+        self.live > 0
+    }
+
     /// The cached freeze order usable for a component, if any: every
     /// component resource must have been covered by the *same* last
     /// solve. Uniformity is what guarantees that the only changes to the
@@ -378,7 +426,7 @@ impl WarmCache {
         if id == 0 || comp_res.iter().any(|&r| self.res_solve[r as usize] != id) {
             return None;
         }
-        self.solves.get(&id)
+        self.solves[(id - 1) as usize].as_ref()
     }
 
     /// Re-stamps a just-solved component's resources, releasing their old
@@ -398,6 +446,10 @@ impl WarmCache {
         c.offsets.extend_from_slice(&s.rec_offsets);
         c.frozen.clear();
         c.frozen.extend_from_slice(&s.rec_frozen);
+        c.bind_offsets.clear();
+        c.bind_offsets.extend_from_slice(&s.rec_bind_offsets);
+        c.bind.clear();
+        c.bind.extend_from_slice(&s.rec_bind);
         self.insert(comp_res, c);
     }
 
@@ -425,10 +477,13 @@ impl WarmCache {
             let old = self.res_solve[r as usize];
             if old != 0 {
                 self.res_solve[r as usize] = 0;
-                if let Some(c) = self.solves.get_mut(&old) {
+                let slot = (old - 1) as usize;
+                if let Some(c) = self.solves[slot].as_mut() {
                     c.refs -= 1;
                     if c.refs == 0 {
-                        freed = self.solves.remove(&old);
+                        freed = self.solves[slot].take();
+                        self.free.push(old - 1);
+                        self.live -= 1;
                     }
                 }
             }
@@ -437,16 +492,23 @@ impl WarmCache {
     }
 
     fn insert(&mut self, comp_res: &[u32], c: CachedSolve) {
-        self.next_id += 1;
-        let id = self.next_id;
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.solves.push(None);
+            (self.solves.len() - 1) as u32
+        });
+        debug_assert!(self.solves[slot as usize].is_none());
+        self.solves[slot as usize] = Some(c);
+        self.live += 1;
+        let id = slot + 1;
         for &r in comp_res {
             self.res_solve[r as usize] = id;
         }
-        self.solves.insert(id, c);
     }
 
     fn clear(&mut self) {
         self.solves.clear();
+        self.free.clear();
+        self.live = 0;
         self.res_solve.fill(0);
     }
 }
@@ -463,9 +525,12 @@ struct CompSpan {
     res: (u32, u32),
 }
 
-/// Owned result of one component job (parallel path only; the sequential
-/// path harvests straight out of the scratch).
+/// Owned result of one component solved on a pool worker (the
+/// sequential path harvests straight out of the scratch). A job returns
+/// one `CompOut` per component it covered — single-component jobs for
+/// big components, chunk jobs packing several small ones.
 struct CompOut {
+    comp: u32,
     changed: Vec<(u32, f64)>,
     rec: Option<CachedSolve>,
 }
@@ -487,30 +552,48 @@ enum RateSink<'a> {
 /// capacity vector and every flow's resource list), `MaxMinSolver` is
 /// created once per simulation and keeps all flows registered across the
 /// whole run. Activating or deactivating a flow only touches the
-/// per-resource membership lists, and [`MaxMinSolver::reshare`] re-solves
-/// only the **affected components** — the flows transitively sharing a
-/// resource with a changed flow — leaving every disjoint cluster's rates
+/// per-resource membership CSR (one flat offsets+arena array, no `Vec`
+/// per resource), and [`MaxMinSolver::reshare`] re-solves only the
+/// **affected components** — the flows transitively sharing a resource
+/// with a changed flow — leaving every disjoint cluster's rates
 /// untouched.
+///
+/// Component knowledge is **incremental across events**: a persistent
+/// [`Connectivity`] structure (union-find over resources with per-root
+/// member lists) is updated exactly on activation — joining can only
+/// merge components — and marked stale on deactivation, re-splitting
+/// lazily only once enough departures accumulate. Labels may therefore
+/// be stale *supersets* of the true partition, which is still exact:
+/// solving the union of disjoint pieces is bit-identical to solving each
+/// alone (see [`crate::connect`] for the invariant and the argument).
+/// `reshare` consumes the labels directly — seed → root → member lists —
+/// with no per-event graph traversal; the completion-heavy hot path
+/// never re-discovers anything.
 ///
 /// Two accelerations sit on top of the incremental core, both pinned to
 /// produce bit-identical rates and `changed` lists:
 ///
-/// * **Parallel component solves.** The marked set is partitioned into
-///   its disjoint components; each solves as an independent job, fanned
-///   out over an optionally [attached](MaxMinSolver::set_pool)
-///   [`exec::WorkerPool`]. Max-min sharing couples flows only through
-///   shared resources, so disjoint components are independent
-///   sub-problems; jobs read the shared [`SolverCore`], keep all mutable
-///   state in per-job scratches, and their `changed` lists merge by
-///   ascending flow id — the output is bit-identical to the sequential
-///   in-order loop at every pool size (including none).
+/// * **Parallel component solves.** The affected components solve as
+///   independent jobs, fanned out over an optionally
+///   [attached](MaxMinSolver::set_pool) [`exec::WorkerPool`]: big
+///   components one per job, small ones packed into chunk jobs of
+///   roughly [`MaxMinSolver::set_parallel_threshold`] flows (so a
+///   completion wave touching many small components still fans out).
+///   Max-min sharing couples flows only through shared resources, so
+///   disjoint components are independent sub-problems; jobs read the
+///   shared [`SolverCore`], keep all mutable state in per-job scratches,
+///   and their `changed` lists merge by ascending flow id — the output
+///   is bit-identical to the sequential in-order loop at every pool size
+///   (including none).
 ///
 /// * **Warm-start filling.** Each component solve records its freeze
-///   order (`φ` levels plus per-round freeze lists). A later reshare of
-///   the same component replays that order, validating each level
-///   against the seeds (a dirty resource binding at or below the level's
-///   threshold, a seed frozen in the level, or a binding resource gone
-///   dirty all invalidate it), and resumes normal progressive filling
+///   order (`φ` levels, per-round freeze lists, and the resources that
+///   bound each round). A later reshare of the same component replays
+///   that order, validating each level against the seeds (a dirty
+///   resource binding at or below the level's threshold, a seed frozen
+///   in the level, or a recorded binding resource gone dirty all
+///   invalidate it — level-wide checks on a handful of resources, no
+///   per-flow ratio math), and resumes normal progressive filling
 ///   from the first invalidated level. Replaying applies the identical
 ///   float operations the cold solve would, so rates stay bitwise equal
 ///   to a cold reshare — the property tests in `maxmin_properties.rs`
@@ -543,13 +626,24 @@ pub struct MaxMinSolver {
     /// the next reshare's seeds so no membership change can slip past the
     /// warm-start validity checks.
     pending: Vec<u32>,
+    /// Persistent component labels (union-find + member lists), updated
+    /// exactly on activation and lazily split after deactivations; see
+    /// [`crate::connect`] for the coarsening invariant.
+    conn: Connectivity,
+    /// The member CSR's slot regions are stale (a registration grew some
+    /// resource's incidence); rebuilt lazily before the next consult.
+    members_dirty: bool,
     // -- reusable reshare scratch (no per-reshare allocation on the
     //    single-component hot path) --
     seed_buf: Vec<u32>,
-    bfs_queue: Vec<u32>,
     comp_flows: Vec<u32>,
     comp_res: Vec<u32>,
     comps: Vec<CompSpan>,
+    /// Pool job packing: non-trivial component indices in discovery
+    /// order, and the job ranges into them (big components alone, small
+    /// ones chunk-packed).
+    job_comps: Vec<u32>,
+    job_bounds: Vec<(u32, u32)>,
     changed: Vec<u32>,
     scratch_main: SolveScratch,
     /// Scratches for pool workers; grabbed and returned per job.
@@ -567,11 +661,14 @@ impl Clone for MaxMinSolver {
             warm_threshold: self.warm_threshold,
             warm: self.warm.clone(),
             pending: self.pending.clone(),
+            conn: self.conn.clone(),
+            members_dirty: self.members_dirty,
             seed_buf: Vec::new(),
-            bfs_queue: Vec::new(),
             comp_flows: Vec::new(),
             comp_res: Vec::new(),
             comps: Vec::new(),
+            job_comps: Vec::new(),
+            job_bounds: Vec::new(),
             changed: self.changed.clone(),
             scratch_main: SolveScratch::default(),
             scratch_pool: std::sync::Mutex::new(Vec::new()),
@@ -589,7 +686,10 @@ impl MaxMinSolver {
                 capacity,
                 flows: Vec::new(),
                 res_arena: Vec::new(),
-                res_flows: vec![Vec::new(); nr],
+                res_off: vec![0; nr],
+                res_active: vec![0; nr],
+                res_cap: vec![0; nr],
+                res_members: Vec::new(),
                 base_inv_w_sum: vec![0.0; nr],
                 phi_cap: Vec::new(),
                 epoch: 0,
@@ -605,15 +705,19 @@ impl MaxMinSolver {
             warm_threshold: DEFAULT_WARM_THRESHOLD,
             warm: WarmCache {
                 res_solve: vec![0; nr],
-                solves: std::collections::HashMap::new(),
-                next_id: 0,
+                solves: Vec::new(),
+                free: Vec::new(),
+                live: 0,
             },
             pending: Vec::new(),
+            conn: Connectivity::new(nr),
+            members_dirty: false,
             seed_buf: Vec::new(),
-            bfs_queue: Vec::new(),
             comp_flows: Vec::new(),
             comp_res: Vec::new(),
             comps: Vec::new(),
+            job_comps: Vec::new(),
+            job_bounds: Vec::new(),
             changed: Vec::new(),
             scratch_main: SolveScratch::default(),
             scratch_pool: std::sync::Mutex::new(Vec::new()),
@@ -629,11 +733,13 @@ impl MaxMinSolver {
         self.pool = pool;
     }
 
-    /// Minimum component size (flows) for pool dispatch: a reshare fans
-    /// out only when at least two components reach this size, since
-    /// shipping micro-components to workers costs more than solving them
-    /// inline. Results are bit-identical regardless; tests drop this to 1
-    /// to force the parallel path onto small inputs.
+    /// Minimum flows for a component to be pool-dispatched as a job of
+    /// its own; smaller components are packed into chunk jobs of roughly
+    /// this many flows (trivial ≤1-flow components stay inline behind
+    /// their fused fast path). A reshare fans out only when at least two
+    /// jobs result, since shipping micro-work to workers costs more than
+    /// solving it inline. Results are bit-identical regardless; tests
+    /// drop this to 1 to force the parallel path onto small inputs.
     pub fn set_parallel_threshold(&mut self, min_flows: usize) {
         self.par_threshold = min_flows.max(1);
     }
@@ -668,18 +774,63 @@ impl MaxMinSolver {
         self.core.phi_cap.push(cap * weight);
         let res_start = self.core.res_arena.len() as u32;
         let res_len = resources.len() as u32;
+        for &r in &resources {
+            self.core.res_cap[r as usize] += 1;
+        }
+        if res_len > 0 {
+            self.members_dirty = true;
+        }
         self.core.res_arena.extend_from_slice(&resources);
         self.core.flows.push(SolverFlow { res_start, res_len, weight, cap, active: false });
         self.rates.push(0.0);
         self.core.seed_mark.push(0);
         self.core.flow_mark.push(0);
         self.core.flow_comp.push(0);
+        self.conn.ensure_flows(self.core.flows.len());
         id
+    }
+
+    /// Rebuilds the member CSR's slot regions after registrations grew
+    /// some resource's incidence, preserving the active spans. Amortized:
+    /// the kernel registers all work up front, so a simulation pays this
+    /// once; interleaving `register` with consults re-packs per
+    /// interleave (linear in total incidence).
+    fn ensure_members(&mut self) {
+        if !self.members_dirty {
+            return;
+        }
+        self.members_dirty = false;
+        let core = &mut self.core;
+        let nr = core.capacity.len();
+        let total: usize = core.res_cap.iter().map(|&c| c as usize).sum();
+        let mut new_off = Vec::with_capacity(nr);
+        let mut acc = 0u32;
+        for r in 0..nr {
+            new_off.push(acc);
+            acc += core.res_cap[r];
+        }
+        let mut new_members = vec![0u32; total];
+        for r in 0..nr {
+            let len = core.res_active[r] as usize;
+            if len > 0 {
+                let old = &core.res_members[core.res_off[r] as usize..][..len];
+                new_members[new_off[r] as usize..new_off[r] as usize + len]
+                    .copy_from_slice(old);
+            }
+        }
+        core.res_off = new_off;
+        core.res_members = new_members;
     }
 
     /// The last rate solved for `flow`.
     pub fn rate(&self, flow: u32) -> f64 {
         self.rates[flow as usize]
+    }
+
+    /// How many reshares this solver has performed (observability; the
+    /// kernel surfaces it as [`crate::Report::reshares`]).
+    pub fn reshares(&self) -> u64 {
+        self.core.epoch
     }
 
     /// Marks `flow` as competing for its resources.
@@ -691,6 +842,7 @@ impl MaxMinSolver {
     /// starts and finishes may drift by a few ulps, which stays
     /// deterministic and far inside the kernel's completion tolerance.
     pub fn activate(&mut self, flow: u32) {
+        self.ensure_members();
         let fi = flow as usize;
         debug_assert!(!self.core.flows[fi].active, "flow {flow} already active");
         self.core.flows[fi].active = true;
@@ -699,16 +851,26 @@ impl MaxMinSolver {
             (self.core.flows[fi].res_start as usize, self.core.flows[fi].res_len as usize);
         for j in start..start + len {
             let r = self.core.res_arena[j] as usize;
-            let list = &mut self.core.res_flows[r];
-            let pos = list.partition_point(|&x| x < flow);
-            list.insert(pos, flow);
+            let off = self.core.res_off[r] as usize;
+            let n = self.core.res_active[r] as usize;
+            debug_assert!(n < self.core.res_cap[r] as usize);
+            let pos = off
+                + self.core.res_members[off..off + n].partition_point(|&x| x < flow);
+            self.core.res_members.copy_within(pos..off + n, pos + 1);
+            self.core.res_members[pos] = flow;
+            self.core.res_active[r] += 1;
             self.core.base_inv_w_sum[r] += inv_w;
+        }
+        if len > 0 {
+            // Joining can only merge components; the labels stay exact.
+            self.conn.attach(flow, &self.core.res_arena[start..start + len]);
         }
         self.pending.push(flow);
     }
 
     /// Removes `flow` from the competition (it finished).
     pub fn deactivate(&mut self, flow: u32) {
+        self.ensure_members();
         let fi = flow as usize;
         debug_assert!(self.core.flows[fi].active, "flow {flow} not active");
         self.core.flows[fi].active = false;
@@ -717,17 +879,25 @@ impl MaxMinSolver {
             (self.core.flows[fi].res_start as usize, self.core.flows[fi].res_len as usize);
         for j in start..start + len {
             let r = self.core.res_arena[j] as usize;
-            let list = &mut self.core.res_flows[r];
-            let pos = list.partition_point(|&x| x < flow);
-            debug_assert!(list.get(pos) == Some(&flow));
-            list.remove(pos);
-            if list.is_empty() {
+            let off = self.core.res_off[r] as usize;
+            let n = self.core.res_active[r] as usize;
+            let pos = off
+                + self.core.res_members[off..off + n].partition_point(|&x| x < flow);
+            debug_assert_eq!(self.core.res_members.get(pos), Some(&flow));
+            self.core.res_members.copy_within(pos + 1..off + n, pos);
+            self.core.res_active[r] -= 1;
+            if self.core.res_active[r] == 0 {
                 // Re-anchor: an empty resource must carry an exact zero so
                 // its next filling starts drift-free.
                 self.core.base_inv_w_sum[r] = 0.0;
             } else {
                 self.core.base_inv_w_sum[r] -= inv_w;
             }
+        }
+        if len > 0 {
+            // Leaving may split the component; the labels become a stale
+            // superset re-split lazily (see `reshare`).
+            self.conn.detach(flow, &self.core.res_arena[start..start + len]);
         }
         self.pending.push(flow);
     }
@@ -739,6 +909,7 @@ impl MaxMinSolver {
     /// ascending ids of active flows whose rate changed; their new rates
     /// are readable via [`MaxMinSolver::rate`].
     pub fn reshare(&mut self, seeds: &[u32]) -> &[u32] {
+        self.ensure_members();
         self.core.epoch += 1;
         let epoch = self.core.epoch;
         self.changed.clear();
@@ -760,7 +931,7 @@ impl MaxMinSolver {
         // read these marks concurrently later. The marks only steer
         // warm-start replay validity, and a replay needs a cached solve
         // to replay — with nothing recorded the pass is skipped.
-        if self.warm_start && !self.warm.solves.is_empty() {
+        if self.warm_start && self.warm.has_records() {
             for i in 0..self.seed_buf.len() {
                 let fi = self.seed_buf[i] as usize;
                 self.core.seed_mark[fi] = epoch;
@@ -774,32 +945,64 @@ impl MaxMinSolver {
             }
         }
 
-        // Partition the affected flows into disjoint components: BFS over
-        // the flow–resource bipartite graph, one component per connected
-        // piece. A deactivated seed's resources may now sit in several
-        // pieces (it was the bridge), so each unmarked resource starts its
-        // own BFS.
+        // Resolve the affected components from the persistent labels: no
+        // per-event BFS — each seed resource's union-find root *is* its
+        // component, and the root carries the member lists ready to copy.
+        // Labels may be stale supersets after deactivations (unions are
+        // eager, splits lazy); solving a superset is bit-identical to
+        // solving its true pieces separately (see `crate::connect`), so
+        // staleness is re-split only once enough departures accumulate.
+        {
+            let core = &self.core;
+            let conn = &mut self.conn;
+            for &s in &self.seed_buf {
+                for &r in core.res_span(s) {
+                    let root = conn.find(r);
+                    if conn.should_split(root) {
+                        conn.resplit(root, |f| core.res_span(f));
+                    }
+                }
+            }
+        }
+        // Gather each distinct root once (`res_mark` on the root dedups
+        // across seeds), copying its member lists into the span arenas
+        // and stamping the per-flow epoch labels the warm-start replay
+        // consults. A deactivated seed's resources may map to several
+        // roots after a split (it was the bridge); each is gathered.
         for i in 0..self.seed_buf.len() {
             let s = self.seed_buf[i];
             let fi = s as usize;
-            if self.core.flows[fi].active && self.core.flow_mark[fi] != epoch {
-                let comp_id = self.comps.len() as u32;
-                let start = (self.comp_flows.len() as u32, self.comp_res.len() as u32);
-                self.visit_flow(s, epoch, comp_id);
-                self.drain_bfs(epoch, comp_id);
-                self.push_span(start);
-            }
             let (start, len) =
                 (self.core.flows[fi].res_start as usize, self.core.flows[fi].res_len as usize);
+            if len == 0 {
+                // Resource-less active flows are singleton components
+                // (nothing shares anything with them).
+                if self.core.flows[fi].active && self.core.flow_mark[fi] != epoch {
+                    let comp_id = self.comps.len() as u32;
+                    let sp = (self.comp_flows.len() as u32, self.comp_res.len() as u32);
+                    self.core.flow_mark[fi] = epoch;
+                    self.core.flow_comp[fi] = comp_id;
+                    self.comp_flows.push(s);
+                    self.push_span(sp);
+                }
+                continue;
+            }
             for j in start..start + len {
                 let r = self.core.res_arena[j];
-                if self.core.res_mark[r as usize] != epoch {
-                    let comp_id = self.comps.len() as u32;
-                    let start = (self.comp_flows.len() as u32, self.comp_res.len() as u32);
-                    self.visit_resource(r, epoch);
-                    self.drain_bfs(epoch, comp_id);
-                    self.push_span(start);
+                let root = self.conn.find(r);
+                if self.core.res_mark[root as usize] == epoch {
+                    continue;
                 }
+                self.core.res_mark[root as usize] = epoch;
+                let comp_id = self.comps.len() as u32;
+                let sp = (self.comp_flows.len() as u32, self.comp_res.len() as u32);
+                for f in self.conn.flows_iter(root) {
+                    self.core.flow_mark[f as usize] = epoch;
+                    self.core.flow_comp[f as usize] = comp_id;
+                    self.comp_flows.push(f);
+                }
+                self.comp_res.extend(self.conn.res_iter(root));
+                self.push_span(sp);
             }
         }
 
@@ -808,69 +1011,72 @@ impl MaxMinSolver {
         }
 
         let record = self.warm_start;
-        // Pool dispatch only pays once at least two components carry real
-        // work; micro-components cost more to ship than to solve.
-        let big = self
-            .comps
-            .iter()
-            .filter(|c| (c.flows.1 - c.flows.0) as usize >= self.par_threshold)
-            .count();
-        let use_pool = self.pool.is_some() && self.comps.len() > 1 && big >= 2;
+        // Partition the components into pool jobs: trivial (≤1 flow, no
+        // warm replay) components stay inline behind their fused fast
+        // path, components of at least `par_threshold` flows become jobs
+        // of their own, and the small rest is packed into chunk jobs of
+        // roughly `par_threshold` flows — so a completion wave touching
+        // many small components (the symmetric multi-cluster shape) can
+        // still fan out instead of disqualifying the pool. Dispatch pays
+        // only once at least two jobs carry real work.
+        self.job_comps.clear();
+        self.job_bounds.clear();
+        let mut big = 0usize;
+        if self.pool.is_some() && self.comps.len() > 1 {
+            let mut chunk_start = 0u32;
+            let mut chunk_flows = 0usize;
+            for ci in 0..self.comps.len() {
+                let n = (self.comps[ci].flows.1 - self.comps[ci].flows.0) as usize;
+                let use_warm = record && n >= self.warm_threshold;
+                if n <= 1 && !use_warm {
+                    continue;
+                }
+                if n >= self.par_threshold {
+                    big += 1;
+                    if chunk_flows > 0 {
+                        self.job_bounds.push((chunk_start, self.job_comps.len() as u32));
+                        chunk_flows = 0;
+                    }
+                    let at = self.job_comps.len() as u32;
+                    self.job_comps.push(ci as u32);
+                    self.job_bounds.push((at, at + 1));
+                    chunk_start = at + 1;
+                } else {
+                    self.job_comps.push(ci as u32);
+                    chunk_flows += n;
+                    if chunk_flows >= self.par_threshold {
+                        self.job_bounds.push((chunk_start, self.job_comps.len() as u32));
+                        chunk_start = self.job_comps.len() as u32;
+                        chunk_flows = 0;
+                    }
+                }
+            }
+            if chunk_flows > 0 {
+                self.job_bounds.push((chunk_start, self.job_comps.len() as u32));
+            }
+        }
+        // Fan out only when at least two *threshold-sized* components
+        // justify it — the chunk jobs then ride along, but a wave of
+        // micro-components alone solves inline (shipping it costs more
+        // than solving it).
+        let use_pool = big >= 2 && self.job_bounds.len() >= 2;
         if !use_pool {
             // Sequential path: one reused scratch, results harvested in
             // component discovery order.
             for ci in 0..self.comps.len() {
                 let span = self.comps[ci];
-                let flows =
-                    &self.comp_flows[span.flows.0 as usize..span.flows.1 as usize];
-                let res = &self.comp_res[span.res.0 as usize..span.res.1 as usize];
                 // Warm-start pays only on components big enough that
                 // skipped levels outweigh the replay validation; smaller
                 // ones solve cold and just drop their stale records.
-                let use_warm = record && flows.len() >= self.warm_threshold;
-                if !use_warm && flows.len() <= 1 {
-                    // Trivial components are common (lone compute tasks,
-                    // drained resources after a completion wave) and need
-                    // none of the solve machinery: a single flow's rate is
-                    // the minimum of its constraints, computed with the
-                    // exact float operations the general fill would use.
-                    if let Some(&f) = flows.first() {
-                        let fi = f as usize;
-                        let mut phi = f64::INFINITY;
-                        for &r in self.core.res_span(f) {
-                            let ri = r as usize;
-                            let ratio = self.core.capacity[ri] / self.core.base_inv_w_sum[ri];
-                            if ratio < phi {
-                                phi = ratio;
-                            }
-                        }
-                        let pc = self.core.phi_cap[fi];
-                        if pc < phi {
-                            phi = pc;
-                        }
-                        let rate = if phi.is_infinite() {
-                            f64::INFINITY
-                        } else {
-                            let threshold = phi * (1.0 + REL_EPS) + f64::MIN_POSITIVE;
-                            if pc <= threshold {
-                                self.core.flows[fi].cap
-                            } else {
-                                phi / self.core.flows[fi].weight
-                            }
-                        };
-                        if self.rates[fi] != rate {
-                            self.rates[fi] = rate;
-                            self.changed.push(f);
-                        }
-                    }
-                    if record && !self.warm.solves.is_empty() {
-                        // Stale records must still be dropped: the warm
-                        // validity argument needs every membership change
-                        // to re-stamp the resources it touched.
-                        self.warm.detach(res);
-                    }
+                let n = (span.flows.1 - span.flows.0) as usize;
+                let use_warm = record && n >= self.warm_threshold;
+                if !use_warm && n <= 1 {
+                    self.solve_trivial(ci, record);
                     continue;
                 }
+                let flows =
+                    &self.comp_flows[span.flows.0 as usize..span.flows.1 as usize];
+                let res = &self.comp_res[span.res.0 as usize..span.res.1 as usize];
                 let warm = if use_warm { self.warm.lookup(res) } else { None };
                 let mut sink =
                     RateSink::Direct { rates: &mut self.rates, changed: &mut self.changed };
@@ -886,7 +1092,7 @@ impl MaxMinSolver {
                 );
                 if use_warm {
                     self.warm.store_from_scratch(res, &self.scratch_main);
-                } else if record && !self.warm.solves.is_empty() {
+                } else if record && self.warm.has_records() {
                     // Sub-threshold solve: drop any stale record covering
                     // these resources. With nothing recorded anywhere
                     // (`solves` empty ⇒ every `res_solve` entry is 0) the
@@ -896,65 +1102,82 @@ impl MaxMinSolver {
                 }
             }
         } else {
-            // Parallel path: identical jobs fanned out over the pool,
-            // results merged in the same discovery order — bit-identical
-            // to the sequential path at any worker count.
+            // Parallel path: trivial components solve inline first (their
+            // fused fast path beats any dispatch), then the jobs fan out
+            // over the pool; results merge in the same discovery order —
+            // bit-identical to the sequential path at any worker count.
+            for ci in 0..self.comps.len() {
+                let n = (self.comps[ci].flows.1 - self.comps[ci].flows.0) as usize;
+                if n <= 1 && !(record && n >= self.warm_threshold) {
+                    self.solve_trivial(ci, record);
+                }
+            }
             let pool = self.pool.clone().expect("checked above");
             let core = &self.core;
             let rates = &self.rates;
             let scratch_pool = &self.scratch_pool;
             let jobs: Vec<CompJob<'_>> = self
-                .comps
+                .job_comps
                 .iter()
-                .enumerate()
-                .map(|(ci, span)| {
+                .map(|&ci| {
+                    let span = self.comps[ci as usize];
                     let flows =
                         &self.comp_flows[span.flows.0 as usize..span.flows.1 as usize];
                     let res = &self.comp_res[span.res.0 as usize..span.res.1 as usize];
                     let use_warm = record && flows.len() >= self.warm_threshold;
                     let warm = if use_warm { self.warm.lookup(res) } else { None };
-                    (ci as u32, flows, res, warm, use_warm)
+                    (ci, flows, res, warm, use_warm)
                 })
                 .collect();
-            let outs: Vec<CompOut> =
-                pool.map(&jobs, |_, &(comp_id, flows, res, warm, use_warm)| {
+            let outs: Vec<Vec<CompOut>> =
+                pool.map(&self.job_bounds, |_, &(lo, hi)| {
                     let mut scratch = scratch_pool
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
                         .pop()
                         .unwrap_or_default();
-                    let mut sink = RateSink::Buffered { rates };
-                    run_component(
-                        core, comp_id, flows, res, warm, use_warm, &mut sink, &mut scratch,
-                    );
-                    // Take, don't clone: the buffers cross the thread
-                    // boundary as-is (store_owned keeps the rec ones
-                    // alive in the cache) and the scratch regrows lazily.
-                    let out = CompOut {
-                        changed: std::mem::take(&mut scratch.changed),
-                        rec: use_warm.then(|| CachedSolve {
-                            refs: 0,
-                            phis: std::mem::take(&mut scratch.rec_phis),
-                            offsets: std::mem::take(&mut scratch.rec_offsets),
-                            frozen: std::mem::take(&mut scratch.rec_frozen),
-                        }),
-                    };
+                    let mut job_out = Vec::with_capacity((hi - lo) as usize);
+                    for &(comp_id, flows, res, warm, use_warm) in
+                        &jobs[lo as usize..hi as usize]
+                    {
+                        let mut sink = RateSink::Buffered { rates };
+                        run_component(
+                            core, comp_id, flows, res, warm, use_warm, &mut sink,
+                            &mut scratch,
+                        );
+                        // Take, don't clone: the buffers cross the thread
+                        // boundary as-is (store_owned keeps the rec ones
+                        // alive in the cache) and the scratch regrows
+                        // lazily.
+                        job_out.push(CompOut {
+                            comp: comp_id,
+                            changed: std::mem::take(&mut scratch.changed),
+                            rec: use_warm.then(|| CachedSolve {
+                                refs: 0,
+                                phis: std::mem::take(&mut scratch.rec_phis),
+                                offsets: std::mem::take(&mut scratch.rec_offsets),
+                                frozen: std::mem::take(&mut scratch.rec_frozen),
+                                bind_offsets: std::mem::take(&mut scratch.rec_bind_offsets),
+                                bind: std::mem::take(&mut scratch.rec_bind),
+                            }),
+                        });
+                    }
                     scratch_pool.lock().unwrap_or_else(|e| e.into_inner()).push(scratch);
-                    out
+                    job_out
                 });
             drop(jobs);
-            for (ci, out) in outs.into_iter().enumerate() {
+            for out in outs.into_iter().flatten() {
                 for (f, rate) in out.changed {
                     self.rates[f as usize] = rate;
                     self.changed.push(f);
                 }
                 if record {
-                    let span = self.comps[ci];
+                    let span = self.comps[out.comp as usize];
                     let res = &self.comp_res[span.res.0 as usize..span.res.1 as usize];
                     match out.rec {
                         Some(rec) => self.warm.store_owned(res, Some(rec)),
                         None => {
-                            if !self.warm.solves.is_empty() {
+                            if self.warm.has_records() {
                                 self.warm.detach(res);
                             }
                         }
@@ -969,6 +1192,50 @@ impl MaxMinSolver {
         &self.changed
     }
 
+    /// Solves a trivial (≤ 1 flow) component inline: a lone flow's rate
+    /// is the minimum of its constraints, computed with the exact float
+    /// operations the general fill would use. Empty components (a
+    /// deactivated seed's drained resources) just drop stale warm
+    /// records — the warm validity argument needs every membership
+    /// change to re-stamp the resources it touched.
+    fn solve_trivial(&mut self, ci: usize, record: bool) {
+        let span = self.comps[ci];
+        if span.flows.1 > span.flows.0 {
+            let f = self.comp_flows[span.flows.0 as usize];
+            let fi = f as usize;
+            let mut phi = f64::INFINITY;
+            for &r in self.core.res_span(f) {
+                let ri = r as usize;
+                let ratio = self.core.capacity[ri] / self.core.base_inv_w_sum[ri];
+                if ratio < phi {
+                    phi = ratio;
+                }
+            }
+            let pc = self.core.phi_cap[fi];
+            if pc < phi {
+                phi = pc;
+            }
+            let rate = if phi.is_infinite() {
+                f64::INFINITY
+            } else {
+                let threshold = phi * (1.0 + REL_EPS) + f64::MIN_POSITIVE;
+                if pc <= threshold {
+                    self.core.flows[fi].cap
+                } else {
+                    phi / self.core.flows[fi].weight
+                }
+            };
+            if self.rates[fi] != rate {
+                self.rates[fi] = rate;
+                self.changed.push(f);
+            }
+        }
+        if record && self.warm.has_records() {
+            let res = &self.comp_res[span.res.0 as usize..span.res.1 as usize];
+            self.warm.detach(res);
+        }
+    }
+
     fn push_span(&mut self, start: (u32, u32)) {
         self.comps.push(CompSpan {
             flows: (start.0, self.comp_flows.len() as u32),
@@ -976,42 +1243,32 @@ impl MaxMinSolver {
         });
     }
 
-    /// BFS discovery of one resource: mark, enqueue, collect.
-    #[inline]
-    fn visit_resource(&mut self, r: u32, epoch: u64) {
-        self.core.res_mark[r as usize] = epoch;
-        self.bfs_queue.push(r);
-        self.comp_res.push(r);
-    }
-
-    /// BFS discovery of one flow: mark, label, collect, and enqueue its
-    /// unmarked resources.
-    #[inline]
-    fn visit_flow(&mut self, f: u32, epoch: u64, comp_id: u32) {
-        let fi = f as usize;
-        self.core.flow_mark[fi] = epoch;
-        self.core.flow_comp[fi] = comp_id;
-        self.comp_flows.push(f);
-        let (start, len) =
-            (self.core.flows[fi].res_start as usize, self.core.flows[fi].res_len as usize);
-        for j in start..start + len {
-            let r = self.core.res_arena[j];
-            if self.core.res_mark[r as usize] != epoch {
-                self.visit_resource(r, epoch);
-            }
+    /// The persistent component root of an active flow's component
+    /// (`None` for inactive or resource-less flows). Roots are stable
+    /// between merges/splits; use them only to compare membership.
+    #[doc(hidden)]
+    pub fn debug_component_root(&mut self, flow: u32) -> Option<u32> {
+        let fi = flow as usize;
+        if !self.core.flows[fi].active || self.core.flows[fi].res_len == 0 {
+            return None;
         }
+        let r = self.core.res_arena[self.core.flows[fi].res_start as usize];
+        Some(self.conn.find(r))
     }
 
-    /// Drains the BFS queue into the current component.
-    fn drain_bfs(&mut self, epoch: u64, comp_id: u32) {
-        while let Some(r) = self.bfs_queue.pop() {
-            let ri = r as usize;
-            for i in 0..self.core.res_flows[ri].len() {
-                let fl = self.core.res_flows[ri][i];
-                if self.core.flow_mark[fl as usize] != epoch {
-                    self.visit_flow(fl, epoch, comp_id);
-                }
-            }
+    /// Forces a full lazy-split pass over every component, making the
+    /// persistent labels exact (test hook for the coarsening invariant).
+    #[doc(hidden)]
+    pub fn debug_split_all(&mut self) {
+        self.ensure_members();
+        let nr = self.core.capacity.len() as u32;
+        let mut roots: Vec<u32> = (0..nr).map(|r| self.conn.find(r)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        let core = &self.core;
+        let conn = &mut self.conn;
+        for root in roots {
+            conn.resplit(root, |f| core.res_span(f));
         }
     }
 }
@@ -1040,6 +1297,9 @@ fn run_component(
     s.rec_frozen.clear();
     s.rec_offsets.clear();
     s.rec_offsets.push(0);
+    s.rec_bind.clear();
+    s.rec_bind_offsets.clear();
+    s.rec_bind_offsets.push(0);
 
     if let Some(w) = warm {
         // Component working state: full capacity, delta-maintained base
@@ -1049,7 +1309,7 @@ fn run_component(
             let ri = r as usize;
             s.remaining[ri] = core.capacity[ri];
             s.inv_w_sum[ri] = core.base_inv_w_sum[ri];
-            s.active_count_on[ri] = core.res_flows[ri].len() as u32;
+            s.active_count_on[ri] = core.res_active[ri];
         }
         let unfrozen = comp_flows.len() - replay_rounds(core, comp_id, comp_flows, comp_res, w, record, sink, s);
         // Remaining flows fill normally from the replayed state.
@@ -1090,7 +1350,7 @@ fn run_component(
         s.live_res.clear();
         for &r in comp_res {
             let ri = r as usize;
-            let members = core.res_flows[ri].len() as u32;
+            let members = core.res_active[ri];
             s.remaining[ri] = core.capacity[ri];
             s.inv_w_sum[ri] = core.base_inv_w_sum[ri];
             s.active_count_on[ri] = members;
@@ -1165,6 +1425,20 @@ fn replay_rounds(
             }
         }
 
+        // A recorded binding resource gone dirty also stops the replay:
+        // a *clean* binding resource carries bitwise the cached ratio —
+        // it binds now exactly as it did then, which is what keeps every
+        // non-capped flow of the level pinned — while a dirty one no
+        // longer binds at this threshold (the ratio check above would
+        // have broken otherwise), so the flows it froze may now freeze
+        // elsewhere. Stopping at any prefix is exact by construction.
+        let (blo, bhi) = (w.bind_offsets[k] as usize, w.bind_offsets[k + 1] as usize);
+        for &r in &w.bind[blo..bhi] {
+            if core.res_dirty[r as usize] == core.epoch {
+                break 'rounds;
+            }
+        }
+
         s.touched.clear();
         let (lo, hi) = (w.offsets[k] as usize, w.offsets[k + 1] as usize);
         for &f in &w.frozen[lo..hi] {
@@ -1181,41 +1455,30 @@ fn replay_rounds(
             {
                 break 'rounds;
             }
-            if core.phi_cap[fi] <= threshold {
-                s.touched.push(f);
-                continue;
-            }
-            // Must still be pinned by one of its resources; clean
-            // resources carry bitwise the cached solve's values, so this
-            // recomputation *is* the cached binding test.
-            let mut bound = false;
-            for &r in core.res_span(f) {
-                let ri = r as usize;
-                if s.active_count_on[ri] > 0 && s.remaining[ri] / s.inv_w_sum[ri] <= threshold
-                {
-                    bound = true;
-                    break;
-                }
-            }
-            if !bound {
-                break 'rounds;
-            }
+            // Capped or pinned by a clean binding resource — both
+            // validated level-wide above; no per-flow ratio math needed.
             s.touched.push(f);
         }
         if s.touched.is_empty() {
             // Level belonged entirely to a split-off piece; skip it.
             continue;
         }
-        frozen_total += apply_round(core, record, phi, threshold, sink, s);
+        s.round_bind.clear();
+        s.round_bind.extend_from_slice(&w.bind[blo..bhi]);
+        frozen_total += apply_round(core, record, phi, threshold, sink, s, false);
     }
     frozen_total
 }
 
 /// Applies one round's freeze list (`touched`) in ascending flow order —
-/// replaying the reference's float-operation sequence — collecting the
-/// resources whose sums changed into `dirty_round` (round-stamp deduped)
-/// and recording the round in the freeze-order cache. Returns how many
-/// flows froze.
+/// replaying the reference's float-operation sequence — and records the
+/// round (freeze list + this round's binding resources, staged in
+/// `round_bind`) in the freeze-order cache. With `collect_dirty`, the
+/// resources whose sums changed are gathered into `dirty_round`
+/// (round-stamp deduped) for the caller's ratio refresh; replayed rounds
+/// skip that bookkeeping (the post-replay fill reseeds every ratio).
+/// Returns how many flows froze.
+#[allow(clippy::too_many_arguments)]
 fn apply_round(
     core: &SolverCore,
     record: bool,
@@ -1223,10 +1486,13 @@ fn apply_round(
     threshold: f64,
     sink: &mut RateSink<'_>,
     s: &mut SolveScratch,
+    collect_dirty: bool,
 ) -> usize {
     s.touched.sort_unstable();
-    s.round_stamp += 1;
-    s.dirty_round.clear();
+    if collect_dirty {
+        s.round_stamp += 1;
+        s.dirty_round.clear();
+    }
     for k in 0..s.touched.len() {
         let f = s.touched[k];
         let fi = f as usize;
@@ -1242,7 +1508,7 @@ fn apply_round(
             s.remaining[ri] = (s.remaining[ri] - allocated).max(0.0);
             s.inv_w_sum[ri] -= inv_w;
             s.active_count_on[ri] -= 1;
-            if s.touched_mark[ri] != s.round_stamp {
+            if collect_dirty && s.touched_mark[ri] != s.round_stamp {
                 s.touched_mark[ri] = s.round_stamp;
                 s.dirty_round.push(r);
             }
@@ -1252,6 +1518,8 @@ fn apply_round(
         s.rec_phis.push(phi);
         s.rec_frozen.extend_from_slice(&s.touched);
         s.rec_offsets.push(s.rec_frozen.len() as u32);
+        s.rec_bind.extend_from_slice(&s.round_bind);
+        s.rec_bind_offsets.push(s.rec_bind.len() as u32);
     }
     s.touched.len()
 }
@@ -1316,12 +1584,13 @@ fn fill_scan(core: &SolverCore, record: bool, sink: &mut RateSink<'_>, s: &mut S
         // sum updates can only pull extra constraints under the threshold
         // within its 1e-12 slack; see the module doc.)
         s.touched.clear();
+        s.round_bind.clear();
         for k in 0..s.live_res.len() {
             let r = s.live_res[k];
             let ri = r as usize;
             if s.ratio[ri] <= threshold {
-                for i in 0..core.res_flows[ri].len() {
-                    let f = core.res_flows[ri][i];
+                s.round_bind.push(r);
+                for &f in core.members(ri) {
                     if s.frozen_stamp[f as usize] != s.stamp {
                         s.frozen_stamp[f as usize] = s.stamp;
                         s.touched.push(f);
@@ -1358,7 +1627,7 @@ fn fill_scan(core: &SolverCore, record: bool, sink: &mut RateSink<'_>, s: &mut S
             break;
         }
 
-        unfrozen -= apply_round(core, record, phi, threshold, sink, s);
+        unfrozen -= apply_round(core, record, phi, threshold, sink, s, true);
 
         // Refresh the cached ratios the freezes invalidated.
         for k in 0..s.dirty_round.len() {
@@ -1449,6 +1718,7 @@ fn fill_heap(core: &SolverCore, record: bool, sink: &mut RateSink<'_>, s: &mut S
         // threshold except within its 1e-12 slack, which random inputs do
         // not hit).
         s.touched.clear();
+        s.round_bind.clear();
         while let Some(&std::cmp::Reverse(c)) = s.heap.peek() {
             let valid = if c.kind == RESOURCE {
                 let ri = c.id as usize;
@@ -1466,8 +1736,8 @@ fn fill_heap(core: &SolverCore, record: bool, sink: &mut RateSink<'_>, s: &mut S
             s.heap.pop();
             if c.kind == RESOURCE {
                 let ri = c.id as usize;
-                for i in 0..core.res_flows[ri].len() {
-                    let f = core.res_flows[ri][i];
+                s.round_bind.push(c.id);
+                for &f in core.members(ri) {
                     if s.frozen_stamp[f as usize] != s.stamp {
                         s.frozen_stamp[f as usize] = s.stamp;
                         s.touched.push(f);
@@ -1493,7 +1763,7 @@ fn fill_heap(core: &SolverCore, record: bool, sink: &mut RateSink<'_>, s: &mut S
             break;
         }
 
-        unfrozen -= apply_round(core, record, phi, threshold, sink, s);
+        unfrozen -= apply_round(core, record, phi, threshold, sink, s, true);
 
         // Freezes changed these resources' ratios; push fresh candidates
         // (old entries turn stale and are skipped on pop).
