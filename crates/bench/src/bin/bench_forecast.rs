@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use g5k::{synth, to_simflow, Flavor};
-use pilgrim_core::http::{http_get, Server};
+use pilgrim_core::http::{http_get, Server, ServerConfig};
 use pilgrim_core::{Metrology, PilgrimService, Pnfs};
 use simflow::NetworkConfig;
 
@@ -96,6 +96,53 @@ fn run_level(addr: SocketAddr, scenarios: Arc<Vec<String>>, clients: usize, per_
     (median, qps)
 }
 
+/// A pooled server with explicit admission tuning (overload row).
+fn start_overload_server(http_workers: usize, queue_limit: usize) -> Server {
+    let mut pnfs = Pnfs::new(NetworkConfig::default());
+    pnfs.register_platform("g5k_test", to_simflow(&synth::standard(), Flavor::G5kTest));
+    let service = PilgrimService::new(Metrology::new(), pnfs);
+    let config = ServerConfig { workers: http_workers, queue_limit, ..ServerConfig::default() };
+    Server::start_with("127.0.0.1:0", config, service.into_handler(), None).expect("bind")
+}
+
+/// Overload run: clients accept shed (503) and expired (504) answers as
+/// well as 200s. Returns (p50 latency of *admitted* requests in ms,
+/// fraction of requests shed or expired).
+fn run_overload(
+    addr: SocketAddr,
+    scenarios: Arc<Vec<String>>,
+    clients: usize,
+    per_client: usize,
+) -> (f64, f64) {
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let scenarios = Arc::clone(&scenarios);
+            std::thread::spawn(move || {
+                let mut out = Vec::with_capacity(per_client);
+                for k in 0..per_client {
+                    let q = &scenarios[(c * 5 + k) % scenarios.len()];
+                    let t = Instant::now();
+                    let (status, body) = http_get(addr, q).expect("request");
+                    assert!(
+                        matches!(status, 200 | 503 | 504),
+                        "unexpected status {status}: {body}"
+                    );
+                    out.push((status, t.elapsed().as_secs_f64() * 1e3));
+                }
+                out
+            })
+        })
+        .collect();
+    let answers: Vec<(u16, f64)> =
+        handles.into_iter().flat_map(|h| h.join().expect("client")).collect();
+    let mut admitted: Vec<f64> =
+        answers.iter().filter(|(s, _)| *s == 200).map(|&(_, l)| l).collect();
+    admitted.sort_by(|a, b| a.total_cmp(b));
+    let p50 = if admitted.is_empty() { 0.0 } else { admitted[admitted.len() / 2] };
+    let shed_rate = 1.0 - admitted.len() as f64 / answers.len() as f64;
+    (p50, shed_rate)
+}
+
 fn main() {
     let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_forecast.json".to_string());
     if let Err(e) = std::fs::OpenOptions::new().create(true).append(true).open(&out) {
@@ -138,6 +185,31 @@ fn main() {
             ));
         }
     }
+
+    // Overload row: 64 clients against 8 workers + a queue of 8 — what
+    // admission control buys under a 4× burst: how fast the admitted
+    // requests stay, and how much of the burst gets shed.
+    let mut runs: Vec<(f64, f64)> = (0..3)
+        .map(|_| {
+            let mut server = start_overload_server(8, 8);
+            let r = run_overload(server.addr(), Arc::clone(&scenarios), 64, 8);
+            server.stop();
+            r
+        })
+        .collect();
+    runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (p50_ms, shed_rate) = runs[runs.len() / 2];
+    println!(
+        "overload64 clients=64  pooled     admitted p50 {p50_ms:>9.3} ms   shed {:>5.1}%",
+        shed_rate * 100.0
+    );
+    results.push((
+        "overload64/clients=64/pooled".to_string(),
+        jsonlite::Value::object(vec![
+            ("admitted_p50_ms", jsonlite::Value::Number((p50_ms * 1e3).round() / 1e3)),
+            ("shed_rate", jsonlite::Value::Number((shed_rate * 1e4).round() / 1e4)),
+        ]),
+    ));
 
     let json = jsonlite::Value::Object(results.into_iter().collect());
     if let Err(e) = std::fs::write(&out, json.to_pretty() + "\n") {

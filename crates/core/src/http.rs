@@ -6,12 +6,51 @@
 //! documents." That surface — GET, query parameters, JSON bodies,
 //! connection-close — is all this module implements: a blocking server
 //! with a crossbeam-channel worker pool, and a matching one-call client.
+//!
+//! ## Admission control and overload semantics
+//!
+//! The service sits on a grid scheduler's critical path, so overload has
+//! a *defined* behavior instead of an unbounded queue:
+//!
+//! * **Bounded pending queue.** At most [`ServerConfig::queue_limit`]
+//!   accepted connections may wait for a worker. Beyond that the server
+//!   *sheds*: the connection is answered `503 Service Unavailable` with a
+//!   `Retry-After` header, without reading the request, so the accept
+//!   loop never blocks on a hostile peer.
+//! * **Degraded mode (opt-in).** When a shed fallback handler is
+//!   installed ([`Server::start_with`]), shed connections are parsed on a
+//!   dedicated thread and offered to the fallback — the Pilgrim service
+//!   uses this to answer from stale-epoch cache entries with an
+//!   `X-Pilgrim-Stale: <epoch-lag>` header instead of a 503. The fallback
+//!   path has its own small queue; past it, plain 503s resume.
+//! * **Per-request deadlines.** A request admitted at time `t` with
+//!   deadline `d` (client header `X-Pilgrim-Deadline-Ms`, capped by
+//!   [`ServerConfig::max_deadline`], or the server-side
+//!   [`ServerConfig::default_deadline`]) is answered `504 Gateway
+//!   Timeout` if `t + d` passes before the handler *starts*. The check
+//!   runs after dequeue and again after header parsing — queued-then-
+//!   expired work is never executed, so a backlog drains at write speed
+//!   instead of simulating for clients that already gave up.
+//! * **Slowloris guard.** The request line and headers must arrive
+//!   within [`ServerConfig::header_deadline`] *in total* (checked
+//!   between reads, with the socket timeout clamped to the remaining
+//!   budget) — separate from the per-read [`ServerConfig::read_timeout`].
+//!   Violations get `408 Request Timeout`.
+//! * **Graceful drain.** [`Server::stop`] stops accepting, lets queued
+//!   and in-flight requests finish, and joins every worker before
+//!   returning; connections arriving after the listener closes are
+//!   refused by the OS.
+//!
+//! Handler panics are caught per request (`500`, worker survives), and
+//! write-side errors (client hung up mid-response) are counted, never
+//! panicked on. [`ServerStats`] exposes the counters.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use jsonlite::Value;
 
@@ -25,9 +64,22 @@ pub struct Request {
     /// Query parameters in order of appearance (keys may repeat:
     /// `transfer=…&transfer=…`).
     pub params: Vec<(String, String)>,
+    /// Header fields in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Request {
+    /// A synthetic request (tests, in-process routing): GET `path` with
+    /// `query` parsed, no headers.
+    pub fn synthetic(path: &str, query: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            params: parse_query(query),
+            headers: Vec::new(),
+        }
+    }
+
     /// First value of a parameter.
     pub fn param(&self, key: &str) -> Option<&str> {
         self.params
@@ -44,6 +96,14 @@ impl Request {
             .map(|(_, v)| v.as_str())
             .collect()
     }
+
+    /// First value of a header (lookup name must be lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// A response about to be serialized.
@@ -55,18 +115,47 @@ pub struct Response {
     pub body: String,
     /// Content-Type header value.
     pub content_type: &'static str,
+    /// Extra response headers (`Retry-After`, `X-Pilgrim-Stale`, …).
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
     /// 200 with a JSON body.
     pub fn json(v: &Value) -> Response {
-        Response { status: 200, body: v.to_string(), content_type: "application/json" }
+        Response {
+            status: 200,
+            body: v.to_string(),
+            content_type: "application/json",
+            headers: Vec::new(),
+        }
     }
 
     /// An error status with a `{"error": …}` JSON body.
     pub fn error(status: u16, message: &str) -> Response {
         let v = Value::object(vec![("error", Value::from(message))]);
-        Response { status, body: v.to_string(), content_type: "application/json" }
+        Response {
+            status,
+            body: v.to_string(),
+            content_type: "application/json",
+            headers: Vec::new(),
+        }
+    }
+
+    /// The load-shed refusal: 503 with a `Retry-After` hint.
+    pub fn overloaded(retry_after_secs: u32) -> Response {
+        Response::error(503, "server overloaded, retry later")
+            .with_header("Retry-After", &retry_after_secs.to_string())
+    }
+
+    /// The deadline-expiry answer.
+    pub fn deadline_expired() -> Response {
+        Response::error(504, "deadline expired before the request could be served")
+    }
+
+    /// Adds a response header (builder style).
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
     }
 
     fn reason(&self) -> &'static str {
@@ -75,18 +164,28 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Internal Server Error",
         }
     }
 
     fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
         );
+        for (k, v) in &self.headers {
+            head.push_str(k);
+            head.push_str(": ");
+            head.push_str(v);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(self.body.as_bytes())?;
         stream.flush()
@@ -144,109 +243,383 @@ pub fn parse_query(q: &str) -> Vec<(String, String)> {
 const MAX_REQUEST_LINE_BYTES: usize = 64 * 1024;
 /// Upper bound on the total header bytes after the request line.
 const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Pending shed connections the degraded-mode thread may hold; beyond
+/// this, plain inline 503s resume.
+const SHED_QUEUE_LIMIT: usize = 64;
+
+/// Server tuning: admission, deadlines and socket timeouts.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads serving parsed requests (clamped to ≥ 1).
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker before new
+    /// arrivals are shed with 503s. In-service requests do not count.
+    pub queue_limit: usize,
+    /// Total wall-clock budget for receiving the request line + headers
+    /// (slowloris guard); violations get 408.
+    pub header_deadline: Duration,
+    /// Per-read socket timeout (the legacy 10 s body-phase timeout).
+    pub read_timeout: Duration,
+    /// Socket write timeout: a client that stops reading its response
+    /// cannot hold a worker past this.
+    pub write_timeout: Duration,
+    /// Server-side default end-to-end deadline, measured from accept.
+    /// `None` disables deadline checks unless the client asks for one.
+    pub default_deadline: Option<Duration>,
+    /// Upper bound on client-requested deadlines
+    /// (`X-Pilgrim-Deadline-Ms`).
+    pub max_deadline: Duration,
+    /// `Retry-After` seconds advertised on shed responses.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_limit: 1024,
+            header_deadline: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            default_deadline: None,
+            max_deadline: Duration::from_secs(300),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Lifetime counters of one server (observability / tests).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: AtomicU64,
+    /// Connections refused by admission control (503 or degraded path).
+    pub shed: AtomicU64,
+    /// Shed connections answered 200 by the degraded-mode fallback.
+    pub stale_served: AtomicU64,
+    /// Requests answered 504 (deadline expired before the handler ran).
+    pub expired: AtomicU64,
+    /// Handler panics converted into 500s.
+    pub handler_panics: AtomicU64,
+    /// Response writes that failed (client hung up mid-response).
+    pub write_errors: AtomicU64,
+}
+
+impl ServerStats {
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 enum LineError {
     /// The line exceeded its byte cap.
     TooLong,
+    /// The header deadline passed before the line completed.
+    Expired,
     /// The underlying read failed (timeout, reset, …).
     Io(String),
 }
 
-impl LineError {
-    /// Maps the cap overflow to `too_long` and passes I/O errors
-    /// through, so a read timeout is never reported as a size overflow.
-    fn message(self, too_long: impl FnOnce() -> String) -> String {
-        match self {
-            LineError::TooLong => too_long(),
-            LineError::Io(e) => e,
+/// Reads one `\n`-terminated line of at most `cap` bytes, enforcing both
+/// the per-read socket timeout and the *total* `deadline`: the socket
+/// timeout is clamped to the remaining budget before every read, and the
+/// budget is re-checked after every chunk, so a slow-drip client cannot
+/// stretch one line past the deadline by feeding single bytes. EOF
+/// returns whatever arrived (possibly empty), matching `read_line`.
+fn read_line_deadline(
+    reader: &mut BufReader<TcpStream>,
+    cap: usize,
+    deadline: Instant,
+    read_timeout: Duration,
+) -> Result<String, LineError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(LineError::Expired);
+        }
+        let budget = (deadline - now).min(read_timeout).max(Duration::from_millis(1));
+        reader
+            .get_ref()
+            .set_read_timeout(Some(budget))
+            .map_err(|e| LineError::Io(e.to_string()))?;
+        let (consumed, done) = {
+            let buf = match reader.fill_buf() {
+                Ok(b) => b,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // The socket timeout was clamped to the remaining
+                    // header budget: expiring at the deadline is the
+                    // slowloris case, not a plain idle timeout.
+                    if Instant::now() >= deadline {
+                        return Err(LineError::Expired);
+                    }
+                    return Err(LineError::Io("read timed out".to_string()));
+                }
+                Err(e) => return Err(LineError::Io(e.to_string())),
+            };
+            if buf.is_empty() {
+                (0, true) // EOF: return the partial (or empty) line
+            } else {
+                match buf.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        line.extend_from_slice(&buf[..=pos]);
+                        (pos + 1, true)
+                    }
+                    None => {
+                        line.extend_from_slice(buf);
+                        (buf.len(), false)
+                    }
+                }
+            }
+        };
+        reader.consume(consumed);
+        if line.len() > cap {
+            return Err(LineError::TooLong);
+        }
+        if done {
+            return Ok(String::from_utf8_lossy(&line).into_owned());
         }
     }
 }
 
-/// Reads one line of at most `cap` bytes (including the newline).
-/// A longer line — or a stream that keeps feeding bytes without ever
-/// sending `\n` — yields an error instead of unbounded buffering.
-fn read_line_capped(reader: &mut impl BufRead, cap: usize) -> Result<String, LineError> {
-    let mut line = String::new();
-    let mut limited = reader.take(cap as u64 + 1);
-    limited
-        .read_line(&mut line)
-        .map_err(|e| LineError::Io(e.to_string()))?;
-    if line.len() > cap {
-        return Err(LineError::TooLong);
-    }
-    Ok(line)
+enum ParseFailure {
+    /// Malformed input → 400.
+    Bad(String),
+    /// Header deadline exceeded → 408.
+    HeaderDeadline,
 }
 
-fn parse_request(stream: &mut TcpStream) -> Result<Request, String> {
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .map_err(|e| e.to_string())?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let line = read_line_capped(&mut reader, MAX_REQUEST_LINE_BYTES)
-        .map_err(|e| e.message(|| format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes")))?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("missing method")?.to_string();
-    let target = parts.next().ok_or("missing target")?.to_string();
-    let version = parts.next().ok_or("missing version")?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported version {version}"));
+impl ParseFailure {
+    fn from_line(e: LineError, too_long: impl FnOnce() -> String) -> ParseFailure {
+        match e {
+            LineError::TooLong => ParseFailure::Bad(too_long()),
+            LineError::Expired => ParseFailure::HeaderDeadline,
+            LineError::Io(msg) => ParseFailure::Bad(msg),
+        }
     }
-    // drain headers, within a total byte budget
+}
+
+fn parse_request(stream: &mut TcpStream, config: &ServerConfig) -> Result<Request, ParseFailure> {
+    let deadline = Instant::now() + config.header_deadline;
+    let mut reader =
+        BufReader::new(stream.try_clone().map_err(|e| ParseFailure::Bad(e.to_string()))?);
+    let line = read_line_deadline(&mut reader, MAX_REQUEST_LINE_BYTES, deadline, config.read_timeout)
+        .map_err(|e| {
+            ParseFailure::from_line(e, || {
+                format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes")
+            })
+        })?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(ParseFailure::Bad("missing method".into()))?.to_string();
+    let target = parts.next().ok_or(ParseFailure::Bad("missing target".into()))?.to_string();
+    let version = parts.next().ok_or(ParseFailure::Bad("missing version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseFailure::Bad(format!("unsupported version {version}")));
+    }
+    // collect headers, within a total byte budget and the header deadline
+    let mut headers = Vec::new();
     let mut remaining = MAX_HEADER_BYTES;
     loop {
-        let h = read_line_capped(&mut reader, remaining)
-            .map_err(|e| e.message(|| format!("headers exceed {MAX_HEADER_BYTES} bytes")))?;
+        let h = read_line_deadline(&mut reader, remaining, deadline, config.read_timeout)
+            .map_err(|e| {
+                ParseFailure::from_line(e, || format!("headers exceed {MAX_HEADER_BYTES} bytes"))
+            })?;
         if h == "\r\n" || h == "\n" || h.is_empty() {
             break;
         }
         remaining -= h.len();
+        if let Some((name, value)) = h.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
     }
+    // past the headers: restore the body-phase read timeout, and bound
+    // the response write so a non-reading client cannot hold the worker
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
         None => (target, String::new()),
     };
-    Ok(Request { method, path: percent_decode(&path), params: parse_query(&query) })
+    Ok(Request {
+        method,
+        path: percent_decode(&path),
+        params: parse_query(&query),
+        headers,
+    })
 }
 
 /// The request handler type shared by all workers.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// An accepted connection waiting for a worker.
+struct Conn {
+    stream: TcpStream,
+    accepted: Instant,
+}
+
+/// The deadline a request runs under: the client's
+/// `X-Pilgrim-Deadline-Ms` (capped by `max_deadline`) or the server-side
+/// default.
+fn effective_deadline(req: &Request, config: &ServerConfig) -> Option<Duration> {
+    req.header("x-pilgrim-deadline-ms")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(|ms| Duration::from_millis(ms).min(config.max_deadline))
+        .or(config.default_deadline)
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response, stats: &ServerStats) {
+    if response.write_to(stream).is_err() {
+        ServerStats::bump(&stats.write_errors);
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Serves one admitted connection end to end on a worker thread.
+fn serve_connection(mut conn: Conn, handler: &Handler, config: &ServerConfig, stats: &ServerStats) {
+    // Queued-then-expired work is dropped before any parsing.
+    if let Some(d) = config.default_deadline {
+        if conn.accepted.elapsed() >= d {
+            ServerStats::bump(&stats.expired);
+            write_response(&mut conn.stream, &Response::deadline_expired(), stats);
+            return;
+        }
+    }
+    let response = match parse_request(&mut conn.stream, config) {
+        Ok(req) if req.method == "GET" => {
+            match effective_deadline(&req, config) {
+                // Re-checked after parsing, *before* the handler runs:
+                // simulation work never starts for an expired request.
+                Some(d) if conn.accepted.elapsed() >= d => {
+                    ServerStats::bump(&stats.expired);
+                    Response::deadline_expired()
+                }
+                _ => match catch_unwind(AssertUnwindSafe(|| handler(&req))) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        ServerStats::bump(&stats.handler_panics);
+                        Response::error(500, "handler panicked")
+                    }
+                },
+            }
+        }
+        Ok(req) => Response::error(405, &format!("method {} not allowed", req.method)),
+        Err(ParseFailure::Bad(e)) => Response::error(400, &format!("bad request: {e}")),
+        Err(ParseFailure::HeaderDeadline) => {
+            Response::error(408, "request header read exceeded its deadline")
+        }
+    };
+    write_response(&mut conn.stream, &response, stats);
+}
+
+/// Answers a shed connection inline (no request read): 503 +
+/// `Retry-After`, with a short write timeout so the accept loop cannot
+/// be held by a hostile peer.
+fn refuse(mut stream: TcpStream, config: &ServerConfig, stats: &ServerStats) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    write_response(&mut stream, &Response::overloaded(config.retry_after_secs), stats);
+}
+
+/// Serves one shed connection on the degraded-mode thread: parse (under
+/// the usual header deadline), offer the request to the fallback
+/// handler, count 200s as stale serves.
+fn serve_shed(mut conn: Conn, fallback: &Handler, config: &ServerConfig, stats: &ServerStats) {
+    let response = match parse_request(&mut conn.stream, config) {
+        Ok(req) if req.method == "GET" => {
+            match catch_unwind(AssertUnwindSafe(|| fallback(&req))) {
+                Ok(r) => r,
+                Err(_) => {
+                    ServerStats::bump(&stats.handler_panics);
+                    Response::overloaded(config.retry_after_secs)
+                }
+            }
+        }
+        Ok(_) | Err(ParseFailure::Bad(_)) => Response::overloaded(config.retry_after_secs),
+        Err(ParseFailure::HeaderDeadline) => {
+            Response::error(408, "request header read exceeded its deadline")
+        }
+    };
+    if response.status == 200 {
+        ServerStats::bump(&stats.stale_served);
+    }
+    write_response(&mut conn.stream, &response, stats);
+}
 
 /// A running HTTP server.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
+    shed_thread: Option<std::thread::JoinHandle<()>>,
+    stats: Arc<ServerStats>,
 }
 
 impl Server {
     /// Binds `addr` (use `"127.0.0.1:0"` for an ephemeral port) and
-    /// serves `handler` on `workers` threads until [`Server::stop`].
+    /// serves `handler` on `workers` threads until [`Server::stop`],
+    /// with default admission tuning (queue of 1024, no deadlines).
     pub fn start(addr: &str, workers: usize, handler: Handler) -> std::io::Result<Server> {
+        Server::start_with(addr, ServerConfig { workers, ..ServerConfig::default() }, handler, None)
+    }
+
+    /// Binds `addr` with explicit admission/deadline tuning. When
+    /// `shed_fallback` is set, shed connections are parsed and offered to
+    /// it (degraded mode) instead of being refused outright.
+    pub fn start_with(
+        addr: &str,
+        config: ServerConfig,
+        handler: Handler,
+        shed_fallback: Option<Handler>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+        let stats = Arc::new(ServerStats::default());
+        let pending = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = crossbeam::channel::unbounded::<Conn>();
 
-        for _ in 0..workers.max(1) {
+        let mut worker_threads = Vec::new();
+        for _ in 0..config.workers.max(1) {
             let rx = rx.clone();
             let handler = handler.clone();
-            std::thread::spawn(move || {
-                while let Ok(mut stream) = rx.recv() {
-                    let response = match parse_request(&mut stream) {
-                        Ok(req) if req.method == "GET" => handler(&req),
-                        Ok(req) => {
-                            Response::error(405, &format!("method {} not allowed", req.method))
-                        }
-                        Err(e) => Response::error(400, &format!("bad request: {e}")),
-                    };
-                    let _ = response.write_to(&mut stream);
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
+            let stats = Arc::clone(&stats);
+            let pending = Arc::clone(&pending);
+            worker_threads.push(std::thread::spawn(move || {
+                while let Ok(conn) = rx.recv() {
+                    pending.fetch_sub(1, Ordering::SeqCst);
+                    // The serve path catches handler panics itself; this
+                    // outer guard keeps the worker alive even if the
+                    // parse/write plumbing ever panics.
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        serve_connection(conn, &handler, &config, &stats)
+                    }));
                 }
-            });
+            }));
         }
 
+        // Degraded-mode thread: parses shed connections off the accept
+        // path and offers them to the fallback.
+        let (shed_tx, shed_rx) = crossbeam::channel::unbounded::<Conn>();
+        let shed_pending = Arc::new(AtomicUsize::new(0));
+        let shed_thread = shed_fallback.map(|fallback| {
+            let stats = Arc::clone(&stats);
+            let shed_pending = Arc::clone(&shed_pending);
+            std::thread::spawn(move || {
+                while let Ok(conn) = shed_rx.recv() {
+                    shed_pending.fetch_sub(1, Ordering::SeqCst);
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        serve_shed(conn, &fallback, &config, &stats)
+                    }));
+                }
+            })
+        });
+        let degraded = shed_thread.is_some();
+
         let stop2 = stop.clone();
+        let stats2 = Arc::clone(&stats);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop2.load(Ordering::SeqCst) {
@@ -254,15 +627,36 @@ impl Server {
                 }
                 match stream {
                     Ok(s) => {
-                        let _ = tx.send(s);
+                        ServerStats::bump(&stats2.accepted);
+                        let conn = Conn { stream: s, accepted: Instant::now() };
+                        if pending.load(Ordering::SeqCst) >= config.queue_limit {
+                            ServerStats::bump(&stats2.shed);
+                            if degraded && shed_pending.load(Ordering::SeqCst) < SHED_QUEUE_LIMIT
+                            {
+                                shed_pending.fetch_add(1, Ordering::SeqCst);
+                                let _ = shed_tx.send(conn);
+                            } else {
+                                refuse(conn.stream, &config, &stats2);
+                            }
+                        } else {
+                            pending.fetch_add(1, Ordering::SeqCst);
+                            let _ = tx.send(conn);
+                        }
                     }
                     Err(_) => break,
                 }
             }
-            // dropping tx terminates the workers
+            // dropping tx / shed_tx lets workers drain and terminate
         });
 
-        Ok(Server { addr: local, stop, accept_thread: Some(accept_thread) })
+        Ok(Server {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+            shed_thread,
+            stats,
+        })
     }
 
     /// The bound address.
@@ -270,13 +664,26 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting and joins the accept thread. Idempotent.
+    /// Lifetime counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Stops accepting and drains gracefully: queued and in-flight
+    /// requests finish, every worker is joined, new connections are
+    /// refused once the listener closes. Idempotent.
     pub fn stop(&mut self) {
         if !self.stop.swap(true, Ordering::SeqCst) {
             // poke the listener out of accept()
             let _ = TcpStream::connect(self.addr);
         }
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.shed_thread.take() {
             let _ = t.join();
         }
     }
@@ -291,23 +698,45 @@ impl Drop for Server {
 /// A one-shot HTTP GET, returning `(status, body)`. `path_and_query` must
 /// start with `/`.
 pub fn http_get(addr: SocketAddr, path_and_query: &str) -> std::io::Result<(u16, String)> {
+    let (status, _, body) = http_get_with_headers(addr, path_and_query, &[])?;
+    Ok((status, body))
+}
+
+/// What the one-call client returns: status, response headers (names
+/// lowercased), body.
+pub type ClientAnswer = (u16, Vec<(String, String)>, String);
+
+/// A one-shot HTTP GET with request headers, returning `(status,
+/// response-headers, body)`. Response header names are lowercased.
+pub fn http_get_with_headers(
+    addr: SocketAddr,
+    path_and_query: &str,
+    headers: &[(&str, &str)],
+) -> std::io::Result<ClientAnswer> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    let req = format!(
-        "GET {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
-    );
+    let mut req = format!("GET {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    for (k, v) in headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str("\r\n");
     stream.write_all(req.as_bytes())?;
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
     let (head, body) = raw
         .split_once("\r\n\r\n")
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status"))?;
-    Ok((status, body.to_string()))
+    let resp_headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok((status, resp_headers, body.to_string()))
 }
 
 #[cfg(test)]
@@ -333,11 +762,7 @@ mod tests {
 
     #[test]
     fn request_param_helpers() {
-        let r = Request {
-            method: "GET".into(),
-            path: "/x".into(),
-            params: parse_query("a=1&b=2&a=3"),
-        };
+        let r = Request::synthetic("/x", "a=1&b=2&a=3");
         assert_eq!(r.param("a"), Some("1"));
         assert_eq!(r.params_named("a"), vec!["1", "3"]);
         assert_eq!(r.param("zz"), None);
@@ -360,6 +785,32 @@ mod tests {
         assert_eq!(v["path"].as_str(), Some("/pilgrim/rrd/x.rrd"));
         assert_eq!(v["begin"].as_str(), Some("2012-05-04 08:00:00"));
         server.stop();
+    }
+
+    #[test]
+    fn request_headers_are_parsed() {
+        let handler: Handler = Arc::new(|req: &Request| {
+            Response::json(&Value::from(req.header("x-check").unwrap_or("none")))
+        });
+        let server = Server::start("127.0.0.1:0", 1, handler).unwrap();
+        let (status, _, body) =
+            http_get_with_headers(server.addr(), "/", &[("X-Check", "yes")]).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "\"yes\"");
+    }
+
+    #[test]
+    fn response_extra_headers_round_trip() {
+        let handler: Handler = Arc::new(|_req: &Request| {
+            Response::json(&Value::Null).with_header("X-Pilgrim-Stale", "3")
+        });
+        let server = Server::start("127.0.0.1:0", 1, handler).unwrap();
+        let (status, headers, _) = http_get_with_headers(server.addr(), "/", &[]).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            headers.iter().find(|(k, _)| k == "x-pilgrim-stale").map(|(_, v)| v.as_str()),
+            Some("3")
+        );
     }
 
     #[test]

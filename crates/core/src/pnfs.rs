@@ -71,6 +71,9 @@ pub enum PnfsError {
     Sim(SimError),
     /// `select_fastest` needs at least one hypothesis.
     NoHypotheses,
+    /// An engine-internal failure (e.g. a coalesced computation
+    /// panicked); surfaces as a 500 at the REST layer.
+    Internal(String),
 }
 
 impl std::fmt::Display for PnfsError {
@@ -81,6 +84,7 @@ impl std::fmt::Display for PnfsError {
             PnfsError::BadSize(s) => write!(f, "invalid transfer size {s}"),
             PnfsError::Sim(e) => write!(f, "simulation error: {e}"),
             PnfsError::NoHypotheses => write!(f, "no hypotheses given"),
+            PnfsError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -101,6 +105,7 @@ impl From<ForecastError> for PnfsError {
             ForecastError::BadSize(s) => PnfsError::BadSize(s),
             ForecastError::Sim(s) => PnfsError::Sim(s),
             ForecastError::NoHypotheses => PnfsError::NoHypotheses,
+            ForecastError::Internal(msg) => PnfsError::Internal(msg),
         }
     }
 }
@@ -144,8 +149,10 @@ impl Pnfs {
     /// the paper's original serving behavior, kept as the comparison
     /// baseline.
     pub fn sequential_reference(config: NetworkConfig) -> Self {
-        let engine =
-            ForecastEngine::with_engine_config(config, EngineConfig { workers: 1, cache_capacity: 1 });
+        let engine = ForecastEngine::with_engine_config(
+            config,
+            EngineConfig { workers: 1, cache_capacity: 1, ..EngineConfig::default() },
+        );
         Pnfs { engine, sequential: true }
     }
 
@@ -241,6 +248,57 @@ impl Pnfs {
             predictions,
             pruned: sel.pruned.clone(),
         })
+    }
+
+    /// Degraded-mode predict: the freshest retained stale-epoch answer
+    /// for this exact query, with its epoch lag, if the engine's cache
+    /// kept one (requires a nonzero `stale_retention`). No simulation.
+    pub fn predict_stale(
+        &self,
+        platform: &str,
+        requests: &[TransferRequest],
+    ) -> Option<(Vec<Prediction>, u64)> {
+        let (durations, lag) = self.engine.predict_stale(platform, requests)?;
+        let preds = requests
+            .iter()
+            .zip(durations.iter())
+            .map(|(r, d)| Prediction {
+                src: r.src.clone(),
+                dst: r.dst.clone(),
+                size: r.size,
+                duration: *d,
+            })
+            .collect();
+        Some((preds, lag))
+    }
+
+    /// Degraded-mode select: the freshest retained stale-epoch answer
+    /// for this exact hypothesis set, with its epoch lag. No simulation.
+    pub fn select_fastest_stale(
+        &self,
+        platform: &str,
+        hypotheses: &[Vec<TransferRequest>],
+    ) -> Option<(FastestSelection, u64)> {
+        let (sel, lag) = self.engine.select_fastest_stale(platform, hypotheses)?;
+        let predictions = hypotheses[sel.best]
+            .iter()
+            .zip(sel.durations.iter())
+            .map(|(r, d)| Prediction {
+                src: r.src.clone(),
+                dst: r.dst.clone(),
+                size: r.size,
+                duration: *d,
+            })
+            .collect();
+        Some((
+            FastestSelection {
+                best: sel.best,
+                best_makespan: sel.best_makespan,
+                predictions,
+                pruned: sel.pruned.clone(),
+            },
+            lag,
+        ))
     }
 
     // ------------------------------------------------------------------

@@ -38,8 +38,23 @@ impl PilgrimService {
 
     /// Adapts the service into an HTTP handler.
     pub fn into_handler(self) -> Handler {
-        let svc = Arc::new(self);
+        PilgrimService::handler_from(Arc::new(self))
+    }
+
+    /// An HTTP handler over a shared service — the caller keeps its
+    /// `Arc` for epoch control and statistics while the server serves.
+    pub fn handler_from(svc: Arc<PilgrimService>) -> Handler {
         Arc::new(move |req: &Request| svc.handle(req))
+    }
+
+    /// The degraded-mode fallback handler for shed connections: forecast
+    /// queries whose exact question has a retained stale-epoch answer
+    /// get it (200 + `X-Pilgrim-Stale: <epoch-lag>`, body rendered
+    /// identically to a fresh answer); everything else is refused with
+    /// the usual 503. Install via `Server::start_with(…, Some(fallback))`
+    /// together with a nonzero `stale_retention` on the engine.
+    pub fn stale_handler(svc: Arc<PilgrimService>) -> Handler {
+        Arc::new(move |req: &Request| svc.handle_shed(req))
     }
 
     /// Routes one request.
@@ -114,67 +129,50 @@ impl PilgrimService {
     }
 
     fn handle_predict(&self, platform: &str, req: &Request) -> Response {
-        let specs = req.params_named("transfer");
-        if specs.is_empty() {
-            return Response::error(400, "at least one 'transfer' parameter required");
-        }
-        let mut requests = Vec::with_capacity(specs.len());
-        for s in specs {
-            match parse_transfer(s) {
-                Some(t) => requests.push(t),
-                None => {
-                    return Response::error(
-                        400,
-                        &format!("malformed transfer '{s}' (want src,dst,size)"),
-                    )
-                }
-            }
-        }
+        let requests = match parse_predict_params(req) {
+            Ok(r) => r,
+            Err(resp) => return resp,
+        };
         match self.pnfs.predict(platform, &requests) {
-            Ok(preds) => {
-                let arr: Vec<Value> = preds.iter().map(|p| p.to_json()).collect();
-                Response::json(&Value::Array(arr))
-            }
+            Ok(preds) => render_predictions(&preds),
             Err(e) => pnfs_error_response(e),
         }
     }
 
     fn handle_select(&self, platform: &str, req: &Request) -> Response {
-        let raw = req.params_named("hypothesis");
-        if raw.is_empty() {
-            return Response::error(400, "at least one 'hypothesis' parameter required");
-        }
-        let mut hypotheses = Vec::with_capacity(raw.len());
-        for h in raw {
-            let mut transfers = Vec::new();
-            for part in h.split(';').filter(|p| !p.is_empty()) {
-                match parse_transfer(part) {
-                    Some(t) => transfers.push(t),
-                    None => {
-                        return Response::error(
-                            400,
-                            &format!("malformed transfer '{part}' in hypothesis"),
-                        )
-                    }
-                }
-            }
-            hypotheses.push(transfers);
-        }
+        let hypotheses = match parse_hypotheses(req) {
+            Ok(h) => h,
+            Err(resp) => return resp,
+        };
         match self.pnfs.select_fastest(platform, &hypotheses) {
-            Ok(sel) => Response::json(&Value::object(vec![
-                ("best", Value::from(sel.best as i64)),
-                ("makespan", Value::from(sel.best_makespan)),
-                (
-                    "predictions",
-                    Value::Array(sel.predictions.iter().map(|p| p.to_json()).collect()),
-                ),
-                (
-                    "pruned",
-                    Value::Array(sel.pruned.iter().map(|&i| Value::from(i as i64)).collect()),
-                ),
-            ])),
+            Ok(sel) => render_selection(&sel),
             Err(e) => pnfs_error_response(e),
         }
+    }
+
+    /// Degraded-mode routing for shed connections (see
+    /// [`PilgrimService::stale_handler`]): answer forecast queries from
+    /// retained stale-epoch cache entries when possible, refuse the rest.
+    fn handle_shed(&self, req: &Request) -> Response {
+        let path = req.path.trim_end_matches('/');
+        if let Some(platform) = path.strip_prefix("/pilgrim/predict_transfers/") {
+            if let Ok(requests) = parse_predict_params(req) {
+                if let Some((preds, lag)) = self.pnfs.predict_stale(platform, &requests) {
+                    return render_predictions(&preds)
+                        .with_header("X-Pilgrim-Stale", &lag.to_string());
+                }
+            }
+        }
+        if let Some(platform) = path.strip_prefix("/pilgrim/select_fastest/") {
+            if let Ok(hypotheses) = parse_hypotheses(req) {
+                if let Some((sel, lag)) = self.pnfs.select_fastest_stale(platform, &hypotheses) {
+                    return render_selection(&sel)
+                        .with_header("X-Pilgrim-Stale", &lag.to_string());
+                }
+            }
+        }
+        self.pnfs.engine().note_shed();
+        Response::overloaded(1)
     }
 
     /// §VI workflow endpoint. Tasks are declared positionally:
@@ -243,6 +241,78 @@ impl PilgrimService {
     }
 }
 
+/// Parses the repeated `transfer=src,dst,size` parameters of a predict
+/// query; a malformed request yields the 400 to send back.
+fn parse_predict_params(req: &Request) -> Result<Vec<TransferRequest>, Response> {
+    let specs = req.params_named("transfer");
+    if specs.is_empty() {
+        return Err(Response::error(400, "at least one 'transfer' parameter required"));
+    }
+    let mut requests = Vec::with_capacity(specs.len());
+    for s in specs {
+        match parse_transfer(s) {
+            Some(t) => requests.push(t),
+            None => {
+                return Err(Response::error(
+                    400,
+                    &format!("malformed transfer '{s}' (want src,dst,size)"),
+                ))
+            }
+        }
+    }
+    Ok(requests)
+}
+
+/// Parses the repeated `hypothesis=src,dst,size[;…]` parameters of a
+/// selection query.
+fn parse_hypotheses(req: &Request) -> Result<Vec<Vec<TransferRequest>>, Response> {
+    let raw = req.params_named("hypothesis");
+    if raw.is_empty() {
+        return Err(Response::error(400, "at least one 'hypothesis' parameter required"));
+    }
+    let mut hypotheses = Vec::with_capacity(raw.len());
+    for h in raw {
+        let mut transfers = Vec::new();
+        for part in h.split(';').filter(|p| !p.is_empty()) {
+            match parse_transfer(part) {
+                Some(t) => transfers.push(t),
+                None => {
+                    return Err(Response::error(
+                        400,
+                        &format!("malformed transfer '{part}' in hypothesis"),
+                    ))
+                }
+            }
+        }
+        hypotheses.push(transfers);
+    }
+    Ok(hypotheses)
+}
+
+/// Renders a predict answer. Fresh and stale paths share this, so a
+/// stale 200 body is byte-identical to the fresh body of the same
+/// cached result.
+fn render_predictions(preds: &[crate::pnfs::Prediction]) -> Response {
+    let arr: Vec<Value> = preds.iter().map(|p| p.to_json()).collect();
+    Response::json(&Value::Array(arr))
+}
+
+/// Renders a selection answer (shared by the fresh and stale paths).
+fn render_selection(sel: &crate::pnfs::FastestSelection) -> Response {
+    Response::json(&Value::object(vec![
+        ("best", Value::from(sel.best as i64)),
+        ("makespan", Value::from(sel.best_makespan)),
+        (
+            "predictions",
+            Value::Array(sel.predictions.iter().map(|p| p.to_json()).collect()),
+        ),
+        (
+            "pruned",
+            Value::Array(sel.pruned.iter().map(|&i| Value::from(i as i64)).collect()),
+        ),
+    ]))
+}
+
 /// Parses the paper's `src,dst,size` tuple (size accepts `5e8` notation).
 fn parse_transfer(s: &str) -> Option<TransferRequest> {
     let mut parts = s.split(',');
@@ -260,6 +330,7 @@ fn pnfs_error_response(e: PnfsError) -> Response {
         PnfsError::UnknownPlatform(_) | PnfsError::UnknownHost(_) => {
             Response::error(404, &e.to_string())
         }
+        PnfsError::Internal(_) => Response::error(500, &e.to_string()),
         _ => Response::error(400, &e.to_string()),
     }
 }
@@ -267,7 +338,6 @@ fn pnfs_error_response(e: PnfsError) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::http::parse_query;
     use g5k::{synth, to_simflow, Flavor};
     use rrd::{ArchiveSpec, Cf, Database, DsKind};
     use simflow::NetworkConfig;
@@ -293,11 +363,7 @@ mod tests {
     }
 
     fn get(svc: &PilgrimService, path: &str, query: &str) -> (u16, Value) {
-        let req = Request {
-            method: "GET".into(),
-            path: path.into(),
-            params: parse_query(query),
-        };
+        let req = Request::synthetic(path, query);
         let resp = svc.handle(&req);
         (resp.status, Value::parse(&resp.body).expect("json body"))
     }

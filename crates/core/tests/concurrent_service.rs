@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use g5k::{synth, to_simflow, Flavor};
-use pilgrim_core::http::{http_get, parse_query, Request, Server};
+use pilgrim_core::http::{http_get, Request, Server};
 use pilgrim_core::{Metrology, PilgrimService, Pnfs};
 use simflow::NetworkConfig;
 
@@ -50,11 +50,7 @@ fn scenarios() -> Vec<String> {
 /// parsed request through a sequential-reference service in-process.
 fn reference_body(svc: &PilgrimService, path_and_query: &str) -> String {
     let (path, query) = path_and_query.split_once('?').unwrap();
-    let req = Request {
-        method: "GET".into(),
-        path: path.into(),
-        params: parse_query(query),
-    };
+    let req = Request::synthetic(path, query);
     svc.handle(&req).body
 }
 

@@ -6,7 +6,7 @@
 use forecast::EngineConfig;
 use g5k::{synth, to_simflow, Flavor};
 use jsonlite::Value;
-use pilgrim_core::http::{parse_query, Request};
+use pilgrim_core::http::Request;
 use pilgrim_core::{Metrology, PilgrimService, Pnfs, TransferRequest};
 use rrd::{ArchiveSpec, Cf, Database, DsKind};
 use simflow::NetworkConfig;
@@ -14,7 +14,7 @@ use simflow::NetworkConfig;
 fn pooled_pnfs(workers: usize) -> Pnfs {
     let mut pnfs = Pnfs::with_engine_config(
         NetworkConfig::default(),
-        EngineConfig { workers, cache_capacity: 256 },
+        EngineConfig { workers, cache_capacity: 256, ..EngineConfig::default() },
     );
     pnfs.register_platform("g5k_test", to_simflow(&synth::standard(), Flavor::G5kTest));
     pnfs
@@ -110,8 +110,7 @@ fn service() -> PilgrimService {
 }
 
 fn get(svc: &PilgrimService, path: &str, query: &str) -> (u16, String) {
-    let req =
-        Request { method: "GET".into(), path: path.into(), params: parse_query(query) };
+    let req = Request::synthetic(path, query);
     let resp = svc.handle(&req);
     (resp.status, resp.body)
 }

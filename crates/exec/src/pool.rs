@@ -22,7 +22,7 @@
 //! help-while-wait semantics.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -37,6 +37,9 @@ pub struct WorkerPool {
     rx: Receiver<Job>,
     workers: Vec<JoinHandle<()>>,
     size: usize,
+    /// Job panics swallowed by the pool (fault-injection observability:
+    /// chaos tests assert workers survived exactly the injected panics).
+    panics: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
@@ -44,9 +47,11 @@ impl WorkerPool {
     pub fn new(size: usize) -> WorkerPool {
         let size = size.max(1);
         let (tx, rx) = channel::unbounded::<Job>();
+        let panics = Arc::new(AtomicU64::new(0));
         let workers = (0..size)
             .map(|i| {
                 let rx = rx.clone();
+                let panics = Arc::clone(&panics);
                 std::thread::Builder::new()
                     .name(format!("exec-worker-{i}"))
                     .spawn(move || {
@@ -54,13 +59,15 @@ impl WorkerPool {
                             // A panicking job must not take the worker
                             // down; scopes observe the panic through
                             // their own wrapper (see `Scope::spawn`).
-                            let _ = catch_unwind(AssertUnwindSafe(job));
+                            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     })
                     .expect("spawn worker thread")
             })
             .collect();
-        WorkerPool { tx: Some(tx), rx, workers, size }
+        WorkerPool { tx: Some(tx), rx, workers, size, panics }
     }
 
     /// A pool sized to the machine: `available_parallelism`, at least 1.
@@ -72,6 +79,12 @@ impl WorkerPool {
     /// Number of worker threads.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Lifetime count of job panics the pool absorbed (workers survive
+    /// every one of them; scoped jobs additionally re-raise at the scope).
+    pub fn panics_caught(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 
     fn sender(&self) -> &Sender<Job> {
@@ -197,7 +210,9 @@ fn wait_all(pool: &WorkerPool, state: &ScopeState) {
         }
         match pool.rx.try_recv() {
             Ok(job) => {
-                let _ = catch_unwind(AssertUnwindSafe(job));
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    pool.panics.fetch_add(1, Ordering::Relaxed);
+                }
             }
             Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {
                 // Nothing to steal; sleep until a job completion pokes
@@ -234,9 +249,11 @@ impl<'env> Scope<'_, 'env> {
     pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
         self.state.pending.fetch_add(1, Ordering::SeqCst);
         let state = Arc::clone(&self.state);
+        let panics = Arc::clone(&self.pool.panics);
         let wrapped = move || {
             let result = catch_unwind(AssertUnwindSafe(job));
             if let Err(payload) = result {
+                panics.fetch_add(1, Ordering::Relaxed);
                 let mut slot = state.panic.lock().unwrap_or_else(|e| e.into_inner());
                 if slot.is_none() {
                     *slot = Some(payload);
@@ -343,6 +360,21 @@ mod tests {
         // ...and the pool still works afterwards
         let sum = pool.map(&[1u64, 2, 3], |_, x| *x).iter().sum::<u64>();
         assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn panics_caught_counts_absorbed_panics() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.panics_caught(), 0);
+        for _ in 0..3 {
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                pool.scope(|s| s.spawn(|| panic!("chaos")));
+            }));
+        }
+        assert_eq!(pool.panics_caught(), 3);
+        // healthy work leaves the counter alone
+        let _ = pool.map(&[1u64, 2], |_, x| *x);
+        assert_eq!(pool.panics_caught(), 3);
     }
 
     #[test]

@@ -86,6 +86,23 @@ impl CacheKey {
             CacheKey::Predict { epoch, .. } | CacheKey::Select { epoch, .. } => *epoch,
         }
     }
+
+    /// Whether `other` asks the same question (same variant, platform
+    /// and canonical payload) at a possibly different epoch — the
+    /// matching notion behind degraded-mode stale serving.
+    fn same_query(&self, other: &CacheKey) -> bool {
+        match (self, other) {
+            (
+                CacheKey::Predict { platform: p1, transfers: t1, .. },
+                CacheKey::Predict { platform: p2, transfers: t2, .. },
+            ) => p1 == p2 && t1 == t2,
+            (
+                CacheKey::Select { platform: p1, hypotheses: h1, .. },
+                CacheKey::Select { platform: p2, hypotheses: h2, .. },
+            ) => p1 == p2 && h1 == h2,
+            _ => false,
+        }
+    }
 }
 
 /// A cached forecast result.
@@ -117,6 +134,11 @@ struct Inner {
     free: Vec<usize>,
     head: usize,
     tail: usize,
+    /// Insertions since the last periodic purge.
+    inserts_since_purge: usize,
+    /// Highest epoch seen on any inserted key: the "current" epoch the
+    /// periodic purge measures staleness against.
+    latest_epoch: u64,
 }
 
 impl Inner {
@@ -153,19 +175,53 @@ impl Inner {
         self.entries[idx].value = None;
         self.free.push(idx);
     }
+
+    /// Drops every entry whose epoch is more than `retention` behind
+    /// `current`.
+    fn purge(&mut self, current: u64, retention: u64) {
+        let stale: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|(k, _)| k.epoch().saturating_add(retention) < current)
+            .map(|(_, &idx)| idx)
+            .collect();
+        for idx in stale {
+            self.remove(idx);
+        }
+    }
 }
+
+/// Insertions between periodic purges: frequent enough that stale
+/// entries cannot pile up between epoch bumps under a steady insert
+/// stream, rare enough that the O(n) scan is amortized away.
+const PURGE_EVERY_INSERTS: usize = 64;
 
 /// A bounded, thread-safe forecast cache with LRU eviction.
 pub struct ForecastCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    /// Epochs of slack before a stale entry is purged: `0` (the
+    /// default) purges everything but the current epoch; degraded-mode
+    /// serving keeps a few old epochs around to answer from when
+    /// shedding.
+    retention: u64,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
+    stale_served: AtomicU64,
+    shed: AtomicU64,
 }
 
 impl ForecastCache {
-    /// A cache holding at most `capacity` entries (LRU eviction).
+    /// A cache holding at most `capacity` entries (LRU eviction), with
+    /// no stale retention.
     pub fn new(capacity: usize) -> ForecastCache {
+        ForecastCache::with_retention(capacity, 0)
+    }
+
+    /// A cache keeping entries up to `retention` epochs behind the
+    /// current one across purges (degraded-mode stale serving).
+    pub fn with_retention(capacity: usize, retention: u64) -> ForecastCache {
         ForecastCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
@@ -173,10 +229,16 @@ impl ForecastCache {
                 free: Vec::new(),
                 head: NIL,
                 tail: NIL,
+                inserts_since_purge: 0,
+                latest_epoch: 0,
             }),
             capacity: capacity.max(1),
+            retention,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            stale_served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         }
     }
 
@@ -198,10 +260,49 @@ impl ForecastCache {
         }
     }
 
+    /// Looks a key up without counting or promoting. The singleflight
+    /// double-check uses this: it must not skew hit/miss statistics or
+    /// recency for a lookup the caller already accounted.
+    pub fn peek(&self, key: &CacheKey) -> Option<CachedResult> {
+        let inner = self.inner.lock();
+        inner.map.get(key).and_then(|&idx| inner.entries[idx].value.clone())
+    }
+
+    /// Degraded-mode lookup: the freshest retained entry answering the
+    /// *same query* as `fresh` at an older epoch, with its epoch lag.
+    /// Counts a stale serve (not a hit) and promotes the entry.
+    pub fn get_stale(&self, fresh: &CacheKey) -> Option<(CachedResult, u64)> {
+        let fresh_epoch = fresh.epoch();
+        let mut inner = self.inner.lock();
+        let mut best: Option<(usize, u64)> = None;
+        for (k, &idx) in inner.map.iter() {
+            let e = k.epoch();
+            if e < fresh_epoch && k.same_query(fresh) && best.is_none_or(|(_, be)| e > be) {
+                best = Some((idx, e));
+            }
+        }
+        let (idx, e) = best?;
+        inner.unlink(idx);
+        inner.push_front(idx);
+        let value = inner.entries[idx].value.clone()?;
+        self.stale_served.fetch_add(1, Ordering::Relaxed);
+        Some((value, fresh_epoch - e))
+    }
+
     /// Inserts a result, evicting the least-recently-used entry when
-    /// full.
+    /// full. Every [`PURGE_EVERY_INSERTS`] insertions the cache also
+    /// purges entries stale relative to the highest epoch it has seen,
+    /// so stale results are reclaimed even if nobody calls
+    /// [`ForecastCache::purge_stale`].
     pub fn insert(&self, key: CacheKey, value: CachedResult) {
         let mut inner = self.inner.lock();
+        inner.latest_epoch = inner.latest_epoch.max(key.epoch());
+        inner.inserts_since_purge += 1;
+        if inner.inserts_since_purge >= PURGE_EVERY_INSERTS {
+            inner.inserts_since_purge = 0;
+            let current = inner.latest_epoch;
+            inner.purge(current, self.retention);
+        }
         if inner.map.contains_key(&key) {
             // A racing query computed the same forecast; results are
             // deterministic, keep the existing entry.
@@ -228,20 +329,14 @@ impl ForecastCache {
         inner.push_front(idx);
     }
 
-    /// Drops every entry computed under an epoch older than `current`.
-    /// Lookups already miss such entries (the epoch is part of the key);
-    /// this reclaims their memory.
+    /// Drops every entry more than the retention window behind
+    /// `current`. Fresh lookups already miss old entries (the epoch is
+    /// part of the key); this reclaims their memory, keeping up to the
+    /// configured number of trailing epochs for stale serving.
     pub fn purge_stale(&self, current: u64) {
         let mut inner = self.inner.lock();
-        let stale: Vec<usize> = inner
-            .map
-            .iter()
-            .filter(|(k, _)| k.epoch() != current)
-            .map(|(_, &idx)| idx)
-            .collect();
-        for idx in stale {
-            inner.remove(idx);
-        }
+        inner.latest_epoch = inner.latest_epoch.max(current);
+        inner.purge(current, self.retention);
     }
 
     /// Number of live entries.
@@ -262,6 +357,33 @@ impl ForecastCache {
     /// Lifetime miss count.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Records a request that joined an in-flight computation instead of
+    /// re-simulating (singleflight).
+    pub fn note_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests coalesced onto in-flight computations so far.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Stale-epoch answers served so far (degraded mode).
+    pub fn stale_served(&self) -> u64 {
+        self.stale_served.load(Ordering::Relaxed)
+    }
+
+    /// Records a request shed by admission control without an answer
+    /// from this cache.
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests shed so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 }
 
@@ -360,5 +482,85 @@ mod tests {
             Some(CachedResult::Predict(v)) => assert_eq!(*v, vec![42.0]),
             other => panic!("hot key lost: {:?}", other.is_some()),
         }
+    }
+
+    #[test]
+    fn peek_neither_counts_nor_promotes() {
+        let cache = ForecastCache::new(2);
+        let a = CacheKey::predict("p", 0, &[spec("a", "b", 1.0)]);
+        let b = CacheKey::predict("p", 0, &[spec("c", "d", 1.0)]);
+        cache.insert(a.clone(), CachedResult::Predict(Arc::new(vec![1.0])));
+        cache.insert(b.clone(), CachedResult::Predict(Arc::new(vec![2.0])));
+        assert!(cache.peek(&a).is_some());
+        assert!(cache.peek(&CacheKey::predict("p", 9, &[])).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0), "peek is statistics-free");
+        // `a` was peeked, not promoted: the next insert still evicts it
+        cache.insert(
+            CacheKey::predict("p", 0, &[spec("e", "f", 1.0)]),
+            CachedResult::Predict(Arc::new(vec![3.0])),
+        );
+        assert!(cache.peek(&a).is_none(), "peek must not refresh recency");
+        assert!(cache.peek(&b).is_some());
+    }
+
+    #[test]
+    fn retention_keeps_trailing_epochs_and_serves_stale() {
+        let cache = ForecastCache::with_retention(16, 2);
+        for e in 0..5u64 {
+            cache.insert(
+                CacheKey::predict("p", e, &[spec("a", "b", 1.0)]),
+                CachedResult::Predict(Arc::new(vec![e as f64])),
+            );
+        }
+        cache.purge_stale(5);
+        assert_eq!(cache.len(), 2, "epochs 3 and 4 sit inside the retention window");
+
+        // stale lookup: freshest retained epoch wins, lag is reported
+        let fresh = CacheKey::predict("p", 5, &[spec("a", "b", 1.0)]);
+        match cache.get_stale(&fresh) {
+            Some((CachedResult::Predict(v), lag)) => {
+                assert_eq!(*v, vec![4.0]);
+                assert_eq!(lag, 1);
+            }
+            other => panic!("expected stale hit, got {:?}", other.map(|(_, l)| l)),
+        }
+        assert_eq!(cache.stale_served(), 1);
+        // a different query has nothing to serve
+        let unknown = CacheKey::predict("p", 5, &[spec("x", "y", 1.0)]);
+        assert!(cache.get_stale(&unknown).is_none());
+        // predict entries never answer select queries
+        let select = CacheKey::select("p", 5, &[vec![spec("a", "b", 1.0)]]);
+        assert!(cache.get_stale(&select).is_none());
+    }
+
+    #[test]
+    fn periodic_purge_reclaims_without_explicit_calls() {
+        let cache = ForecastCache::new(4096);
+        // epoch 0 entries, then a stream of epoch-1 inserts: the periodic
+        // purge must reclaim the epoch-0 entries without purge_stale.
+        for i in 0..8 {
+            cache.insert(
+                CacheKey::predict("p", 0, &[spec("a", "b", i as f64)]),
+                CachedResult::Predict(Arc::new(vec![0.0])),
+            );
+        }
+        for i in 0..70 {
+            cache.insert(
+                CacheKey::predict("p", 1, &[spec("a", "b", i as f64)]),
+                CachedResult::Predict(Arc::new(vec![1.0])),
+            );
+        }
+        let epoch0 = CacheKey::predict("p", 0, &[spec("a", "b", 0.0)]);
+        assert!(cache.peek(&epoch0).is_none(), "periodic purge dropped epoch 0");
+        assert!(cache.len() <= 70);
+    }
+
+    #[test]
+    fn shed_and_coalesced_counters_accumulate() {
+        let cache = ForecastCache::new(4);
+        cache.note_shed();
+        cache.note_shed();
+        cache.note_coalesced();
+        assert_eq!((cache.shed(), cache.coalesced(), cache.stale_served()), (2, 1, 0));
     }
 }

@@ -30,16 +30,42 @@
 //!   conservative than the sequential prune, so every hypothesis the
 //!   replay needs has been simulated, and the returned winner, makespan
 //!   and pruned set are identical to the sequential algorithm's.
+//!
+//! ## Singleflight coalescing
+//!
+//! Concurrent requests for the same canonical [`CacheKey`] (predict
+//! *and* select) are **coalesced**: one request — the *leader* —
+//! computes; the others block on the in-flight computation and receive
+//! the same result. The determinism contract makes this sound: a
+//! forecast is a pure function of `(platform, epoch, canonical query)`,
+//! so the leader's answer *is* every follower's answer, bit for bit —
+//! followers return the identical `Arc`, and upstream JSON rendering is
+//! byte-identical to what each would have computed alone.
+//!
+//! The handoff is panic-safe: if the leader's computation panics, a drop
+//! guard publishes an [`ForecastError::Internal`] outcome to the waiting
+//! followers (no hang, no poisoned lock) while the panic keeps
+//! propagating to the leader's caller. Error outcomes are shared with
+//! the followers of the same flight but never cached, so the next
+//! request retries the computation. Successful leaders insert into the
+//! cache *before* retiring the flight, so a key absent from both the
+//! cache and the flight table is guaranteed uncomputed — the
+//! double-check in `coalesce` relies on exactly that ordering.
 
+use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+// The singleflight table needs a condvar, which the available
+// parking_lot build does not provide — std::sync with explicit
+// poison-recovery (the exec pool does the same).
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use parking_lot::RwLock;
 use simflow::{NetworkConfig, Platform, SimError};
 
 use crate::cache::{CacheKey, CachedResult, ForecastCache};
+use crate::faults::FaultInjector;
 use crate::pool::WorkerPool;
 use crate::session::{BackgroundFlow, ResolvedSpec, Session};
 
@@ -67,6 +93,10 @@ pub enum ForecastError {
     Sim(SimError),
     /// `select_fastest` needs at least one hypothesis.
     NoHypotheses,
+    /// An engine-internal failure (e.g. a coalesced leader computation
+    /// panicked); followers of a dead flight receive this instead of
+    /// hanging.
+    Internal(String),
 }
 
 impl fmt::Display for ForecastError {
@@ -77,6 +107,7 @@ impl fmt::Display for ForecastError {
             ForecastError::BadSize(s) => write!(f, "invalid transfer size {s}"),
             ForecastError::Sim(e) => write!(f, "simulation error: {e}"),
             ForecastError::NoHypotheses => write!(f, "no hypotheses given"),
+            ForecastError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -111,11 +142,44 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Maximum number of cached forecast results.
     pub cache_capacity: usize,
+    /// Trailing epochs the cache may retain for degraded-mode stale
+    /// serving. `0` (the default) purges everything but the current
+    /// epoch on each bump.
+    pub stale_retention: u64,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { workers: 0, cache_capacity: 4096 }
+        EngineConfig { workers: 0, cache_capacity: 4096, stale_retention: 0 }
+    }
+}
+
+/// One in-flight coalesced computation: followers block on the condvar
+/// until the leader (or its panic guard) publishes an outcome.
+#[derive(Default)]
+struct Flight {
+    outcome: StdMutex<Option<Result<CachedResult, ForecastError>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) -> Result<CachedResult, ForecastError> {
+        let mut guard = self.outcome.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = guard.as_ref() {
+                return outcome.clone();
+            }
+            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn complete(&self, outcome: Result<CachedResult, ForecastError>) {
+        let mut guard = self.outcome.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            *guard = Some(outcome);
+        }
+        drop(guard);
+        self.cv.notify_all();
     }
 }
 
@@ -130,6 +194,15 @@ pub struct ForecastEngine {
     cache: ForecastCache,
     /// Background-traffic epoch; bumped on metrology ingestion.
     epoch: AtomicU64,
+    /// Singleflight table: canonical key → the in-flight computation
+    /// concurrent duplicates should join.
+    flights: StdMutex<HashMap<CacheKey, Arc<Flight>>>,
+    /// Leader computations started (cache misses that actually
+    /// simulated) — the counter coalescing tests pin.
+    simulations: AtomicU64,
+    /// Optional chaos hook applied at the start of each leader
+    /// computation.
+    faults: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl ForecastEngine {
@@ -149,8 +222,11 @@ impl ForecastEngine {
             config,
             pool: Arc::new(pool),
             sessions: RwLock::new(HashMap::new()),
-            cache: ForecastCache::new(engine.cache_capacity),
+            cache: ForecastCache::with_retention(engine.cache_capacity, engine.stale_retention),
             epoch: AtomicU64::new(0),
+            flights: StdMutex::new(HashMap::new()),
+            simulations: AtomicU64::new(0),
+            faults: RwLock::new(None),
         }
     }
 
@@ -264,6 +340,127 @@ impl ForecastEngine {
         self.cache.len()
     }
 
+    /// Requests that joined an in-flight computation instead of
+    /// re-simulating.
+    pub fn coalesced(&self) -> u64 {
+        self.cache.coalesced()
+    }
+
+    /// Stale-epoch answers served (degraded mode).
+    pub fn stale_served(&self) -> u64 {
+        self.cache.stale_served()
+    }
+
+    /// Records a request shed by admission control (counter lives with
+    /// the other serving statistics on the cache).
+    pub fn note_shed(&self) {
+        self.cache.note_shed();
+    }
+
+    /// Requests shed by admission control.
+    pub fn shed(&self) -> u64 {
+        self.cache.shed()
+    }
+
+    /// Leader computations started so far: each cache miss that actually
+    /// reached simulation counts once, however many followers coalesced
+    /// onto it.
+    pub fn simulations(&self) -> u64 {
+        self.simulations.load(Ordering::SeqCst)
+    }
+
+    /// Installs (or clears) the chaos hook applied at the start of every
+    /// leader computation. Testing only; serving runs with `None`.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.faults.write() = injector;
+    }
+
+    /// Marks the start of a leader computation: counts it and applies
+    /// the installed fault, if any (which may sleep or panic here).
+    fn begin_simulation(&self) {
+        self.simulations.fetch_add(1, Ordering::SeqCst);
+        let injector = self.faults.read().clone();
+        if let Some(inj) = injector {
+            inj.step();
+        }
+    }
+
+    /// Runs `compute` under singleflight: the first request for `key`
+    /// becomes the leader and computes; concurrent duplicates block and
+    /// share its outcome. See the module docs for the panic-handoff and
+    /// cache-ordering invariants.
+    fn coalesce(
+        &self,
+        key: CacheKey,
+        compute: impl FnOnce() -> Result<CachedResult, ForecastError>,
+    ) -> Result<CachedResult, ForecastError> {
+        let existing = {
+            let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+            // Double-check under the flights lock: a finishing leader
+            // inserts into the cache *before* retiring its flight, so a
+            // key absent from both is genuinely uncomputed.
+            if let Some(cached) = self.cache.peek(&key) {
+                return Ok(cached);
+            }
+            match flights.entry(key.clone()) {
+                MapEntry::Occupied(e) => Some(Arc::clone(e.get())),
+                MapEntry::Vacant(v) => {
+                    v.insert(Arc::new(Flight::default()));
+                    None
+                }
+            }
+        };
+        if let Some(flight) = existing {
+            self.cache.note_coalesced();
+            return flight.wait();
+        }
+
+        // Leader. The guard keeps followers safe against a panicking
+        // computation: its Drop publishes an Internal outcome and retires
+        // the flight while the panic continues to the leader's caller.
+        struct LeaderGuard<'a> {
+            engine: &'a ForecastEngine,
+            key: &'a CacheKey,
+            done: bool,
+        }
+        impl Drop for LeaderGuard<'_> {
+            fn drop(&mut self) {
+                if !self.done {
+                    self.engine.finish_flight(
+                        self.key,
+                        Err(ForecastError::Internal(
+                            "coalesced forecast computation panicked".into(),
+                        )),
+                    );
+                }
+            }
+        }
+        let mut guard = LeaderGuard { engine: self, key: &key, done: false };
+        let result = compute();
+        guard.done = true;
+        drop(guard);
+        if let Ok(value) = &result {
+            // Cache before retiring the flight (the double-check above
+            // depends on this order). Errors are shared with this
+            // flight's followers but never cached: the next request
+            // retries.
+            self.cache.insert(key.clone(), value.clone());
+        }
+        self.finish_flight(&key, result.clone());
+        result
+    }
+
+    /// Retires a flight, waking its followers with `outcome`.
+    fn finish_flight(&self, key: &CacheKey, outcome: Result<CachedResult, ForecastError>) {
+        let flight = {
+            let mut flights = self.flights.lock().unwrap_or_else(|e| e.into_inner());
+            flights.remove(key)
+        };
+        if let Some(f) = flight {
+            f.complete(outcome);
+        }
+    }
+
     /// Predicted completion times (seconds) of a set of concurrent
     /// transfers, in request order. Cached per epoch; sharded across the
     /// pool by link-disjoint components.
@@ -278,13 +475,23 @@ impl ForecastEngine {
         if let Some(CachedResult::Predict(d)) = self.cache.get(&key) {
             return Ok(d);
         }
+        // Validation errors are cheap and per-request; only the actual
+        // simulation goes through singleflight.
         let resolved = specs
             .iter()
             .map(|s| session.resolve_spec(s))
             .collect::<Result<Vec<_>, _>>()?;
-        let durations = Arc::new(self.run_batch(&session, &resolved)?);
-        self.cache.insert(key, CachedResult::Predict(Arc::clone(&durations)));
-        Ok(durations)
+        let outcome = self.coalesce(key, || {
+            self.begin_simulation();
+            let durations = Arc::new(self.run_batch(&session, &resolved)?);
+            Ok(CachedResult::Predict(durations))
+        })?;
+        match outcome {
+            CachedResult::Predict(d) => Ok(d),
+            CachedResult::Select(_) => {
+                Err(ForecastError::Internal("predict key yielded a selection".into()))
+            }
+        }
     }
 
     /// Simulates `background ∪ resolved`, sharded by component, returning
@@ -407,11 +614,29 @@ impl ForecastEngine {
         if let Some(CachedResult::Select(s)) = self.cache.get(&key) {
             return Ok(s);
         }
+        let outcome = self.coalesce(key, || {
+            self.begin_simulation();
+            let selection = self.compute_selection(&session, hypotheses)?;
+            Ok(CachedResult::Select(Arc::new(selection)))
+        })?;
+        match outcome {
+            CachedResult::Select(s) => Ok(s),
+            CachedResult::Predict(_) => {
+                Err(ForecastError::Internal("select key yielded a prediction".into()))
+            }
+        }
+    }
 
+    /// The wave-parallel selection algorithm (one leader computation).
+    fn compute_selection(
+        &self,
+        session: &Arc<Session>,
+        hypotheses: &[Vec<TransferSpec>],
+    ) -> Result<Selection, ForecastError> {
         let mut order: Vec<(usize, f64)> = hypotheses
             .iter()
             .enumerate()
-            .map(|(i, h)| Ok((i, self.lower_bound(&session, h)?)))
+            .map(|(i, h)| Ok((i, self.lower_bound(session, h)?)))
             .collect::<Result<_, ForecastError>>()?;
         order.sort_by(|a, b| a.1.total_cmp(&b.1));
 
@@ -434,7 +659,7 @@ impl ForecastEngine {
             }
             if wave.len() == width || (k + 1 == order.len() && !wave.is_empty()) {
                 let outs = self.pool.map(&wave, |_, &i| {
-                    self.simulate_hypothesis(&session, &background, &hypotheses[i])
+                    self.simulate_hypothesis(session, &background, &hypotheses[i])
                 });
                 for (&i, out) in wave.iter().zip(outs) {
                     if let Ok((_, mk)) = &out {
@@ -461,7 +686,7 @@ impl ForecastEngine {
                 Some(o) => o,
                 // Unreachable by the conservativeness argument; simulate
                 // inline as a safety net rather than panic in serving.
-                None => self.simulate_hypothesis(&session, &background, &hypotheses[i]),
+                None => self.simulate_hypothesis(session, &background, &hypotheses[i]),
             };
             let (durations, mk) = outcome?;
             let better = best.as_ref().is_none_or(|(_, b, _)| mk < *b);
@@ -471,9 +696,35 @@ impl ForecastEngine {
         }
         let (best, best_makespan, durations) = best.expect("≥1 hypothesis simulated");
         pruned.sort_unstable();
-        let selection = Arc::new(Selection { best, best_makespan, durations, pruned });
-        self.cache.insert(key, CachedResult::Select(Arc::clone(&selection)));
-        Ok(selection)
+        Ok(Selection { best, best_makespan, durations, pruned })
+    }
+
+    /// Degraded-mode lookup: the freshest retained stale answer for this
+    /// predict query, with its epoch lag. No simulation happens here.
+    pub fn predict_stale(
+        &self,
+        platform: &str,
+        specs: &[TransferSpec],
+    ) -> Option<(Arc<Vec<f64>>, u64)> {
+        let key = CacheKey::predict(platform, self.epoch(), specs);
+        match self.cache.get_stale(&key) {
+            Some((CachedResult::Predict(d), lag)) => Some((d, lag)),
+            _ => None,
+        }
+    }
+
+    /// Degraded-mode lookup: the freshest retained stale answer for this
+    /// selection query, with its epoch lag. No simulation happens here.
+    pub fn select_fastest_stale(
+        &self,
+        platform: &str,
+        hypotheses: &[Vec<TransferSpec>],
+    ) -> Option<(Arc<Selection>, u64)> {
+        let key = CacheKey::select(platform, self.epoch(), hypotheses);
+        match self.cache.get_stale(&key) {
+            Some((CachedResult::Select(s), lag)) => Some((s, lag)),
+            _ => None,
+        }
     }
 }
 

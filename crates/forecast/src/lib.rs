@@ -48,8 +48,20 @@
 //! winner and pruned set always match the sequential reference
 //! implementation (`pilgrim_core::Pnfs::select_fastest_reference`).
 
+//! ## Singleflight and degraded serving
+//!
+//! Concurrent duplicate requests are *coalesced* ([`engine`] module
+//! docs): one leader simulates, followers share its `Arc`'d result —
+//! panic-safe, counted, and bit-identical by the determinism contract.
+//! With a nonzero [`EngineConfig::stale_retention`] the cache keeps a
+//! few trailing epochs so an overloaded server can answer from slightly
+//! stale forecasts instead of shedding, and [`faults`] provides the
+//! seed-deterministic fault injection the chaos tests drive all of this
+//! with.
+
 pub mod cache;
 pub mod engine;
+pub mod faults;
 pub mod session;
 
 /// The worker pool now lives in the bottom-layer [`exec`] crate so that
@@ -61,4 +73,5 @@ pub use exec::pool;
 pub use cache::{CacheKey, CachedResult, ForecastCache};
 pub use engine::{EngineConfig, ForecastEngine, ForecastError, Selection, TransferSpec};
 pub use exec::{Scope, WorkerPool};
+pub use faults::{Fault, FaultInjector, FaultPlan};
 pub use session::{BackgroundFlow, ResolvedSpec, Session};

@@ -2,7 +2,12 @@
 //! multi-cluster platform: parallel execution must never change answers,
 //! sessions must actually stay warm, and the epoch must gate the cache.
 
-use forecast::{EngineConfig, ForecastEngine, ForecastError, TransferSpec};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use forecast::{
+    EngineConfig, Fault, FaultInjector, FaultPlan, ForecastEngine, ForecastError, TransferSpec,
+};
 use simflow::platform::builder::PlatformBuilder;
 use simflow::platform::routing::{Element, RoutingKind};
 use simflow::platform::SharingPolicy;
@@ -59,7 +64,7 @@ fn spec(src: &str, dst: &str, size: f64) -> TransferSpec {
 fn engine(workers: usize) -> ForecastEngine {
     let e = ForecastEngine::with_engine_config(
         NetworkConfig::default(),
-        EngineConfig { workers, cache_capacity: 64 },
+        EngineConfig { workers, cache_capacity: 64, ..EngineConfig::default() },
     );
     e.register_platform("twoc", two_clusters());
     e
@@ -233,4 +238,109 @@ fn error_surface_matches_inputs() {
     ));
     // errors are not cached
     assert_eq!(e.cache_len(), 0);
+}
+
+fn hypotheses() -> Vec<Vec<TransferSpec>> {
+    vec![
+        vec![spec("alpha-0", "alpha-1", 5e8), spec("alpha-2", "alpha-3", 2e8)],
+        vec![spec("beta-0", "beta-1", 7e8)],
+        vec![spec("alpha-4", "beta-4", 3e8)],
+    ]
+}
+
+#[test]
+fn concurrent_identical_selects_coalesce_to_one_simulation() {
+    let e = Arc::new(engine(2));
+    // Slow the leader computation down so every follower is parked on
+    // the flight before it completes: deterministic coalescing counts.
+    e.set_fault_injector(Some(Arc::new(FaultInjector::new(
+        FaultPlan::new(0)
+            .force(0, Fault::Delay(Duration::from_millis(500)))
+            .force(1, Fault::Delay(Duration::from_millis(500))),
+    ))));
+    let n = 6;
+    let barrier = Arc::new(Barrier::new(n));
+    let clients: Vec<_> = (0..n)
+        .map(|_| {
+            let e = Arc::clone(&e);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                e.select_fastest("twoc", &hypotheses()).unwrap()
+            })
+        })
+        .collect();
+    let results: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    assert_eq!(e.simulations(), 1, "exactly one leader computation");
+    assert_eq!(e.coalesced(), (n - 1) as u64, "everyone else joined the flight");
+    for r in &results[1..] {
+        assert!(Arc::ptr_eq(r, &results[0]), "followers share the leader's Arc");
+        assert_eq!(**r, *results[0]);
+    }
+    // same for predict: one more simulation, N-1 more coalesces
+    let batch = vec![spec("alpha-0", "beta-3", 5e8)];
+    let barrier = Arc::new(Barrier::new(n));
+    let clients: Vec<_> = (0..n)
+        .map(|_| {
+            let e = Arc::clone(&e);
+            let batch = batch.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                e.predict("twoc", &batch).unwrap()
+            })
+        })
+        .collect();
+    let durations: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    assert_eq!(e.simulations(), 2);
+    assert_eq!(e.coalesced(), 2 * (n - 1) as u64);
+    for d in &durations[1..] {
+        assert_eq!(**d, *durations[0]);
+    }
+}
+
+#[test]
+fn leader_panic_fails_followers_cleanly_and_engine_recovers() {
+    let e = Arc::new(engine(2));
+    // The first leader computation panics after 300 ms — long enough for
+    // every follower to be waiting on the flight when it dies.
+    e.set_fault_injector(Some(Arc::new(FaultInjector::new(
+        FaultPlan::new(0).force(0, Fault::Panic { after: Duration::from_millis(300) }),
+    ))));
+    let n = 5;
+    let barrier = Arc::new(Barrier::new(n));
+    let clients: Vec<_> = (0..n)
+        .map(|_| {
+            let e = Arc::clone(&e);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    e.select_fastest("twoc", &hypotheses())
+                }))
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    // Exactly one caller (the leader) observed the panic itself; every
+    // follower got a clean Internal error — nobody hung.
+    let panicked = outcomes.iter().filter(|o| o.is_err()).count();
+    assert_eq!(panicked, 1, "only the leader's caller sees the panic");
+    for result in outcomes.iter().flatten() {
+        assert!(
+            matches!(result, Err(ForecastError::Internal(_))),
+            "followers of a dead flight get Internal, got {result:?}"
+        );
+    }
+    assert_eq!(e.simulations(), 1);
+    assert_eq!(e.coalesced(), (n - 1) as u64);
+    assert_eq!(e.cache_len(), 0, "a panicked computation caches nothing");
+
+    // No poisoned locks, no wedged flight table: the retry recomputes
+    // (injection point 1 carries no fault) and succeeds.
+    let retry = e.select_fastest("twoc", &hypotheses()).unwrap();
+    assert_eq!(e.simulations(), 2, "retry re-simulates after the panic");
+    let reference = engine(1).select_fastest("twoc", &hypotheses()).unwrap();
+    assert_eq!(retry.best, reference.best);
+    assert_eq!(retry.best_makespan.to_bits(), reference.best_makespan.to_bits());
 }
