@@ -9,7 +9,7 @@ use std::time::Instant;
 
 use exec::WorkerPool;
 use g5k::{synth, to_simflow, Flavor};
-use simflow::{NetworkConfig, Platform, SimTime, SimTuning, Simulation};
+use simflow::{DeadRoutePolicy, NetworkConfig, Platform, SimTime, SimTuning, Simulation};
 
 /// Median wall-clock nanoseconds of `f` over `samples` runs (one warmup).
 pub fn median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
@@ -125,6 +125,39 @@ fn churn(platform: &Platform, n: usize) {
     sim.run().unwrap();
 }
 
+/// Trace-driven platform churn: pair-local transfers whose access links
+/// degrade, recover, and (every eighth pair) fail outright mid-transfer
+/// under the `Stall` policy — stalled flows park until the matched `Up`
+/// revives them. Every capacity event seeds a reshare of the link's
+/// active flows, so this measures the dynamic-platform event path the
+/// static scenarios never touch. All events are matched
+/// (degrade→restore, down→up), so every flow completes.
+fn flapping(platform: &Platform, n: usize) {
+    let hosts: Vec<_> = platform.hosts().collect();
+    let n_pairs = hosts.len() / 2;
+    let mut sim = Simulation::new(platform, NetworkConfig::default());
+    sim.set_dead_route_policy(DeadRoutePolicy::Stall);
+    for k in 0..n {
+        let p = k % n_pairs;
+        let (src, dst) = (hosts[2 * p], hosts[2 * p + 1]);
+        sim.add_transfer(src, dst, 1e8).unwrap();
+        if k < n_pairs {
+            // First visit of the pair: schedule its link's churn. Spread
+            // the instants so events land throughout the flows' lifetime
+            // and only same-phase pairs batch into one reshare.
+            let l = platform.route_hosts(src, dst).unwrap().links[0];
+            let phase = 0.01 * (p % 16) as f64;
+            sim.add_capacity_change(l, 0.5, SimTime::from_secs(0.2 + phase));
+            sim.add_capacity_change(l, 1.0, SimTime::from_secs(1.5 + phase));
+            if p % 8 == 0 {
+                sim.add_link_down(l, SimTime::from_secs(0.8 + phase));
+                sim.add_link_up(l, SimTime::from_secs(1.1 + phase));
+            }
+        }
+    }
+    sim.run().unwrap();
+}
+
 /// One named, self-contained kernel scenario.
 pub struct KernelScenario {
     /// The name under which `BENCH_kernel.json` records the median.
@@ -192,6 +225,11 @@ pub fn kernel_suite() -> Vec<KernelScenario> {
         name: "kernel_mixed_100t_100c".to_string(),
         samples: 9,
         run: Box::new(|p| mixed(p, 100)),
+    });
+    suite.push(KernelScenario {
+        name: "kernel_flapping_grid_400".to_string(),
+        samples: 7,
+        run: Box::new(|p| flapping(p, 400)),
     });
     suite
 }

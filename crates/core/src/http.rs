@@ -3,9 +3,14 @@
 //! The paper: "These services are implemented as REST-style web-services:
 //! transport is HTTP, requests are HTTP GET whose parameters are embedded
 //! in the requested URI. Answers to requests are JSON formatted
-//! documents." That surface — GET, query parameters, JSON bodies,
+//! documents." That surface — query parameters, JSON bodies,
 //! connection-close — is all this module implements: a blocking server
 //! with a crossbeam-channel worker pool, and a matching one-call client.
+//! GET carries every read-side query; POST (same URI-parameter encoding,
+//! no request body) is admitted for the state-changing control endpoints
+//! (`/pilgrim/link_event`). Other methods get 405, and the degraded-mode
+//! shed path stays GET-only — a shed control mutation must fail loudly,
+//! not quietly succeed at a stale answer's price.
 //!
 //! ## Admission control and overload semantics
 //!
@@ -57,7 +62,7 @@ use jsonlite::Value;
 /// A parsed request.
 #[derive(Clone, Debug)]
 pub struct Request {
-    /// HTTP method (only GET is served).
+    /// HTTP method (GET and POST are served).
     pub method: String,
     /// Percent-decoded path, without the query string.
     pub path: String,
@@ -78,6 +83,12 @@ impl Request {
             params: parse_query(query),
             headers: Vec::new(),
         }
+    }
+
+    /// A synthetic POST (tests, in-process routing): same URI-parameter
+    /// encoding as [`Request::synthetic`], POST method.
+    pub fn synthetic_post(path: &str, query: &str) -> Request {
+        Request { method: "POST".into(), ..Request::synthetic(path, query) }
     }
 
     /// First value of a parameter.
@@ -488,7 +499,7 @@ fn serve_connection(mut conn: Conn, handler: &Handler, config: &ServerConfig, st
         }
     }
     let response = match parse_request(&mut conn.stream, config) {
-        Ok(req) if req.method == "GET" => {
+        Ok(req) if req.method == "GET" || req.method == "POST" => {
             match effective_deadline(&req, config) {
                 // Re-checked after parsing, *before* the handler runs:
                 // simulation work never starts for an expired request.
@@ -524,7 +535,9 @@ fn refuse(mut stream: TcpStream, config: &ServerConfig, stats: &ServerStats) {
 
 /// Serves one shed connection on the degraded-mode thread: parse (under
 /// the usual header deadline), offer the request to the fallback
-/// handler, count 200s as stale serves.
+/// handler, count 200s as stale serves. Deliberately GET-only: a shed
+/// POST (a control mutation like a link event) must be refused with the
+/// overload answer, never silently degraded.
 fn serve_shed(mut conn: Conn, fallback: &Handler, config: &ServerConfig, stats: &ServerStats) {
     let response = match parse_request(&mut conn.stream, config) {
         Ok(req) if req.method == "GET" => {
@@ -713,9 +726,26 @@ pub fn http_get_with_headers(
     path_and_query: &str,
     headers: &[(&str, &str)],
 ) -> std::io::Result<ClientAnswer> {
+    http_request(addr, "GET", path_and_query, headers)
+}
+
+/// A one-shot HTTP POST (URI-encoded parameters, empty body), returning
+/// `(status, body)`.
+pub fn http_post(addr: SocketAddr, path_and_query: &str) -> std::io::Result<(u16, String)> {
+    let (status, _, body) = http_request(addr, "POST", path_and_query, &[])?;
+    Ok((status, body))
+}
+
+fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path_and_query: &str,
+    headers: &[(&str, &str)],
+) -> std::io::Result<ClientAnswer> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    let mut req = format!("GET {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    let mut req =
+        format!("{method} {path_and_query} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
     for (k, v) in headers {
         req.push_str(&format!("{k}: {v}\r\n"));
     }
@@ -814,16 +844,33 @@ mod tests {
     }
 
     #[test]
-    fn non_get_is_rejected() {
+    fn unsupported_method_is_rejected() {
         let handler: Handler = Arc::new(|_req: &Request| Response::json(&Value::Null));
         let mut server = Server::start("127.0.0.1:0", 1, handler).unwrap();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         stream
-            .write_all(b"POST / HTTP/1.1\r\nHost: x\r\n\r\n")
+            .write_all(b"PUT / HTTP/1.1\r\nHost: x\r\n\r\n")
             .unwrap();
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
         assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        server.stop();
+    }
+
+    #[test]
+    fn post_round_trip_reaches_the_handler() {
+        let handler: Handler = Arc::new(|req: &Request| {
+            Response::json(&Value::object(vec![
+                ("method", Value::from(req.method.as_str())),
+                ("link", Value::from(req.param("link").unwrap_or(""))),
+            ]))
+        });
+        let mut server = Server::start("127.0.0.1:0", 1, handler).unwrap();
+        let (status, body) = http_post(server.addr(), "/pilgrim/link_event/p?link=bb").unwrap();
+        assert_eq!(status, 200);
+        let v = Value::parse(&body).unwrap();
+        assert_eq!(v["method"].as_str(), Some("POST"));
+        assert_eq!(v["link"].as_str(), Some("bb"));
         server.stop();
     }
 

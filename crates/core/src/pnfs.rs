@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use forecast::{EngineConfig, ForecastEngine, ForecastError};
 use jsonlite::Value;
-use simflow::{NetworkConfig, Platform, SimError, SimTime, Simulation};
+use simflow::{NetworkConfig, Platform, PlatformEventKind, SimError, SimTime, Simulation};
 
 /// One requested transfer: the 3-uple of the paper's API (re-exported
 /// from the `forecast` crate, which owns the canonical definition).
@@ -47,13 +47,17 @@ pub struct Prediction {
 }
 
 impl Prediction {
-    /// Renders the paper's JSON object shape.
+    /// Renders the paper's JSON object shape. A non-finite duration (a
+    /// transfer crossing a failed link never completes) renders as JSON
+    /// `null` — infinity is not representable in JSON.
     pub fn to_json(&self) -> Value {
+        let duration =
+            if self.duration.is_finite() { Value::from(self.duration) } else { Value::Null };
         Value::object(vec![
             ("src", Value::from(self.src.as_str())),
             ("dst", Value::from(self.dst.as_str())),
             ("size", Value::from(self.size)),
-            ("duration", Value::from(self.duration)),
+            ("duration", duration),
         ])
     }
 }
@@ -67,6 +71,10 @@ pub enum PnfsError {
     UnknownHost(String),
     /// A request carries a negative or non-finite size.
     BadSize(f64),
+    /// A link event references a link absent from the platform.
+    UnknownLink(String),
+    /// A link event carries a negative or non-finite capacity factor.
+    BadFactor(f64),
     /// The simulation kernel failed.
     Sim(SimError),
     /// `select_fastest` needs at least one hypothesis.
@@ -82,6 +90,8 @@ impl std::fmt::Display for PnfsError {
             PnfsError::UnknownPlatform(p) => write!(f, "unknown platform '{p}'"),
             PnfsError::UnknownHost(h) => write!(f, "unknown host '{h}'"),
             PnfsError::BadSize(s) => write!(f, "invalid transfer size {s}"),
+            PnfsError::UnknownLink(l) => write!(f, "unknown link '{l}'"),
+            PnfsError::BadFactor(x) => write!(f, "invalid capacity factor {x}"),
             PnfsError::Sim(e) => write!(f, "simulation error: {e}"),
             PnfsError::NoHypotheses => write!(f, "no hypotheses given"),
             PnfsError::Internal(msg) => write!(f, "internal error: {msg}"),
@@ -103,6 +113,8 @@ impl From<ForecastError> for PnfsError {
             ForecastError::UnknownPlatform(p) => PnfsError::UnknownPlatform(p),
             ForecastError::UnknownHost(h) => PnfsError::UnknownHost(h),
             ForecastError::BadSize(s) => PnfsError::BadSize(s),
+            ForecastError::UnknownLink(l) => PnfsError::UnknownLink(l),
+            ForecastError::BadFactor(x) => PnfsError::BadFactor(x),
             ForecastError::Sim(s) => PnfsError::Sim(s),
             ForecastError::NoHypotheses => PnfsError::NoHypotheses,
             ForecastError::Internal(msg) => PnfsError::Internal(msg),
@@ -192,6 +204,21 @@ impl Pnfs {
     /// service ingests new measurement data.
     pub fn bump_epoch(&self) -> u64 {
         self.engine.bump_epoch()
+    }
+
+    /// Applies a serving-time platform event to `link` of `platform`
+    /// (capacity degradation, failure, recovery) and evicts exactly the
+    /// cached forecasts whose routes the event can touch. Returns the
+    /// number of evicted entries. Disjoint queries keep their cache
+    /// entries; route-coupled ones re-simulate via the footprint in the
+    /// cache key (see the `forecast::cache` docs).
+    pub fn link_event(
+        &self,
+        platform: &str,
+        link: &str,
+        kind: PlatformEventKind,
+    ) -> Result<u64, PnfsError> {
+        Ok(self.engine.link_event(platform, link, kind)?)
     }
 
     /// The paper's main service: predicted completion times of a set of
@@ -557,6 +584,57 @@ mod tests {
         assert!(matches!(
             pnfs.select_fastest("g5k_test", &[]),
             Err(PnfsError::NoHypotheses)
+        ));
+    }
+
+    #[test]
+    fn link_event_degrades_and_restores_forecasts() {
+        let pnfs = service();
+        let req = vec![TransferRequest {
+            src: "sagittaire-1.lyon.grid5000.fr".into(),
+            dst: "sagittaire-2.lyon.grid5000.fr".into(),
+            size: 5e8,
+        }];
+        let quiet = pnfs.predict("g5k_test", &req).unwrap()[0].duration;
+
+        pnfs.link_event(
+            "g5k_test",
+            "sagittaire-1.lyon.grid5000.fr-nic",
+            PlatformEventKind::Capacity(0.5),
+        )
+        .unwrap();
+        let degraded = pnfs.predict("g5k_test", &req).unwrap()[0].duration;
+        assert!(degraded > quiet, "half capacity must slow the transfer: {quiet} -> {degraded}");
+
+        pnfs.link_event(
+            "g5k_test",
+            "sagittaire-1.lyon.grid5000.fr-nic",
+            PlatformEventKind::Down,
+        )
+        .unwrap();
+        let dead = pnfs.predict("g5k_test", &req).unwrap()[0].clone();
+        assert!(dead.duration.is_infinite());
+        // JSON cannot carry infinity: a failed transfer renders null.
+        assert!(dead.to_json().to_string().contains(r#""duration":null"#));
+
+        pnfs.link_event("g5k_test", "sagittaire-1.lyon.grid5000.fr-nic", PlatformEventKind::Up)
+            .unwrap();
+        pnfs.link_event(
+            "g5k_test",
+            "sagittaire-1.lyon.grid5000.fr-nic",
+            PlatformEventKind::Capacity(1.0),
+        )
+        .unwrap();
+        let restored = pnfs.predict("g5k_test", &req).unwrap()[0].duration;
+        assert_eq!(restored.to_bits(), quiet.to_bits(), "recovery must be exact");
+
+        assert!(matches!(
+            pnfs.link_event("g5k_test", "ghost", PlatformEventKind::Down),
+            Err(PnfsError::UnknownLink(_))
+        ));
+        assert!(matches!(
+            pnfs.link_event("g5k_test", "sagittaire-1.lyon.grid5000.fr-nic", PlatformEventKind::Capacity(-2.0)),
+            Err(PnfsError::BadFactor(_))
         ));
     }
 

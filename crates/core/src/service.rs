@@ -12,11 +12,19 @@
 //!   — PNFS; answers `[{"src","dst","size","duration"}, …]`;
 //! * `GET /pilgrim/select_fastest/<platform>?hypothesis=src,dst,size[;…]&…`
 //!   — the §VI extension; answers the winning hypothesis;
+//! * `POST /pilgrim/link_event/<platform>?link=…&state=down|up` (or
+//!   `…&factor=0.5`) — serving-time platform dynamics: degrade, fail or
+//!   recover a link. Evicts exactly the cached forecasts whose routes
+//!   the event can touch; answers `{"ok",…,"invalidated"}`. POST-only —
+//!   this mutates serving state, and a GET must never do that;
+//! * `GET /pilgrim/stats` — engine observability: cache, coalescing,
+//!   shed and invalidation counters;
 //! * `GET /pilgrim/platforms` and `GET /pilgrim/rrds` — discovery.
 
 use std::sync::Arc;
 
 use jsonlite::Value;
+use simflow::PlatformEventKind;
 
 use crate::http::{Handler, Request, Response};
 use crate::metrology::{Metrology, MetrologyError};
@@ -57,9 +65,19 @@ impl PilgrimService {
         Arc::new(move |req: &Request| svc.handle_shed(req))
     }
 
-    /// Routes one request.
+    /// Routes one request. The control mutation (`link_event`) demands
+    /// POST; every read-side endpoint demands GET.
     pub fn handle(&self, req: &Request) -> Response {
         let path = req.path.trim_end_matches('/');
+        if let Some(platform) = path.strip_prefix("/pilgrim/link_event/") {
+            if req.method != "POST" {
+                return Response::error(405, "link_event mutates serving state: POST required");
+            }
+            return self.handle_link_event(platform, req);
+        }
+        if req.method != "GET" {
+            return Response::error(405, &format!("method {} not allowed here", req.method));
+        }
         if let Some(rrd_path) = path.strip_prefix("/pilgrim/rrd_update/") {
             return self.handle_rrd_update(rrd_path, req);
         }
@@ -86,6 +104,7 @@ impl PilgrimService {
                     self.metrology.list("").into_iter().map(Value::from).collect();
                 Response::json(&Value::Array(names))
             }
+            "/pilgrim/stats" => self.handle_stats(),
             _ => Response::error(404, &format!("no such endpoint: {path}")),
         }
     }
@@ -148,6 +167,56 @@ impl PilgrimService {
             Ok(sel) => render_selection(&sel),
             Err(e) => pnfs_error_response(e),
         }
+    }
+
+    /// Applies one serving-time platform event: `link` is the platform
+    /// link name; the event is either `state=down` / `state=up` or a
+    /// capacity `factor` (1.0 restores nominal capacity). Exactly one of
+    /// the two forms must be given.
+    fn handle_link_event(&self, platform: &str, req: &Request) -> Response {
+        let Some(link) = req.param("link") else {
+            return Response::error(400, "missing 'link' parameter");
+        };
+        let kind = match (req.param("state"), req.param("factor")) {
+            (Some("down"), None) => PlatformEventKind::Down,
+            (Some("up"), None) => PlatformEventKind::Up,
+            (None, Some(f)) => match f.parse::<f64>() {
+                Ok(x) => PlatformEventKind::Capacity(x),
+                Err(_) => return Response::error(400, &format!("invalid 'factor' '{f}'")),
+            },
+            _ => {
+                return Response::error(
+                    400,
+                    "exactly one of state=down|up or factor=<x> required",
+                )
+            }
+        };
+        match self.pnfs.link_event(platform, link, kind) {
+            Ok(invalidated) => Response::json(&Value::object(vec![
+                ("ok", Value::Bool(true)),
+                ("platform", Value::from(platform)),
+                ("link", Value::from(link)),
+                ("invalidated", Value::from(invalidated as i64)),
+            ])),
+            Err(e) => pnfs_error_response(e),
+        }
+    }
+
+    /// Engine observability counters, one JSON object.
+    fn handle_stats(&self) -> Response {
+        let e = self.pnfs.engine();
+        Response::json(&Value::object(vec![
+            ("epoch", Value::from(e.epoch() as i64)),
+            ("cache_hits", Value::from(e.cache_hits() as i64)),
+            ("cache_misses", Value::from(e.cache_misses() as i64)),
+            ("cache_len", Value::from(e.cache_len() as i64)),
+            ("coalesced", Value::from(e.coalesced() as i64)),
+            ("stale_served", Value::from(e.stale_served() as i64)),
+            ("shed", Value::from(e.shed() as i64)),
+            ("simulations", Value::from(e.simulations() as i64)),
+            ("invalidated_targeted", Value::from(e.invalidated_targeted() as i64)),
+            ("invalidated_epoch", Value::from(e.invalidated_epoch() as i64)),
+        ]))
     }
 
     /// Degraded-mode routing for shed connections (see
@@ -327,7 +396,7 @@ fn parse_transfer(s: &str) -> Option<TransferRequest> {
 
 fn pnfs_error_response(e: PnfsError) -> Response {
     match &e {
-        PnfsError::UnknownPlatform(_) | PnfsError::UnknownHost(_) => {
+        PnfsError::UnknownPlatform(_) | PnfsError::UnknownHost(_) | PnfsError::UnknownLink(_) => {
             Response::error(404, &e.to_string())
         }
         PnfsError::Internal(_) => Response::error(500, &e.to_string()),
@@ -364,6 +433,12 @@ mod tests {
 
     fn get(svc: &PilgrimService, path: &str, query: &str) -> (u16, Value) {
         let req = Request::synthetic(path, query);
+        let resp = svc.handle(&req);
+        (resp.status, Value::parse(&resp.body).expect("json body"))
+    }
+
+    fn post(svc: &PilgrimService, path: &str, query: &str) -> (u16, Value) {
+        let req = Request::synthetic_post(path, query);
         let resp = svc.handle(&req);
         (resp.status, Value::parse(&resp.body).expect("json body"))
     }
@@ -434,6 +509,90 @@ mod tests {
             400
         );
         assert_eq!(get(&svc, "/nope", "").0, 404);
+    }
+
+    #[test]
+    fn link_event_endpoint_degrades_and_restores() {
+        let svc = service();
+        let q = "transfer=sagittaire-1.lyon.grid5000.fr,sagittaire-2.lyon.grid5000.fr,5e8";
+        let (_, quiet) = get(&svc, "/pilgrim/predict_transfers/g5k_test", q);
+        let quiet_d = quiet[0]["duration"].as_f64().unwrap();
+
+        // the event only accepts POST
+        let nic = "sagittaire-1.lyon.grid5000.fr-nic";
+        let ev = format!("link={nic}&state=down");
+        let (status, v) = get(&svc, "/pilgrim/link_event/g5k_test", &ev);
+        assert_eq!(status, 405, "{v}");
+
+        let (status, v) = post(&svc, "/pilgrim/link_event/g5k_test", &ev);
+        assert_eq!(status, 200, "{v}");
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert_eq!(v["invalidated"].as_i64(), Some(1), "the cached predict crosses the nic");
+
+        // a transfer over the dead link cannot complete: duration null
+        let (status, dead) = get(&svc, "/pilgrim/predict_transfers/g5k_test", q);
+        assert_eq!(status, 200, "{dead}");
+        assert!(dead[0]["duration"].is_null(), "{dead}");
+
+        // recovery restores the exact pre-event forecast
+        let (status, _) =
+            post(&svc, "/pilgrim/link_event/g5k_test", &format!("link={nic}&state=up"));
+        assert_eq!(status, 200);
+        let (_, restored) = get(&svc, "/pilgrim/predict_transfers/g5k_test", q);
+        assert_eq!(
+            restored[0]["duration"].as_f64().unwrap().to_bits(),
+            quiet_d.to_bits(),
+            "recovery must be exact"
+        );
+    }
+
+    #[test]
+    fn link_event_endpoint_rejects_malformed_input() {
+        let svc = service();
+        let nic = "sagittaire-1.lyon.grid5000.fr-nic";
+        assert_eq!(post(&svc, "/pilgrim/link_event/g5k_test", "").0, 400);
+        assert_eq!(post(&svc, "/pilgrim/link_event/g5k_test", &format!("link={nic}")).0, 400);
+        assert_eq!(
+            post(&svc, "/pilgrim/link_event/g5k_test", &format!("link={nic}&state=sideways")).0,
+            400
+        );
+        assert_eq!(
+            post(&svc, "/pilgrim/link_event/g5k_test", &format!("link={nic}&state=down&factor=1")).0,
+            400
+        );
+        assert_eq!(
+            post(&svc, "/pilgrim/link_event/g5k_test", &format!("link={nic}&factor=x")).0,
+            400
+        );
+        assert_eq!(
+            post(&svc, "/pilgrim/link_event/g5k_test", &format!("link={nic}&factor=-1")).0,
+            400
+        );
+        assert_eq!(post(&svc, "/pilgrim/link_event/g5k_test", "link=ghost&state=down").0, 404);
+        assert_eq!(post(&svc, "/pilgrim/link_event/nope", &format!("link={nic}&state=down")).0, 404);
+        // POST to a read-side endpoint is refused too
+        assert_eq!(post(&svc, "/pilgrim/platforms", "").0, 405);
+    }
+
+    #[test]
+    fn stats_endpoint_exposes_invalidation_counters() {
+        let svc = service();
+        let q = "transfer=sagittaire-1.lyon.grid5000.fr,sagittaire-2.lyon.grid5000.fr,5e8";
+        get(&svc, "/pilgrim/predict_transfers/g5k_test", q);
+        get(&svc, "/pilgrim/predict_transfers/g5k_test", q);
+        post(
+            &svc,
+            "/pilgrim/link_event/g5k_test",
+            "link=sagittaire-1.lyon.grid5000.fr-nic&factor=0.5",
+        );
+        let (status, v) = get(&svc, "/pilgrim/stats", "");
+        assert_eq!(status, 200, "{v}");
+        assert_eq!(v["simulations"].as_i64(), Some(1));
+        assert_eq!(v["cache_hits"].as_i64(), Some(1));
+        assert_eq!(v["invalidated_targeted"].as_i64(), Some(1));
+        assert_eq!(v["invalidated_epoch"].as_i64(), Some(0));
+        assert!(v["epoch"].as_i64().is_some());
+        assert!(v["shed"].as_i64().is_some());
     }
 
     #[test]

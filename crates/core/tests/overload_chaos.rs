@@ -5,7 +5,10 @@
 //! hang up mid-exchange. The invariants under all of it: no request
 //! hangs, every answer is a defined status, admitted 200 bodies are
 //! bit-identical to the sequential reference, and the engine recovers
-//! completely once the chaos stops.
+//! completely once the chaos stops. The flapping-link test adds platform
+//! dynamics to the mix: links degrade, fail and recover *while* being
+//! simulated, and the answers must converge to the post-event reference
+//! the moment the flapping settles.
 
 use std::io::Write;
 use std::net::TcpStream;
@@ -268,6 +271,101 @@ fn chaos_faults_and_rude_clients_do_not_hang_or_poison_the_engine() {
         assert_eq!(resp.status, 200, "post-chaos query {i} failed: {}", resp.body);
         assert_eq!(resp.body, expected[i], "post-chaos query {i} diverged");
     }
+}
+
+#[test]
+fn flapping_links_mid_serving_converge_to_the_post_event_reference() {
+    let svc = pooled_service(0);
+    let config = ServerConfig { workers: 4, ..ServerConfig::default() };
+    let handler = PilgrimService::handler_from(Arc::clone(&svc));
+    let server = Server::start_with("127.0.0.1:0", config, handler, None).expect("bind");
+    let addr = server.addr();
+
+    // Link A flaps from *inside* the engine: a Fault::Flap point fires
+    // the hook mid-serving, toggling its capacity while other
+    // simulations of routes crossing it are in flight.
+    let flap_link = "sagittaire-2.lyon.grid5000.fr-nic";
+    let hook_svc = Arc::clone(&svc);
+    let injector = Arc::new(FaultInjector::new(FaultPlan::new(0xF1A9).with_flaps(400)));
+    injector.set_flap_hook(Some(Box::new(move |ordinal| {
+        let factor = if ordinal % 2 == 0 { 0.5 } else { 1.0 };
+        hook_svc
+            .pnfs
+            .link_event("g5k_test", flap_link, simflow::PlatformEventKind::Capacity(factor))
+            .expect("flap hook link_event");
+    })));
+    svc.pnfs.engine().set_fault_injector(Some(Arc::clone(&injector)));
+
+    // Link B flaps over the wire: POSTs to the control endpoint race the
+    // forecast GETs through the same server.
+    let down_link = "graphene-1.nancy.grid5000.fr-nic";
+    let scenario_set = Arc::new(scenarios());
+    let togglers: Vec<_> = (0..6)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let state = if t % 2 == 0 { "down" } else { "up" };
+                let (status, body) = pilgrim_core::http::http_post(
+                    addr,
+                    &format!("/pilgrim/link_event/g5k_test?link={down_link}&state={state}"),
+                )
+                .expect("toggle");
+                assert_eq!(status, 200, "{body}");
+            })
+        })
+        .collect();
+    let clients: Vec<_> = (0..24)
+        .map(|c| {
+            let scenario_set = Arc::clone(&scenario_set);
+            std::thread::spawn(move || {
+                let (status, body) =
+                    http_get(addr, &scenario_set[c % scenario_set.len()]).expect("request");
+                // Mid-flap bodies reflect whichever overlay state their
+                // simulation ran under; the invariant here is that every
+                // request is answered, defined, and nothing hangs.
+                assert_eq!(status, 200, "client {c}: {body}");
+            })
+        })
+        .collect();
+    for t in togglers {
+        t.join().expect("toggler thread");
+    }
+    for c in clients {
+        c.join().expect("client thread must terminate — no hangs");
+    }
+    assert!(injector.flaps_injected() >= 1, "the flap rate must actually fire");
+    svc.pnfs.engine().set_fault_injector(None);
+
+    // Pin the platform to a known final state through the control
+    // endpoint: A degraded to 0.5, B fully restored (whatever parity the
+    // chaos ended on).
+    for pin in [
+        format!("/pilgrim/link_event/g5k_test?link={flap_link}&factor=0.5"),
+        format!("/pilgrim/link_event/g5k_test?link={down_link}&state=up"),
+        format!("/pilgrim/link_event/g5k_test?link={down_link}&factor=1"),
+    ] {
+        let (status, body) = pilgrim_core::http::http_post(addr, &pin).expect("pin");
+        assert_eq!(status, 200, "{body}");
+    }
+
+    // Reference: a fresh service that never saw the chaos, with the same
+    // final event applied once. Every admitted answer after the flapping
+    // settles must be bit-identical to it — stale pre-event cache
+    // entries crossing the links must not leak through.
+    let reference = pooled_service(0);
+    reference
+        .pnfs
+        .link_event("g5k_test", flap_link, simflow::PlatformEventKind::Capacity(0.5))
+        .unwrap();
+    for (i, q) in scenario_set.iter().enumerate() {
+        let want = reference_body(reference.as_ref(), q);
+        let (status, body) = http_get(addr, q).expect("post-chaos request");
+        assert_eq!(status, 200, "post-chaos query {i}: {body}");
+        assert_eq!(body, want, "post-chaos query {i} diverged from the post-event reference");
+    }
+    assert!(
+        svc.pnfs.engine().invalidated_targeted() >= 1,
+        "flapping in-use links must evict crossing entries"
+    );
 }
 
 #[test]

@@ -17,6 +17,37 @@
 //! small working set of hot queries (the realistic serving mix — a few
 //! dashboards asking the same questions) survives a long tail of one-off
 //! queries that would have flushed it under FIFO.
+//!
+//! ## Route-aware invalidation
+//!
+//! Serving-time platform events (a link degrading, failing, or
+//! recovering — `ForecastEngine::link_event`) must invalidate exactly
+//! the entries whose answers the event can change, without the epoch
+//! hammer that evicts everything. Two mechanisms split that job:
+//!
+//! * **Correctness** is carried by the key: every key embeds a
+//!   *footprint* — `Session::footprint`'s digest of the link-state
+//!   overlay as seen from the query's route union (through background
+//!   coupling). A query whose routes are component-disjoint from every
+//!   degraded link digests to 0, exactly as before any event, so its
+//!   pre-event entries still hit; a query the event can touch digests
+//!   differently and misses. Because identity overlay entries are
+//!   removed on restore, footprints are **not** monotonic — a restore
+//!   returns the digest to its old value, soundly re-validating the old
+//!   entries (the platform really is back in that state).
+//! * **Memory and observability** are carried by targeted eviction:
+//!   [`ForecastCache::invalidate_link`] walks the entries of the event's
+//!   platform and drops those whose recorded route set crosses the
+//!   resource, counting them as `invalidated_targeted` (the epoch
+//!   hammer's removals count as `invalidated_epoch`). Entries orphaned
+//!   only through background coupling keep their memory until LRU
+//!   reclaims them — they are unreachable by key, never wrong.
+//!
+//! Because footprints are not monotonic, a result computed under one
+//! overlay must not be filed under a key computed from another:
+//! [`ForecastCache::insert_if`] re-checks the session's overlay version
+//! under the cache lock and drops the result on mismatch (the racing
+//! `link_event`'s eviction serializes on the same lock).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,7 +61,8 @@ use crate::engine::{Selection, TransferSpec};
 /// pattern of the size (f64 equality is the wrong notion for keys).
 type CanonicalTransfer = (String, String, u64);
 
-/// Cache key: platform + epoch + canonicalized query.
+/// Cache key: platform + epoch + overlay footprint + canonicalized
+/// query.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum CacheKey {
     /// A `predict_transfers` batch.
@@ -39,6 +71,10 @@ pub enum CacheKey {
         platform: String,
         /// Background-traffic epoch the result was computed under.
         epoch: u64,
+        /// Digest of the link-state overlay as seen from the query's
+        /// routes (0 when no relevant resource is degraded) — see the
+        /// module docs.
+        footprint: u64,
         /// Canonicalized transfer list, in request order (order matters:
         /// answers are positional).
         transfers: Vec<CanonicalTransfer>,
@@ -49,6 +85,9 @@ pub enum CacheKey {
         platform: String,
         /// Background-traffic epoch the result was computed under.
         epoch: u64,
+        /// Digest of the link-state overlay as seen from the query's
+        /// routes (0 when no relevant resource is degraded).
+        footprint: u64,
         /// Canonicalized hypotheses (order matters: the winner is an
         /// index into this list).
         hypotheses: Vec<Vec<CanonicalTransfer>>,
@@ -64,19 +103,31 @@ fn canonicalize(specs: &[TransferSpec]) -> Vec<CanonicalTransfer> {
 
 impl CacheKey {
     /// Key for a predict batch.
-    pub fn predict(platform: &str, epoch: u64, specs: &[TransferSpec]) -> CacheKey {
+    pub fn predict(
+        platform: &str,
+        epoch: u64,
+        footprint: u64,
+        specs: &[TransferSpec],
+    ) -> CacheKey {
         CacheKey::Predict {
             platform: platform.to_string(),
             epoch,
+            footprint,
             transfers: canonicalize(specs),
         }
     }
 
     /// Key for a hypothesis-selection query.
-    pub fn select(platform: &str, epoch: u64, hypotheses: &[Vec<TransferSpec>]) -> CacheKey {
+    pub fn select(
+        platform: &str,
+        epoch: u64,
+        footprint: u64,
+        hypotheses: &[Vec<TransferSpec>],
+    ) -> CacheKey {
         CacheKey::Select {
             platform: platform.to_string(),
             epoch,
+            footprint,
             hypotheses: hypotheses.iter().map(|h| canonicalize(h)).collect(),
         }
     }
@@ -87,19 +138,27 @@ impl CacheKey {
         }
     }
 
-    /// Whether `other` asks the same question (same variant, platform
-    /// and canonical payload) at a possibly different epoch — the
-    /// matching notion behind degraded-mode stale serving.
+    fn platform(&self) -> &str {
+        match self {
+            CacheKey::Predict { platform, .. } | CacheKey::Select { platform, .. } => platform,
+        }
+    }
+
+    /// Whether `other` asks the same question (same variant, platform,
+    /// overlay footprint and canonical payload) at a possibly different
+    /// epoch — the matching notion behind degraded-mode stale serving.
+    /// Footprints must match: an answer computed under a different
+    /// link-state overlay is the wrong answer, not a stale one.
     fn same_query(&self, other: &CacheKey) -> bool {
         match (self, other) {
             (
-                CacheKey::Predict { platform: p1, transfers: t1, .. },
-                CacheKey::Predict { platform: p2, transfers: t2, .. },
-            ) => p1 == p2 && t1 == t2,
+                CacheKey::Predict { platform: p1, footprint: f1, transfers: t1, .. },
+                CacheKey::Predict { platform: p2, footprint: f2, transfers: t2, .. },
+            ) => p1 == p2 && f1 == f2 && t1 == t2,
             (
-                CacheKey::Select { platform: p1, hypotheses: h1, .. },
-                CacheKey::Select { platform: p2, hypotheses: h2, .. },
-            ) => p1 == p2 && h1 == h2,
+                CacheKey::Select { platform: p1, footprint: f1, hypotheses: h1, .. },
+                CacheKey::Select { platform: p2, footprint: f2, hypotheses: h2, .. },
+            ) => p1 == p2 && f1 == f2 && h1 == h2,
             _ => false,
         }
     }
@@ -121,6 +180,10 @@ struct Entry {
     key: CacheKey,
     /// `None` only while the slot sits on the free list.
     value: Option<CachedResult>,
+    /// Sorted, deduplicated solver resource ids of the query's route
+    /// union — what [`ForecastCache::invalidate_link`] matches against.
+    /// `None` for entries inserted without route information.
+    routes: Option<Arc<[u32]>>,
     prev: usize,
     next: usize,
 }
@@ -177,17 +240,19 @@ impl Inner {
     }
 
     /// Drops every entry whose epoch is more than `retention` behind
-    /// `current`.
-    fn purge(&mut self, current: u64, retention: u64) {
+    /// `current`, returning how many were removed.
+    fn purge(&mut self, current: u64, retention: u64) -> u64 {
         let stale: Vec<usize> = self
             .map
             .iter()
             .filter(|(k, _)| k.epoch().saturating_add(retention) < current)
             .map(|(_, &idx)| idx)
             .collect();
+        let n = stale.len() as u64;
         for idx in stale {
             self.remove(idx);
         }
+        n
     }
 }
 
@@ -210,6 +275,10 @@ pub struct ForecastCache {
     coalesced: AtomicU64,
     stale_served: AtomicU64,
     shed: AtomicU64,
+    /// Entries evicted by route-targeted link invalidation.
+    invalidated_targeted: AtomicU64,
+    /// Entries reclaimed by epoch purges (the blanket hammer).
+    invalidated_epoch: AtomicU64,
 }
 
 impl ForecastCache {
@@ -239,6 +308,8 @@ impl ForecastCache {
             coalesced: AtomicU64::new(0),
             stale_served: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            invalidated_targeted: AtomicU64::new(0),
+            invalidated_epoch: AtomicU64::new(0),
         }
     }
 
@@ -295,13 +366,37 @@ impl ForecastCache {
     /// so stale results are reclaimed even if nobody calls
     /// [`ForecastCache::purge_stale`].
     pub fn insert(&self, key: CacheKey, value: CachedResult) {
+        self.insert_if(key, value, None, || true);
+    }
+
+    /// [`ForecastCache::insert`] with route metadata and a validity
+    /// check. `valid` runs under the cache lock immediately before the
+    /// entry is filed; returning `false` drops the result. The engine
+    /// passes a closure comparing the session's overlay version against
+    /// the snapshot its key was computed from — any `link_event` racing
+    /// the computation bumps the version first and evicts under this
+    /// same lock, so a result keyed by a dead footprint can never land
+    /// after the eviction swept past it (see the module docs). `routes`
+    /// (sorted, deduplicated resource ids) makes the entry eligible for
+    /// [`ForecastCache::invalidate_link`].
+    pub fn insert_if(
+        &self,
+        key: CacheKey,
+        value: CachedResult,
+        routes: Option<Arc<[u32]>>,
+        valid: impl FnOnce() -> bool,
+    ) {
         let mut inner = self.inner.lock();
+        if !valid() {
+            return;
+        }
         inner.latest_epoch = inner.latest_epoch.max(key.epoch());
         inner.inserts_since_purge += 1;
         if inner.inserts_since_purge >= PURGE_EVERY_INSERTS {
             inner.inserts_since_purge = 0;
             let current = inner.latest_epoch;
-            inner.purge(current, self.retention);
+            let purged = inner.purge(current, self.retention);
+            self.invalidated_epoch.fetch_add(purged, Ordering::Relaxed);
         }
         if inner.map.contains_key(&key) {
             // A racing query computed the same forecast; results are
@@ -315,18 +410,47 @@ impl ForecastCache {
             }
             inner.remove(victim);
         }
+        let entry = Entry { key: key.clone(), value: Some(value), routes, prev: NIL, next: NIL };
         let idx = match inner.free.pop() {
             Some(idx) => {
-                inner.entries[idx] = Entry { key: key.clone(), value: Some(value), prev: NIL, next: NIL };
+                inner.entries[idx] = entry;
                 idx
             }
             None => {
-                inner.entries.push(Entry { key: key.clone(), value: Some(value), prev: NIL, next: NIL });
+                inner.entries.push(entry);
                 inner.entries.len() - 1
             }
         };
         inner.map.insert(key, idx);
         inner.push_front(idx);
+    }
+
+    /// Route-targeted invalidation: drops every entry of `platform`
+    /// whose recorded route union crosses solver resource `resource`,
+    /// returning how many were evicted (also accumulated into
+    /// [`ForecastCache::invalidated_targeted`]). Entries without route
+    /// metadata are left alone — their footprint keying keeps them
+    /// correct; LRU reclaims their memory.
+    pub fn invalidate_link(&self, platform: &str, resource: u32) -> u64 {
+        let mut inner = self.inner.lock();
+        let victims: Vec<usize> = inner
+            .map
+            .iter()
+            .filter(|(k, &idx)| {
+                k.platform() == platform
+                    && inner.entries[idx]
+                        .routes
+                        .as_ref()
+                        .is_some_and(|r| r.binary_search(&resource).is_ok())
+            })
+            .map(|(_, &idx)| idx)
+            .collect();
+        let n = victims.len() as u64;
+        for idx in victims {
+            inner.remove(idx);
+        }
+        self.invalidated_targeted.fetch_add(n, Ordering::Relaxed);
+        n
     }
 
     /// Drops every entry more than the retention window behind
@@ -336,7 +460,8 @@ impl ForecastCache {
     pub fn purge_stale(&self, current: u64) {
         let mut inner = self.inner.lock();
         inner.latest_epoch = inner.latest_epoch.max(current);
-        inner.purge(current, self.retention);
+        let purged = inner.purge(current, self.retention);
+        self.invalidated_epoch.fetch_add(purged, Ordering::Relaxed);
     }
 
     /// Number of live entries.
@@ -385,6 +510,16 @@ impl ForecastCache {
     pub fn shed(&self) -> u64 {
         self.shed.load(Ordering::Relaxed)
     }
+
+    /// Entries evicted by route-targeted link invalidation so far.
+    pub fn invalidated_targeted(&self) -> u64 {
+        self.invalidated_targeted.load(Ordering::Relaxed)
+    }
+
+    /// Entries reclaimed by epoch purges so far.
+    pub fn invalidated_epoch(&self) -> u64 {
+        self.invalidated_epoch.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -397,21 +532,21 @@ mod tests {
 
     #[test]
     fn canonical_keys_ignore_text_form_but_not_order() {
-        let a = CacheKey::predict("p", 0, &[spec("a", "b", 5e8)]);
-        let b = CacheKey::predict("p", 0, &[spec("a", "b", 500_000_000.0)]);
+        let a = CacheKey::predict("p", 0, 0, &[spec("a", "b", 5e8)]);
+        let b = CacheKey::predict("p", 0, 0, &[spec("a", "b", 500_000_000.0)]);
         assert_eq!(a, b, "5e8 and 500000000 are the same query");
-        let swapped = CacheKey::predict("p", 0, &[spec("b", "a", 5e8)]);
+        let swapped = CacheKey::predict("p", 0, 0, &[spec("b", "a", 5e8)]);
         assert_ne!(a, swapped);
-        let two = CacheKey::predict("p", 0, &[spec("a", "b", 1.0), spec("c", "d", 1.0)]);
-        let two_rev = CacheKey::predict("p", 0, &[spec("c", "d", 1.0), spec("a", "b", 1.0)]);
+        let two = CacheKey::predict("p", 0, 0, &[spec("a", "b", 1.0), spec("c", "d", 1.0)]);
+        let two_rev = CacheKey::predict("p", 0, 0, &[spec("c", "d", 1.0), spec("a", "b", 1.0)]);
         assert_ne!(two, two_rev, "answers are positional; order is part of the key");
     }
 
     #[test]
     fn epoch_is_part_of_the_key() {
         let cache = ForecastCache::new(16);
-        let k0 = CacheKey::predict("p", 0, &[spec("a", "b", 1.0)]);
-        let k1 = CacheKey::predict("p", 1, &[spec("a", "b", 1.0)]);
+        let k0 = CacheKey::predict("p", 0, 0, &[spec("a", "b", 1.0)]);
+        let k1 = CacheKey::predict("p", 1, 0, &[spec("a", "b", 1.0)]);
         cache.insert(k0.clone(), CachedResult::Predict(Arc::new(vec![1.0])));
         assert!(cache.get(&k0).is_some());
         assert!(cache.get(&k1).is_none(), "new epoch must miss");
@@ -423,7 +558,7 @@ mod tests {
         let cache = ForecastCache::new(16);
         for e in 0..4u64 {
             cache.insert(
-                CacheKey::predict("p", e, &[spec("a", "b", e as f64)]),
+                CacheKey::predict("p", e, 0, &[spec("a", "b", e as f64)]),
                 CachedResult::Predict(Arc::new(vec![0.0])),
             );
         }
@@ -431,10 +566,10 @@ mod tests {
         cache.purge_stale(3);
         assert_eq!(cache.len(), 1);
         // list structure stays consistent after the purge
-        let survivor = CacheKey::predict("p", 3, &[spec("a", "b", 3.0)]);
+        let survivor = CacheKey::predict("p", 3, 0, &[spec("a", "b", 3.0)]);
         assert!(cache.get(&survivor).is_some());
         cache.insert(
-            CacheKey::predict("p", 3, &[spec("a", "b", 99.0)]),
+            CacheKey::predict("p", 3, 0, &[spec("a", "b", 99.0)]),
             CachedResult::Predict(Arc::new(vec![9.0])),
         );
         assert_eq!(cache.len(), 2);
@@ -445,15 +580,15 @@ mod tests {
         let cache = ForecastCache::new(3);
         for i in 0..10 {
             cache.insert(
-                CacheKey::predict("p", 0, &[spec("a", "b", i as f64)]),
+                CacheKey::predict("p", 0, 0, &[spec("a", "b", i as f64)]),
                 CachedResult::Predict(Arc::new(vec![i as f64])),
             );
         }
         assert_eq!(cache.len(), 3);
         // with no intervening hits, the newest entries survive
-        let newest = CacheKey::predict("p", 0, &[spec("a", "b", 9.0)]);
+        let newest = CacheKey::predict("p", 0, 0, &[spec("a", "b", 9.0)]);
         assert!(cache.get(&newest).is_some());
-        let oldest = CacheKey::predict("p", 0, &[spec("a", "b", 0.0)]);
+        let oldest = CacheKey::predict("p", 0, 0, &[spec("a", "b", 0.0)]);
         assert!(cache.get(&oldest).is_none());
     }
 
@@ -464,11 +599,11 @@ mod tests {
         // (insertion order alone decides); under LRU the promotions keep
         // it resident through 20 one-off insertions into a 3-entry cache.
         let cache = ForecastCache::new(3);
-        let hot = CacheKey::predict("p", 0, &[spec("hot", "hot", 1.0)]);
+        let hot = CacheKey::predict("p", 0, 0, &[spec("hot", "hot", 1.0)]);
         cache.insert(hot.clone(), CachedResult::Predict(Arc::new(vec![42.0])));
         for i in 0..20 {
             cache.insert(
-                CacheKey::predict("p", 0, &[spec("a", "b", i as f64)]),
+                CacheKey::predict("p", 0, 0, &[spec("a", "b", i as f64)]),
                 CachedResult::Predict(Arc::new(vec![i as f64])),
             );
             assert!(
@@ -487,16 +622,16 @@ mod tests {
     #[test]
     fn peek_neither_counts_nor_promotes() {
         let cache = ForecastCache::new(2);
-        let a = CacheKey::predict("p", 0, &[spec("a", "b", 1.0)]);
-        let b = CacheKey::predict("p", 0, &[spec("c", "d", 1.0)]);
+        let a = CacheKey::predict("p", 0, 0, &[spec("a", "b", 1.0)]);
+        let b = CacheKey::predict("p", 0, 0, &[spec("c", "d", 1.0)]);
         cache.insert(a.clone(), CachedResult::Predict(Arc::new(vec![1.0])));
         cache.insert(b.clone(), CachedResult::Predict(Arc::new(vec![2.0])));
         assert!(cache.peek(&a).is_some());
-        assert!(cache.peek(&CacheKey::predict("p", 9, &[])).is_none());
+        assert!(cache.peek(&CacheKey::predict("p", 9, 0, &[])).is_none());
         assert_eq!((cache.hits(), cache.misses()), (0, 0), "peek is statistics-free");
         // `a` was peeked, not promoted: the next insert still evicts it
         cache.insert(
-            CacheKey::predict("p", 0, &[spec("e", "f", 1.0)]),
+            CacheKey::predict("p", 0, 0, &[spec("e", "f", 1.0)]),
             CachedResult::Predict(Arc::new(vec![3.0])),
         );
         assert!(cache.peek(&a).is_none(), "peek must not refresh recency");
@@ -508,7 +643,7 @@ mod tests {
         let cache = ForecastCache::with_retention(16, 2);
         for e in 0..5u64 {
             cache.insert(
-                CacheKey::predict("p", e, &[spec("a", "b", 1.0)]),
+                CacheKey::predict("p", e, 0, &[spec("a", "b", 1.0)]),
                 CachedResult::Predict(Arc::new(vec![e as f64])),
             );
         }
@@ -516,7 +651,7 @@ mod tests {
         assert_eq!(cache.len(), 2, "epochs 3 and 4 sit inside the retention window");
 
         // stale lookup: freshest retained epoch wins, lag is reported
-        let fresh = CacheKey::predict("p", 5, &[spec("a", "b", 1.0)]);
+        let fresh = CacheKey::predict("p", 5, 0, &[spec("a", "b", 1.0)]);
         match cache.get_stale(&fresh) {
             Some((CachedResult::Predict(v), lag)) => {
                 assert_eq!(*v, vec![4.0]);
@@ -526,10 +661,10 @@ mod tests {
         }
         assert_eq!(cache.stale_served(), 1);
         // a different query has nothing to serve
-        let unknown = CacheKey::predict("p", 5, &[spec("x", "y", 1.0)]);
+        let unknown = CacheKey::predict("p", 5, 0, &[spec("x", "y", 1.0)]);
         assert!(cache.get_stale(&unknown).is_none());
         // predict entries never answer select queries
-        let select = CacheKey::select("p", 5, &[vec![spec("a", "b", 1.0)]]);
+        let select = CacheKey::select("p", 5, 0, &[vec![spec("a", "b", 1.0)]]);
         assert!(cache.get_stale(&select).is_none());
     }
 
@@ -540,19 +675,80 @@ mod tests {
         // purge must reclaim the epoch-0 entries without purge_stale.
         for i in 0..8 {
             cache.insert(
-                CacheKey::predict("p", 0, &[spec("a", "b", i as f64)]),
+                CacheKey::predict("p", 0, 0, &[spec("a", "b", i as f64)]),
                 CachedResult::Predict(Arc::new(vec![0.0])),
             );
         }
         for i in 0..70 {
             cache.insert(
-                CacheKey::predict("p", 1, &[spec("a", "b", i as f64)]),
+                CacheKey::predict("p", 1, 0, &[spec("a", "b", i as f64)]),
                 CachedResult::Predict(Arc::new(vec![1.0])),
             );
         }
-        let epoch0 = CacheKey::predict("p", 0, &[spec("a", "b", 0.0)]);
+        let epoch0 = CacheKey::predict("p", 0, 0, &[spec("a", "b", 0.0)]);
         assert!(cache.peek(&epoch0).is_none(), "periodic purge dropped epoch 0");
         assert!(cache.len() <= 70);
+    }
+
+    #[test]
+    fn insert_if_drops_invalid_results() {
+        let cache = ForecastCache::new(8);
+        let k = CacheKey::predict("p", 0, 7, &[spec("a", "b", 1.0)]);
+        cache.insert_if(
+            k.clone(),
+            CachedResult::Predict(Arc::new(vec![1.0])),
+            None,
+            || false,
+        );
+        assert!(cache.peek(&k).is_none(), "invalid insert must be dropped");
+        cache.insert_if(
+            k.clone(),
+            CachedResult::Predict(Arc::new(vec![1.0])),
+            None,
+            || true,
+        );
+        assert!(cache.peek(&k).is_some());
+    }
+
+    #[test]
+    fn footprint_is_part_of_the_key_and_of_same_query() {
+        let cache = ForecastCache::with_retention(8, 4);
+        let plain = CacheKey::predict("p", 1, 0, &[spec("a", "b", 1.0)]);
+        let degraded = CacheKey::predict("p", 1, 99, &[spec("a", "b", 1.0)]);
+        assert_ne!(plain, degraded);
+        cache.insert(plain, CachedResult::Predict(Arc::new(vec![1.0])));
+        // Stale lookups must not cross footprints: an answer computed
+        // under a different overlay is wrong, not stale.
+        let fresh_degraded = CacheKey::predict("p", 2, 99, &[spec("a", "b", 1.0)]);
+        assert!(cache.get_stale(&fresh_degraded).is_none());
+        let fresh_plain = CacheKey::predict("p", 2, 0, &[spec("a", "b", 1.0)]);
+        assert!(cache.get_stale(&fresh_plain).is_some());
+    }
+
+    #[test]
+    fn invalidate_link_evicts_only_crossing_entries_of_the_platform() {
+        let cache = ForecastCache::new(8);
+        let routes = |r: &[u32]| Some(Arc::from(r));
+        let crossing = CacheKey::predict("p", 0, 0, &[spec("a", "b", 1.0)]);
+        let disjoint = CacheKey::predict("p", 0, 0, &[spec("c", "d", 1.0)]);
+        let other_platform = CacheKey::predict("q", 0, 0, &[spec("a", "b", 1.0)]);
+        let unrouted = CacheKey::predict("p", 0, 0, &[spec("e", "f", 1.0)]);
+        let v = || CachedResult::Predict(Arc::new(vec![0.0]));
+        cache.insert_if(crossing.clone(), v(), routes(&[2, 5, 9]), || true);
+        cache.insert_if(disjoint.clone(), v(), routes(&[1, 3]), || true);
+        cache.insert_if(other_platform.clone(), v(), routes(&[2, 5]), || true);
+        cache.insert_if(unrouted.clone(), v(), None, || true);
+
+        assert_eq!(cache.invalidate_link("p", 5), 1, "only the crossing entry");
+        assert!(cache.peek(&crossing).is_none());
+        assert!(cache.peek(&disjoint).is_some());
+        assert!(cache.peek(&other_platform).is_some(), "platforms are independent");
+        assert!(cache.peek(&unrouted).is_some(), "unrouted entries are spared");
+        assert_eq!(cache.invalidated_targeted(), 1);
+        assert_eq!(cache.invalidate_link("p", 999), 0);
+        // epoch purges count on the other counter
+        cache.purge_stale(1);
+        assert_eq!(cache.invalidated_epoch(), 3);
     }
 
     #[test]

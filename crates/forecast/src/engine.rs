@@ -62,7 +62,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use parking_lot::RwLock;
-use simflow::{NetworkConfig, Platform, SimError};
+use simflow::{NetworkConfig, Platform, PlatformEventKind, SimError};
 
 use crate::cache::{CacheKey, CachedResult, ForecastCache};
 use crate::faults::FaultInjector;
@@ -89,6 +89,10 @@ pub enum ForecastError {
     UnknownHost(String),
     /// A request carries a negative or non-finite size.
     BadSize(f64),
+    /// A link event references a link absent from the platform.
+    UnknownLink(String),
+    /// A link event carries a negative or non-finite capacity factor.
+    BadFactor(f64),
     /// The simulation kernel failed.
     Sim(SimError),
     /// `select_fastest` needs at least one hypothesis.
@@ -105,6 +109,8 @@ impl fmt::Display for ForecastError {
             ForecastError::UnknownPlatform(p) => write!(f, "unknown platform '{p}'"),
             ForecastError::UnknownHost(h) => write!(f, "unknown host '{h}'"),
             ForecastError::BadSize(s) => write!(f, "invalid transfer size {s}"),
+            ForecastError::UnknownLink(l) => write!(f, "unknown link '{l}'"),
+            ForecastError::BadFactor(x) => write!(f, "invalid capacity factor {x}"),
             ForecastError::Sim(e) => write!(f, "simulation error: {e}"),
             ForecastError::NoHypotheses => write!(f, "no hypotheses given"),
             ForecastError::Internal(msg) => write!(f, "internal error: {msg}"),
@@ -388,10 +394,17 @@ impl ForecastEngine {
     /// Runs `compute` under singleflight: the first request for `key`
     /// becomes the leader and computes; concurrent duplicates block and
     /// share its outcome. See the module docs for the panic-handoff and
-    /// cache-ordering invariants.
+    /// cache-ordering invariants. `routes` and `valid` flow into
+    /// [`ForecastCache::insert_if`]: the leader's result is filed with
+    /// the query's route union for targeted invalidation, and only if
+    /// `valid` still holds under the cache lock (the overlay-version
+    /// check closing the race between a computation and a concurrent
+    /// `link_event`).
     fn coalesce(
         &self,
         key: CacheKey,
+        routes: Option<Arc<[u32]>>,
+        valid: impl FnOnce() -> bool,
         compute: impl FnOnce() -> Result<CachedResult, ForecastError>,
     ) -> Result<CachedResult, ForecastError> {
         let existing = {
@@ -444,7 +457,7 @@ impl ForecastEngine {
             // depends on this order). Errors are shared with this
             // flight's followers but never cached: the next request
             // retries.
-            self.cache.insert(key.clone(), value.clone());
+            self.cache.insert_if(key.clone(), value.clone(), routes, valid);
         }
         self.finish_flight(&key, result.clone());
         result
@@ -470,22 +483,31 @@ impl ForecastEngine {
         specs: &[TransferSpec],
     ) -> Result<Arc<Vec<f64>>, ForecastError> {
         let session = self.session(platform)?;
-        let epoch = self.epoch();
-        let key = CacheKey::predict(platform, epoch, specs);
-        if let Some(CachedResult::Predict(d)) = self.cache.get(&key) {
-            return Ok(d);
-        }
-        // Validation errors are cheap and per-request; only the actual
-        // simulation goes through singleflight.
+        // Validation errors are cheap and per-request; resolving up
+        // front also yields the route union the footprint key and
+        // targeted invalidation need.
         let resolved = specs
             .iter()
             .map(|s| session.resolve_spec(s))
             .collect::<Result<Vec<_>, _>>()?;
-        let outcome = self.coalesce(key, || {
-            self.begin_simulation();
-            let durations = Arc::new(self.run_batch(&session, &resolved)?);
-            Ok(CachedResult::Predict(durations))
-        })?;
+        let routes = route_union(&resolved);
+        let epoch = self.epoch();
+        let v0 = session.overlay_version();
+        let key = CacheKey::predict(platform, epoch, session.footprint(&routes), specs);
+        if let Some(CachedResult::Predict(d)) = self.cache.get(&key) {
+            return Ok(d);
+        }
+        let valid_session = Arc::clone(&session);
+        let outcome = self.coalesce(
+            key,
+            Some(routes),
+            move || valid_session.overlay_version() == v0,
+            || {
+                self.begin_simulation();
+                let durations = Arc::new(self.run_batch(&session, &resolved)?);
+                Ok(CachedResult::Predict(durations))
+            },
+        )?;
         match outcome {
             CachedResult::Predict(d) => Ok(d),
             CachedResult::Select(_) => {
@@ -505,17 +527,13 @@ impl ForecastEngine {
         if resolved.is_empty() {
             return Ok(Vec::new());
         }
-        let background = session.background();
+        // Label background ++ requests (the same item order the
+        // monolithic simulation adds them in) against the session's
+        // background-primed connectivity — the background attaches once
+        // per epoch, not once per request batch.
+        let requests: Vec<&[u32]> = resolved.iter().map(|r| r.path.resources.as_slice()).collect();
+        let (background, comp) = session.label_batch(&requests);
         let n_bg = background.len();
-        // Item order: background flows first, then requests — the same
-        // order the monolithic simulation adds them in.
-        let resource_lists: Vec<&[u32]> = background
-            .iter()
-            .map(|b| b.path.resources.as_slice())
-            .chain(resolved.iter().map(|r| r.path.resources.as_slice()))
-            .collect();
-        let comp =
-            simflow::Connectivity::label_batch(session.resource_count(), &resource_lists);
         let n_comp = comp.iter().copied().max().map_or(0, |m| m + 1);
 
         if n_comp <= 1 {
@@ -609,16 +627,29 @@ impl ForecastEngine {
             return Err(ForecastError::NoHypotheses);
         }
         let session = self.session(platform)?;
+        let resolved = hypotheses
+            .iter()
+            .flatten()
+            .map(|s| session.resolve_spec(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        let routes = route_union(&resolved);
         let epoch = self.epoch();
-        let key = CacheKey::select(platform, epoch, hypotheses);
+        let v0 = session.overlay_version();
+        let key = CacheKey::select(platform, epoch, session.footprint(&routes), hypotheses);
         if let Some(CachedResult::Select(s)) = self.cache.get(&key) {
             return Ok(s);
         }
-        let outcome = self.coalesce(key, || {
-            self.begin_simulation();
-            let selection = self.compute_selection(&session, hypotheses)?;
-            Ok(CachedResult::Select(Arc::new(selection)))
-        })?;
+        let valid_session = Arc::clone(&session);
+        let outcome = self.coalesce(
+            key,
+            Some(routes),
+            move || valid_session.overlay_version() == v0,
+            || {
+                self.begin_simulation();
+                let selection = self.compute_selection(&session, hypotheses)?;
+                Ok(CachedResult::Select(Arc::new(selection)))
+            },
+        )?;
         match outcome {
             CachedResult::Select(s) => Ok(s),
             CachedResult::Predict(_) => {
@@ -699,6 +730,42 @@ impl ForecastEngine {
         Ok(Selection { best, best_makespan, durations, pruned })
     }
 
+    /// Applies a serving-time platform event to `platform`'s session
+    /// and cache: the session's link-state overlay records it (every
+    /// later simulation sees the degraded capacities) and the cache
+    /// drops exactly the entries whose routes cross the link —
+    /// returning how many were evicted. No epoch bump: forecasts for
+    /// routes the event cannot touch keep hitting their cached answers.
+    pub fn link_event(
+        &self,
+        platform: &str,
+        link: &str,
+        kind: PlatformEventKind,
+    ) -> Result<u64, ForecastError> {
+        let session = self.session(platform)?;
+        if let PlatformEventKind::Capacity(f) = kind {
+            if !f.is_finite() || f < 0.0 {
+                return Err(ForecastError::BadFactor(f));
+            }
+        }
+        let link_id = session
+            .platform()
+            .link_by_name(link)
+            .ok_or_else(|| ForecastError::UnknownLink(link.to_string()))?;
+        let resource = session.apply_link_event(link_id, kind);
+        Ok(self.cache.invalidate_link(platform, resource))
+    }
+
+    /// Cache entries evicted by route-targeted link invalidation.
+    pub fn invalidated_targeted(&self) -> u64 {
+        self.cache.invalidated_targeted()
+    }
+
+    /// Cache entries reclaimed by epoch purges.
+    pub fn invalidated_epoch(&self) -> u64 {
+        self.cache.invalidated_epoch()
+    }
+
     /// Degraded-mode lookup: the freshest retained stale answer for this
     /// predict query, with its epoch lag. No simulation happens here.
     pub fn predict_stale(
@@ -706,7 +773,14 @@ impl ForecastEngine {
         platform: &str,
         specs: &[TransferSpec],
     ) -> Option<(Arc<Vec<f64>>, u64)> {
-        let key = CacheKey::predict(platform, self.epoch(), specs);
+        let session = self.session(platform).ok()?;
+        let resolved = specs
+            .iter()
+            .map(|s| session.resolve_spec(s))
+            .collect::<Result<Vec<_>, _>>()
+            .ok()?;
+        let footprint = session.footprint(&route_union(&resolved));
+        let key = CacheKey::predict(platform, self.epoch(), footprint, specs);
         match self.cache.get_stale(&key) {
             Some((CachedResult::Predict(d), lag)) => Some((d, lag)),
             _ => None,
@@ -720,12 +794,30 @@ impl ForecastEngine {
         platform: &str,
         hypotheses: &[Vec<TransferSpec>],
     ) -> Option<(Arc<Selection>, u64)> {
-        let key = CacheKey::select(platform, self.epoch(), hypotheses);
+        let session = self.session(platform).ok()?;
+        let resolved = hypotheses
+            .iter()
+            .flatten()
+            .map(|s| session.resolve_spec(s))
+            .collect::<Result<Vec<_>, _>>()
+            .ok()?;
+        let footprint = session.footprint(&route_union(&resolved));
+        let key = CacheKey::select(platform, self.epoch(), footprint, hypotheses);
         match self.cache.get_stale(&key) {
             Some((CachedResult::Select(s), lag)) => Some((s, lag)),
             _ => None,
         }
     }
+}
+
+/// Sorted, deduplicated union of the solver resources crossed by a set
+/// of resolved specs — the footprint / targeted-invalidation route set.
+fn route_union(resolved: &[ResolvedSpec]) -> Arc<[u32]> {
+    let mut v: Vec<u32> =
+        resolved.iter().flat_map(|r| r.path.resources.iter().copied()).collect();
+    v.sort_unstable();
+    v.dedup();
+    v.into()
 }
 
 #[cfg(test)]

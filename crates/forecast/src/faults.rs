@@ -38,6 +38,11 @@ pub enum Fault {
         /// in-flight computation before the leader dies.
         after: Duration,
     },
+    /// Fire the installed flap hook (a serving-time platform event —
+    /// typically a link capacity change or down/up toggle delivered
+    /// through `ForecastEngine::link_event`), then proceed normally.
+    /// With no hook installed this is [`Fault::None`].
+    Flap,
 }
 
 fn mix(seed: u64, seq: u64) -> u64 {
@@ -61,6 +66,7 @@ pub struct FaultPlan {
     delay: Duration,
     panic_permille: u32,
     panic_after: Duration,
+    flap_permille: u32,
     forced: Vec<(u64, Fault)>,
 }
 
@@ -85,6 +91,13 @@ impl FaultPlan {
         self
     }
 
+    /// Fires the flap hook at roughly `permille`/1000 of the points left
+    /// fault-free by the panic and delay rates.
+    pub fn with_flaps(mut self, permille: u32) -> FaultPlan {
+        self.flap_permille = permille.min(1000);
+        self
+    }
+
     /// Pins injection point `seq` to `fault`, overriding the derived
     /// decision.
     pub fn force(mut self, seq: u64, fault: Fault) -> FaultPlan {
@@ -103,9 +116,26 @@ impl FaultPlan {
             Fault::Panic { after: self.panic_after }
         } else if roll < self.panic_permille + self.delay_permille {
             Fault::Delay(self.delay)
+        } else if roll < self.panic_permille + self.delay_permille + self.flap_permille {
+            Fault::Flap
         } else {
             Fault::None
         }
+    }
+}
+
+/// A flap action: receives the ordinal of the flap (0 for the first
+/// flap injected, 1 for the second, …) so a test can script a
+/// deterministic event sequence (degrade, restore, degrade harder, …).
+type FlapHook = Box<dyn Fn(u64) + Send + Sync>;
+
+/// Interior cell for the installed flap hook (closures have no `Debug`).
+#[derive(Default)]
+struct HookCell(parking_lot::Mutex<Option<FlapHook>>);
+
+impl std::fmt::Debug for HookCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.lock().is_some() { "FlapHook(installed)" } else { "FlapHook(none)" })
     }
 }
 
@@ -117,6 +147,8 @@ pub struct FaultInjector {
     seq: AtomicU64,
     delays: AtomicU64,
     panics: AtomicU64,
+    flaps: AtomicU64,
+    flap_hook: HookCell,
 }
 
 impl FaultInjector {
@@ -125,10 +157,17 @@ impl FaultInjector {
         FaultInjector { plan, ..FaultInjector::default() }
     }
 
+    /// Installs (or clears) the action fired by [`Fault::Flap`] points.
+    /// The hook receives the flap ordinal; chaos tests use it to apply
+    /// a scripted `link_event` sequence mid-serving.
+    pub fn set_flap_hook(&self, hook: Option<FlapHook>) {
+        *self.flap_hook.0.lock() = hook;
+    }
+
     /// Claims the next injection point and applies its fault: sleeps for
-    /// delays, panics for panics (after their `after` sleep). Counters
-    /// are updated *before* the effect, so a panic is counted even
-    /// though `step` never returns from it.
+    /// delays, panics for panics (after their `after` sleep), fires the
+    /// flap hook for flaps. Counters are updated *before* the effect, so
+    /// a panic is counted even though `step` never returns from it.
     pub fn step(&self) {
         let seq = self.seq.fetch_add(1, Ordering::SeqCst);
         match self.plan.fault_for(seq) {
@@ -141,6 +180,13 @@ impl FaultInjector {
                 self.panics.fetch_add(1, Ordering::SeqCst);
                 std::thread::sleep(after);
                 panic!("injected fault at injection point {seq}");
+            }
+            Fault::Flap => {
+                let ordinal = self.flaps.fetch_add(1, Ordering::SeqCst);
+                let hook = self.flap_hook.0.lock();
+                if let Some(h) = hook.as_ref() {
+                    h(ordinal);
+                }
             }
         }
     }
@@ -158,6 +204,12 @@ impl FaultInjector {
     /// Panics injected so far.
     pub fn panics_injected(&self) -> u64 {
         self.panics.load(Ordering::SeqCst)
+    }
+
+    /// Flap points hit so far (counted whether or not a hook was
+    /// installed).
+    pub fn flaps_injected(&self) -> u64 {
+        self.flaps.load(Ordering::SeqCst)
     }
 }
 
@@ -206,6 +258,23 @@ mod tests {
         assert_eq!(inj.steps(), 2);
         assert_eq!(inj.delays_injected(), 1);
         assert_eq!(inj.panics_injected(), 0);
+    }
+
+    #[test]
+    fn flap_points_fire_the_hook_in_ordinal_order() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(0).force(1, Fault::Flap).force(3, Fault::Flap),
+        );
+        inj.step(); // None — no flap, no hook needed yet
+        let seen = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&seen);
+        inj.set_flap_hook(Some(Box::new(move |o| sink.lock().push(o))));
+        inj.step(); // flap #0
+        inj.step(); // None
+        inj.step(); // flap #1
+        assert_eq!(inj.flaps_injected(), 2);
+        assert_eq!(*seen.lock(), vec![0, 1]);
+        inj.set_flap_hook(None);
     }
 
     #[test]

@@ -37,6 +37,11 @@
 //! which makes every cached entry unreachable in O(1) — no per-entry
 //! invalidation to get wrong. Within an epoch, a repeated query returns
 //! the memoized result, which renders to bit-identical JSON upstream.
+//! Serving-time platform events (a link degrading, failing or
+//! recovering — [`ForecastEngine::link_event`]) deliberately avoid that
+//! hammer: keys also carry a route-footprint digest and only entries
+//! whose routes the event can touch are invalidated, while disjoint
+//! queries keep hitting ([`cache`] module docs have the full contract).
 //!
 //! ## Determinism
 //!
@@ -74,4 +79,4 @@ pub use cache::{CacheKey, CachedResult, ForecastCache};
 pub use engine::{EngineConfig, ForecastEngine, ForecastError, Selection, TransferSpec};
 pub use exec::{Scope, WorkerPool};
 pub use faults::{Fault, FaultInjector, FaultPlan};
-pub use session::{BackgroundFlow, ResolvedSpec, Session};
+pub use session::{BackgroundFlow, LinkState, ResolvedSpec, Session};

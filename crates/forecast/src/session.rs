@@ -10,16 +10,34 @@
 //! into every simulation to model load the forecast must coexist with —
 //! resolved once when the epoch's data arrives, not per query.
 //!
+//! Two dynamic-platform pieces live here too:
+//!
+//! * a persistent [`Connectivity`] primed with the background flows,
+//!   cloned per batch so request sharding does not re-attach the
+//!   background on every query ([`Session::label_batch`]);
+//! * a **link-state overlay**: capacity factors and down markers applied
+//!   by [`Session::apply_link_event`] when the platform degrades at
+//!   serving time. Every simulation built afterwards sees the degraded
+//!   capacities (and dead resources) without any session rebuild, and
+//!   [`Session::footprint`] digests the overlay *as seen from a route
+//!   set* so the cache can key results by exactly the events that could
+//!   affect them (see `crate::cache` for the invalidation contract).
+//!
 //! Sessions are shared (`Arc`) between HTTP workers and pool workers;
 //! interior state is lock-protected and all of it is rebuildable, so a
-//! session is never invalidated — only its background set changes.
+//! session is never invalidated — only its background set and overlay
+//! change.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use exec::WorkerPool;
 use parking_lot::RwLock;
-use simflow::{HostId, NetworkConfig, Platform, ResolvedPath, SimTuning, Simulation};
+use simflow::{
+    Connectivity, DeadRoutePolicy, HostId, LinkId, NetworkConfig, Platform, PlatformEventKind,
+    ResolvedPath, SimTuning, Simulation,
+};
 
 use crate::engine::{ForecastError, TransferSpec};
 
@@ -37,6 +55,25 @@ pub struct BackgroundFlow {
     pub path: Arc<ResolvedPath>,
 }
 
+/// The overlay state of one degraded resource (identity — factor 1,
+/// not down — is never stored; such entries are removed eagerly so an
+/// empty overlay means a pristine platform).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkState {
+    /// Capacity multiplier applied to the nominal capacity.
+    pub factor: f64,
+    /// Whether the resource is down (capacity zero, routes dead).
+    pub down: bool,
+}
+
+/// Background flows and the connectivity primed with them, swapped
+/// atomically as one unit so a batch never pairs the flows of one epoch
+/// with the components of another.
+struct BackgroundState {
+    flows: Arc<Vec<BackgroundFlow>>,
+    conn: Connectivity,
+}
+
 /// Warm scaffolding for one platform.
 pub struct Session {
     platform: Arc<Platform>,
@@ -46,8 +83,16 @@ pub struct Session {
     capacities: Vec<f64>,
     /// Memoized route resolutions, keyed by endpoint pair.
     routes: RwLock<HashMap<(HostId, HostId), Arc<ResolvedPath>>>,
-    /// Background flows of the current epoch.
-    background: RwLock<Arc<Vec<BackgroundFlow>>>,
+    /// Background flows of the current epoch plus the connectivity
+    /// structure primed with them.
+    background: RwLock<Arc<BackgroundState>>,
+    /// Link-state overlay: solver resource id → degraded state. A
+    /// `BTreeMap` so digest folds iterate in a canonical order.
+    overlay: RwLock<BTreeMap<u32, LinkState>>,
+    /// Bumped before every overlay mutation; lets the engine detect that
+    /// a result it computed under one overlay is being cached under
+    /// another (see `ForecastCache::insert_if`).
+    overlay_version: AtomicU64,
     /// Pool shared with every simulation this session builds, so the
     /// solver's component fan-out runs on the engine's threads instead
     /// of oversubscribing the machine.
@@ -68,12 +113,18 @@ impl Session {
         pool: Option<Arc<WorkerPool>>,
     ) -> Session {
         let capacities = Simulation::shared_capacities(&platform, &config);
+        let conn = Connectivity::new(capacities.len());
         Session {
             platform,
             config,
             capacities,
             routes: RwLock::new(HashMap::new()),
-            background: RwLock::new(Arc::new(Vec::new())),
+            background: RwLock::new(Arc::new(BackgroundState {
+                flows: Arc::new(Vec::new()),
+                conn,
+            })),
+            overlay: RwLock::new(BTreeMap::new()),
+            overlay_version: AtomicU64::new(0),
             pool,
         }
     }
@@ -102,14 +153,107 @@ impl Session {
 
     /// The current background flows.
     pub fn background(&self) -> Arc<Vec<BackgroundFlow>> {
-        self.background.read().clone()
+        Arc::clone(&self.background.read().flows)
     }
 
-    /// Replaces the background flows (new metrology epoch). The caller
-    /// (the engine) is responsible for bumping the epoch so cached
-    /// results keyed to the old background become unreachable.
+    /// Replaces the background flows (new metrology epoch) and re-primes
+    /// the batch-labeling connectivity with them. The caller (the
+    /// engine) is responsible for bumping the epoch so cached results
+    /// keyed to the old background become unreachable.
     pub fn set_background(&self, flows: Vec<BackgroundFlow>) {
-        *self.background.write() = Arc::new(flows);
+        let mut conn = Connectivity::new(self.capacities.len());
+        conn.ensure_flows(flows.len());
+        for (i, f) in flows.iter().enumerate() {
+            if !f.path.resources.is_empty() {
+                conn.attach(i as u32, &f.path.resources);
+            }
+        }
+        *self.background.write() = Arc::new(BackgroundState { flows: Arc::new(flows), conn });
+    }
+
+    /// Labels the current background flows plus `requests` with dense
+    /// component ids (exactly [`Connectivity::label_batch`] over the
+    /// combined `background ++ requests` list), cloning the primed
+    /// connectivity instead of re-attaching every background flow.
+    /// Returns the background snapshot the labels were computed against
+    /// — labels index into `flows ++ requests` in that order.
+    pub fn label_batch(&self, requests: &[&[u32]]) -> (Arc<Vec<BackgroundFlow>>, Vec<usize>) {
+        let state = Arc::clone(&*self.background.read());
+        let mut items: Vec<&[u32]> = Vec::with_capacity(state.flows.len() + requests.len());
+        items.extend(state.flows.iter().map(|f| f.path.resources.as_slice()));
+        items.extend_from_slice(requests);
+        let labels = state.conn.clone().label_items(state.flows.len(), &items);
+        (Arc::clone(&state.flows), labels)
+    }
+
+    /// Applies a serving-time platform event to the overlay and returns
+    /// the solver resource id it landed on. `Capacity(f)` sets the
+    /// factor, `Down`/`Up` toggle the down marker; an entry restored to
+    /// identity is removed, so digests return to their pre-event values
+    /// and previously cached entries become reachable again. The version
+    /// counter is bumped *before* the overlay changes — any in-flight
+    /// computation that snapshotted the old version fails its insert
+    /// validity check rather than caching a result under the wrong key.
+    pub fn apply_link_event(&self, link: LinkId, kind: PlatformEventKind) -> u32 {
+        let resource = link.index() as u32;
+        self.overlay_version.fetch_add(1, Ordering::SeqCst);
+        let mut overlay = self.overlay.write();
+        let e = overlay.entry(resource).or_insert(LinkState { factor: 1.0, down: false });
+        match kind {
+            PlatformEventKind::Capacity(f) => e.factor = f,
+            PlatformEventKind::Down => e.down = true,
+            PlatformEventKind::Up => e.down = false,
+        }
+        if e.factor == 1.0 && !e.down {
+            overlay.remove(&resource);
+        }
+        resource
+    }
+
+    /// The overlay mutation counter (see [`Session::apply_link_event`]).
+    pub fn overlay_version(&self) -> u64 {
+        self.overlay_version.load(Ordering::SeqCst)
+    }
+
+    /// Number of degraded resources in the overlay (observability).
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.read().len()
+    }
+
+    /// Digest of the overlay *as seen from* `resources` (a query's route
+    /// union): folds every overlay entry whose resource shares a
+    /// background-connectivity component with the query routes, in
+    /// canonical (ascending resource) order. Two properties the cache
+    /// key relies on:
+    ///
+    /// * **0 when nothing relevant is degraded** — an empty overlay, or
+    ///   one whose entries are all component-disjoint from the query
+    ///   (directly *and* through background coupling), digests to 0, so
+    ///   entries cached before any event stay reachable for unaffected
+    ///   routes.
+    /// * **Restores round-trip** — identity entries are removed by
+    ///   [`Session::apply_link_event`], so after a full restore the
+    ///   digest returns to its pre-event value and the original cached
+    ///   entries validly hit again.
+    pub fn footprint(&self, resources: &[u32]) -> u64 {
+        let overlay = self.overlay.read();
+        if overlay.is_empty() {
+            return 0;
+        }
+        let state = Arc::clone(&*self.background.read());
+        let mut roots: Vec<u32> = resources.iter().map(|&r| state.conn.root(r)).collect();
+        roots.sort_unstable();
+        roots.dedup();
+        let mut h = 0u64;
+        for (&r, ls) in overlay.iter() {
+            if roots.binary_search(&state.conn.root(r)).is_err() {
+                continue;
+            }
+            h = splitmix(h ^ splitmix(r as u64 + 1));
+            h = splitmix(h ^ ls.factor.to_bits());
+            h = splitmix(h ^ ls.down as u64);
+        }
+        h
     }
 
     /// Looks a host up by name.
@@ -146,10 +290,38 @@ impl Session {
     }
 
     /// A fresh simulation using the prewarmed capacity vector (and the
-    /// session's shared pool, when it has one).
+    /// session's shared pool, when it has one), with the link-state
+    /// overlay applied: degraded factors scale the capacity vector, down
+    /// resources are marked dead under [`DeadRoutePolicy::Fail`] — a
+    /// transfer routed over a dead link completes as failed rather than
+    /// stalling the simulation.
     pub fn simulation(&self) -> Simulation<'_> {
         let tuning = SimTuning { pool: self.pool.clone(), warm_start: true };
-        Simulation::with_tuning(&self.platform, self.config, self.capacities.clone(), tuning)
+        let overlay = self.overlay.read();
+        if overlay.is_empty() {
+            drop(overlay);
+            return Simulation::with_tuning(
+                &self.platform,
+                self.config,
+                self.capacities.clone(),
+                tuning,
+            );
+        }
+        let mut caps = self.capacities.clone();
+        let mut downs = Vec::new();
+        for (&r, ls) in overlay.iter() {
+            caps[r as usize] *= ls.factor;
+            if ls.down {
+                downs.push(r);
+            }
+        }
+        drop(overlay);
+        let mut sim = Simulation::with_tuning(&self.platform, self.config, caps, tuning);
+        sim.set_dead_route_policy(DeadRoutePolicy::Fail);
+        for r in downs {
+            sim.mark_resource_down(r);
+        }
+        sim
     }
 
     /// Runs one simulation of the selected background flows and request
@@ -157,7 +329,9 @@ impl Session {
     /// selected specs, in `spec_idx` order. Background flows are added
     /// first, then requests — the same insertion order for a subset as
     /// for the whole batch, which is what makes component-sharded
-    /// execution bit-identical to one monolithic simulation.
+    /// execution bit-identical to one monolithic simulation. A spec that
+    /// fails (its route crosses a dead resource) reports an infinite
+    /// duration.
     pub fn simulate_subset(
         &self,
         background: &[BackgroundFlow],
@@ -178,8 +352,26 @@ impl Session {
             })
             .collect();
         let report = sim.run().map_err(ForecastError::Sim)?;
-        Ok(ids.iter().map(|id| report.duration(*id).as_secs()).collect())
+        Ok(ids
+            .iter()
+            .map(|id| {
+                let c = report.completion(*id);
+                if c.failed() {
+                    f64::INFINITY
+                } else {
+                    c.duration().as_secs()
+                }
+            })
+            .collect())
     }
+}
+
+/// SplitMix64 finalizer — the overlay digest's mixing function.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// A fully resolved transfer request, ready to drop into a simulation.

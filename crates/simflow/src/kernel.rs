@@ -46,6 +46,33 @@
 //! bandwidth is consumed, then a *bandwidth phase* during which the flow
 //! takes part in max-min sharing. Compute tasks share their host's CPU
 //! through the same solver (the paper's §VI extension to full workflows).
+//!
+//! ## Platform events and the dead-route policy
+//!
+//! Platforms need not be static: [`Simulation::add_platform_event`] (and
+//! the link-level wrappers [`Simulation::add_capacity_change`],
+//! [`Simulation::add_link_down`] / [`Simulation::add_link_up`]) schedule
+//! trace-driven changes of a resource's capacity into the same event
+//! calendar, mirroring SimGrid's availability/state trace inputs. A
+//! capacity change is just a reshare seeded with the resource's active
+//! flows; down/up events additionally flip a per-resource dead flag.
+//! What happens to a flow whose route dies is the [`DeadRoutePolicy`]:
+//!
+//! * [`DeadRoutePolicy::Fail`] (the default) — the flow completes
+//!   immediately with [`CompletionOutcome::Failed`], and so do,
+//!   transitively, all works depending on it; a work that would *start*
+//!   onto a dead route fails at its start instant instead of joining the
+//!   competition.
+//! * [`DeadRoutePolicy::Stall`] — the flow stays active at rate zero
+//!   (the zero-capacity resource pins its share) and resumes when the
+//!   resource comes back up; if nothing can ever wake it the run ends
+//!   with [`SimError::Stalled`].
+//!
+//! Platform events fold into the same-instant batched reshare like every
+//! other event, and the post-event rates are exactly what a from-scratch
+//! rebuild of the sharing problem under the new capacities would produce
+//! (`tests/platform_events.rs` pins the equivalence across worker counts
+//! and warm-start settings).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -53,7 +80,7 @@ use std::fmt;
 
 use crate::config::{NetworkConfig, SimTuning};
 use crate::model::MaxMinSolver;
-use crate::platform::{HostId, Platform, RouteError, SharingPolicy};
+use crate::platform::{HostId, LinkId, Platform, RouteError, SharingPolicy};
 use crate::trace::{Trace, TraceEvent};
 use crate::units::{Duration, SimTime};
 
@@ -82,6 +109,48 @@ pub enum WorkKind {
     },
 }
 
+/// What happens to a flow whose route loses a resource to a
+/// [`PlatformEventKind::Down`] event (or that would start onto one).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DeadRoutePolicy {
+    /// The flow ends immediately with [`CompletionOutcome::Failed`];
+    /// works depending on it fail transitively at the same instant.
+    #[default]
+    Fail,
+    /// The flow stays active at rate zero until the resource comes back
+    /// up ([`PlatformEventKind::Up`]); if it never does, the run ends
+    /// with [`SimError::Stalled`].
+    Stall,
+}
+
+/// How a piece of work ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CompletionOutcome {
+    /// Ran to completion; `finish` is when the work's amount reached
+    /// zero.
+    #[default]
+    Completed,
+    /// Killed by a dead route under [`DeadRoutePolicy::Fail`] (directly
+    /// or through a failed dependency); `finish` is the failure instant.
+    Failed,
+}
+
+/// A scheduled change of the platform mid-run, in the style of SimGrid's
+/// availability/state traces. See the module docs for how each kind
+/// folds into the same-instant batched reshare.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum PlatformEventKind {
+    /// Rescale the resource's capacity to `factor ×` its nominal value
+    /// (`0.0` is legal: the resource still exists but serves nothing).
+    Capacity(f64),
+    /// The resource goes dead: capacity zero plus the
+    /// [`DeadRoutePolicy`] applied to flows crossing it.
+    Down,
+    /// The resource recovers, restoring the last scheduled capacity
+    /// factor (nominal if none was scheduled).
+    Up,
+}
+
 /// The completion record of one piece of work.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Completion {
@@ -93,12 +162,20 @@ pub struct Completion {
     pub start: SimTime,
     /// When it completed.
     pub finish: SimTime,
+    /// How it ended (all-`Completed` on a static platform).
+    pub outcome: CompletionOutcome,
 }
 
 impl Completion {
     /// Wall-clock duration from scheduled start to completion.
     pub fn duration(&self) -> Duration {
         self.finish.duration_since(self.start)
+    }
+
+    /// Whether the work was killed by a dead route rather than running
+    /// to completion.
+    pub fn failed(&self) -> bool {
+        self.outcome == CompletionOutcome::Failed
     }
 }
 
@@ -204,12 +281,28 @@ struct WorkState {
     deps_remaining: u32,
     /// Works waiting on this one.
     dependents: Vec<WorkId>,
+    /// Killed by a dead route (see [`DeadRoutePolicy::Fail`]).
+    failed: bool,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 enum Event {
     Start(WorkId),
     LatencyDone(WorkId),
+    /// Index into `Simulation::platform_events` — the side table keeps
+    /// the event's `f64` payload out of this `Ord`-derived queue key.
+    Platform(u32),
+}
+
+/// Mutable platform state of a dynamic simulation: pristine capacities,
+/// the current per-resource capacity factor, and the down flags.
+/// Allocated lazily on the first platform event or down-mark so static
+/// simulations pay nothing for the feature.
+#[derive(Clone, Debug)]
+struct Dynamics {
+    base: Vec<f64>,
+    factor: Vec<f64>,
+    down: Vec<bool>,
 }
 
 /// A route resolved into the model quantities a transfer needs, decoupled
@@ -292,6 +385,11 @@ pub struct Simulation<'p> {
     link_count: usize,
     /// Set once the run loop starts; guards late `add_dependencies`.
     started: bool,
+    /// Scheduled platform events, indexed by [`Event::Platform`].
+    platform_events: Vec<(u32, PlatformEventKind)>,
+    /// Dynamic-platform state; `None` until the first platform event.
+    dynamics: Option<Box<Dynamics>>,
+    policy: DeadRoutePolicy,
 }
 
 impl<'p> Simulation<'p> {
@@ -368,6 +466,9 @@ impl<'p> Simulation<'p> {
             calendar: BinaryHeap::new(),
             link_count: platform.link_count(),
             started: false,
+            platform_events: Vec::new(),
+            dynamics: None,
+            policy: DeadRoutePolicy::default(),
         }
     }
 
@@ -381,6 +482,85 @@ impl<'p> Simulation<'p> {
     /// default); results are unchanged either way.
     pub fn set_warm_start(&mut self, on: bool) {
         self.solver.set_warm_start(on);
+    }
+
+    /// Selects what happens to flows whose route dies (see
+    /// [`DeadRoutePolicy`]). Default: [`DeadRoutePolicy::Fail`].
+    pub fn set_dead_route_policy(&mut self, policy: DeadRoutePolicy) {
+        self.policy = policy;
+    }
+
+    fn ensure_dynamics(&mut self) {
+        if self.dynamics.is_none() {
+            let n = self.link_count + self.platform.host_count();
+            let base: Vec<f64> = (0..n as u32).map(|r| self.solver.capacity(r)).collect();
+            self.dynamics = Some(Box::new(Dynamics {
+                factor: vec![1.0; base.len()],
+                down: vec![false; base.len()],
+                base,
+            }));
+        }
+    }
+
+    /// Schedules a platform event on a raw solver resource id — links
+    /// are `0..link_count` in [`LinkId`] order, host CPUs follow in host
+    /// order (the link-level wrappers below cover the common case).
+    /// Events at one instant batch into the same merged-seed reshare as
+    /// every other kernel event.
+    ///
+    /// # Panics
+    /// Panics on out-of-range resources and non-finite or negative
+    /// capacity factors.
+    pub fn add_platform_event(&mut self, resource: u32, kind: PlatformEventKind, at: SimTime) {
+        assert!(
+            (resource as usize) < self.link_count + self.platform.host_count(),
+            "unknown resource"
+        );
+        if let PlatformEventKind::Capacity(f) = kind {
+            assert!(f.is_finite() && f >= 0.0, "invalid capacity factor");
+        }
+        self.ensure_dynamics();
+        let idx = self.platform_events.len() as u32;
+        self.platform_events.push((resource, kind));
+        self.push_event(at, Event::Platform(idx));
+    }
+
+    /// Schedules a rescale of `link`'s capacity to `factor ×` nominal at
+    /// `at` (degradation below 1.0, recovery back to 1.0, …).
+    pub fn add_capacity_change(&mut self, link: LinkId, factor: f64, at: SimTime) {
+        self.add_platform_event(link.index() as u32, PlatformEventKind::Capacity(factor), at);
+    }
+
+    /// Schedules `link` going down at `at`.
+    pub fn add_link_down(&mut self, link: LinkId, at: SimTime) {
+        self.add_platform_event(link.index() as u32, PlatformEventKind::Down, at);
+    }
+
+    /// Schedules `link` coming back up at `at`.
+    pub fn add_link_up(&mut self, link: LinkId, at: SimTime) {
+        self.add_platform_event(link.index() as u32, PlatformEventKind::Up, at);
+    }
+
+    /// Marks a resource dead before the run starts — a platform already
+    /// degraded at t = 0 (e.g. a forecast session that witnessed a link
+    /// failure). Under [`DeadRoutePolicy::Fail`] every work routed over
+    /// the resource fails at its start instant; under
+    /// [`DeadRoutePolicy::Stall`] it waits for a scheduled
+    /// [`PlatformEventKind::Up`].
+    ///
+    /// # Panics
+    /// Panics if called after [`Simulation::run`] started or on
+    /// out-of-range resources.
+    pub fn mark_resource_down(&mut self, resource: u32) {
+        assert!(!self.started, "mark_resource_down after the run started");
+        assert!(
+            (resource as usize) < self.link_count + self.platform.host_count(),
+            "unknown resource"
+        );
+        self.ensure_dynamics();
+        let d = self.dynamics.as_mut().expect("just ensured");
+        d.down[resource as usize] = true;
+        self.solver.set_capacity(resource, 0.0);
     }
 
     fn push_event(&mut self, t: SimTime, e: Event) {
@@ -454,6 +634,7 @@ impl<'p> Simulation<'p> {
             finish: SimTime::ZERO,
             deps_remaining: 0,
             dependents: Vec::new(),
+            failed: false,
         });
         self.push_event(start, Event::Start(id));
         id
@@ -514,6 +695,7 @@ impl<'p> Simulation<'p> {
             finish: SimTime::ZERO,
             deps_remaining: 0,
             dependents: Vec::new(),
+            failed: false,
         });
         self.push_event(start, Event::Start(id));
         id
@@ -527,7 +709,25 @@ impl<'p> Simulation<'p> {
     /// Transitions `id` into the running state: joins the sharing
     /// competition and, for works that need no resource time (zero-sized
     /// or already within tolerance), books an immediate completion.
-    fn start_running(&mut self, id: WorkId, now: SimTime, seeds: &mut Vec<u32>) {
+    /// Under [`DeadRoutePolicy::Fail`] a work starting onto a route with
+    /// a dead resource fails here instead of joining the competition.
+    fn start_running(
+        &mut self,
+        id: WorkId,
+        now: SimTime,
+        seeds: &mut Vec<u32>,
+        n_remaining: &mut usize,
+        traced: bool,
+        trace: &mut Trace,
+    ) {
+        if self.policy == DeadRoutePolicy::Fail {
+            if let Some(d) = self.dynamics.as_deref() {
+                if self.solver.flow_resources(id.0).iter().any(|&r| d.down[r as usize]) {
+                    self.fail_work(id, now, seeds, n_remaining, traced, trace);
+                    return;
+                }
+            }
+        }
         let w = &mut self.works[id.0 as usize];
         w.status = Status::Running;
         w.last_update = now.as_secs();
@@ -536,6 +736,104 @@ impl<'p> Simulation<'p> {
         if w.remaining <= w.tol {
             w.generation += 1;
             self.calendar.push(Reverse((now, id.0, w.generation)));
+        }
+    }
+
+    /// Fails `root` (dead route under [`DeadRoutePolicy::Fail`]) and,
+    /// transitively, every work depending on it: each becomes a
+    /// [`CompletionOutcome::Failed`] completion at `now`. Running flows
+    /// leave the sharing competition, and their departure seeds the
+    /// batch's reshare — composing with the connectivity split machinery
+    /// exactly like an ordinary completion.
+    fn fail_work(
+        &mut self,
+        root: WorkId,
+        now: SimTime,
+        seeds: &mut Vec<u32>,
+        n_remaining: &mut usize,
+        traced: bool,
+        trace: &mut Trace,
+    ) {
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let wi = id.0 as usize;
+            if self.works[wi].status == Status::Done {
+                continue;
+            }
+            if self.works[wi].status == Status::Running {
+                self.solver.deactivate(id.0);
+                seeds.push(id.0);
+            }
+            let w = &mut self.works[wi];
+            w.status = Status::Done;
+            w.failed = true;
+            w.finish = now;
+            *n_remaining -= 1;
+            if traced {
+                trace.events.push(TraceEvent::Finished { id, at: now });
+            }
+            stack.extend(std::mem::take(&mut self.works[wi].dependents));
+        }
+    }
+
+    /// Applies one scheduled platform event inside the same-instant
+    /// batch: updates the resource's effective capacity and folds its
+    /// active flows into the batch's reshare seeds (a `Down` under
+    /// [`DeadRoutePolicy::Fail`] fails them instead). Down-while-down
+    /// and up-while-up are no-ops; a capacity change while down only
+    /// records the factor for the eventual recovery.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_platform_event(
+        &mut self,
+        r: u32,
+        kind: PlatformEventKind,
+        now: SimTime,
+        seeds: &mut Vec<u32>,
+        n_remaining: &mut usize,
+        traced: bool,
+        trace: &mut Trace,
+    ) {
+        let ri = r as usize;
+        let d = self.dynamics.as_mut().expect("platform event without dynamics");
+        let (new_cap, kill) = match kind {
+            PlatformEventKind::Capacity(factor) => {
+                d.factor[ri] = factor;
+                if d.down[ri] {
+                    (None, false)
+                } else {
+                    (Some(d.base[ri] * factor), false)
+                }
+            }
+            PlatformEventKind::Down => {
+                if d.down[ri] {
+                    (None, false)
+                } else {
+                    d.down[ri] = true;
+                    (Some(0.0), self.policy == DeadRoutePolicy::Fail)
+                }
+            }
+            PlatformEventKind::Up => {
+                if d.down[ri] {
+                    d.down[ri] = false;
+                    (Some(d.base[ri] * d.factor[ri]), false)
+                } else {
+                    (None, false)
+                }
+            }
+        };
+        let Some(cap) = new_cap else { return };
+        self.solver.set_capacity(r, cap);
+        if traced {
+            trace.events.push(TraceEvent::PlatformChanged { resource: r, at: now, capacity: cap });
+        }
+        if kill {
+            let members: Vec<u32> = self.solver.active_members(r).to_vec();
+            for f in members {
+                self.fail_work(WorkId(f), now, seeds, n_remaining, traced, trace);
+            }
+        } else {
+            let members: Vec<u32> = self.solver.active_members(r).to_vec();
+            seeds.extend_from_slice(&members);
         }
     }
 
@@ -686,11 +984,26 @@ impl<'p> Simulation<'p> {
                                 Event::LatencyDone(id),
                             );
                         } else {
-                            self.start_running(id, now, &mut seeds);
+                            self.start_running(
+                                id, now, &mut seeds, &mut n_remaining, traced, &mut trace,
+                            );
                         }
                     }
                     Event::LatencyDone(id) => {
-                        self.start_running(id, now, &mut seeds);
+                        if self.works[id.0 as usize].status != Status::Delaying {
+                            // failed (dead route, failed dependency)
+                            // while in its latency phase
+                            continue;
+                        }
+                        self.start_running(
+                            id, now, &mut seeds, &mut n_remaining, traced, &mut trace,
+                        );
+                    }
+                    Event::Platform(idx) => {
+                        let (r, kind) = self.platform_events[idx as usize];
+                        self.apply_platform_event(
+                            r, kind, now, &mut seeds, &mut n_remaining, traced, &mut trace,
+                        );
                     }
                 }
             }
@@ -754,6 +1067,11 @@ impl<'p> Simulation<'p> {
                 kind: w.kind,
                 start: w.start,
                 finish: w.finish,
+                outcome: if w.failed {
+                    CompletionOutcome::Failed
+                } else {
+                    CompletionOutcome::Completed
+                },
             })
             .collect();
         Ok((Report { completions, reshares }, trace))
@@ -1343,6 +1661,9 @@ mod tests {
                 TraceEvent::Started { id, at } => (0u8, id.0, at.as_secs(), 0.0),
                 TraceEvent::RateChanged { id, at, rate } => (1u8, id.0, at.as_secs(), *rate),
                 TraceEvent::Finished { id, at } => (2u8, id.0, at.as_secs(), 0.0),
+                TraceEvent::PlatformChanged { .. } => {
+                    unreachable!("static platform emits no platform events")
+                }
             })
             .collect();
         let want = reference_trace(1e8, &jobs);

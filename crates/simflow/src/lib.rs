@@ -56,7 +56,10 @@ pub mod units;
 
 pub use config::{NetworkConfig, SimTuning};
 pub use connect::Connectivity;
-pub use kernel::{Completion, Report, ResolvedPath, SimError, Simulation, WorkId, WorkKind};
+pub use kernel::{
+    Completion, CompletionOutcome, DeadRoutePolicy, PlatformEventKind, Report, ResolvedPath,
+    SimError, Simulation, WorkId, WorkKind,
+};
 pub use platform::builder::{BuildError, PlatformBuilder};
 pub use platform::routing::{Element, RoutingKind};
 pub use platform::{HostId, LinkId, NetPointId, Platform, Route, RouteError, SharingPolicy, ZoneId};

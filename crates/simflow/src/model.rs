@@ -827,6 +827,39 @@ impl MaxMinSolver {
         self.rates[flow as usize]
     }
 
+    /// Current capacity of resource `r`.
+    pub fn capacity(&self, r: u32) -> f64 {
+        self.core.capacity[r as usize]
+    }
+
+    /// Changes the capacity of resource `r` mid-run (a platform event:
+    /// link degradation/restoration, host slowdown). Takes effect at the
+    /// next [`MaxMinSolver::reshare`]; the caller seeds that reshare with
+    /// the resource's [`MaxMinSolver::active_members`] so the affected
+    /// component re-solves under the new capacity. Any cached warm-start
+    /// freeze order covering `r` is dropped here — its recorded φ levels
+    /// were computed from the old capacity, so replaying it would be
+    /// wrong — by zeroing `r`'s solve id, which breaks the lookup's
+    /// same-solve uniformity check for every component containing `r`.
+    pub fn set_capacity(&mut self, r: u32, cap: f64) {
+        debug_assert!(cap >= 0.0, "capacity must be non-negative");
+        self.core.capacity[r as usize] = cap;
+        self.warm.detach(&[r]);
+    }
+
+    /// The active member flows of resource `r`, ascending — the seed set
+    /// of a capacity-change reshare.
+    pub fn active_members(&mut self, r: u32) -> &[u32] {
+        self.ensure_members();
+        self.core.members(r as usize)
+    }
+
+    /// The registered resource list of `flow` (the route it was
+    /// registered with).
+    pub fn flow_resources(&self, flow: u32) -> &[u32] {
+        self.core.res_span(flow)
+    }
+
     /// How many reshares this solver has performed (observability; the
     /// kernel surfaces it as [`crate::Report::reshares`]).
     pub fn reshares(&self) -> u64 {

@@ -35,15 +35,26 @@ pub enum TraceEvent {
         /// When.
         at: SimTime,
     },
+    /// A platform event took effect on a resource (capacity change,
+    /// failure, recovery — see [`crate::kernel::PlatformEventKind`]).
+    PlatformChanged {
+        /// Solver resource id (links first, then host CPUs).
+        resource: u32,
+        /// When.
+        at: SimTime,
+        /// Effective capacity from this instant on (zero while down).
+        capacity: f64,
+    },
 }
 
 impl TraceEvent {
-    /// The work this record concerns.
-    pub fn work(&self) -> WorkId {
+    /// The work this record concerns (`None` for platform events).
+    pub fn work(&self) -> Option<WorkId> {
         match self {
             TraceEvent::Started { id, .. }
             | TraceEvent::RateChanged { id, .. }
-            | TraceEvent::Finished { id, .. } => *id,
+            | TraceEvent::Finished { id, .. } => Some(*id),
+            TraceEvent::PlatformChanged { .. } => None,
         }
     }
 
@@ -52,7 +63,8 @@ impl TraceEvent {
         match self {
             TraceEvent::Started { at, .. }
             | TraceEvent::RateChanged { at, .. }
-            | TraceEvent::Finished { at, .. } => *at,
+            | TraceEvent::Finished { at, .. }
+            | TraceEvent::PlatformChanged { at, .. } => *at,
         }
     }
 }
@@ -67,7 +79,7 @@ pub struct Trace {
 impl Trace {
     /// Records of one work, in order.
     pub fn of(&self, id: WorkId) -> Vec<&TraceEvent> {
-        self.events.iter().filter(|e| e.work() == id).collect()
+        self.events.iter().filter(|e| e.work() == Some(id)).collect()
     }
 
     /// The piecewise-constant rate profile of a work:
@@ -120,6 +132,14 @@ impl Trace {
                 }
                 TraceEvent::Finished { id, at } => {
                     out.push_str(&format!("{:>12.6}  finish  w{}\n", at.as_secs(), id.0));
+                }
+                TraceEvent::PlatformChanged { resource, at, capacity } => {
+                    out.push_str(&format!(
+                        "{:>12.6}  platform r{} cap = {:.3e}\n",
+                        at.as_secs(),
+                        resource,
+                        capacity
+                    ));
                 }
             }
         }

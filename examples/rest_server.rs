@@ -1,13 +1,14 @@
 //! The full Pilgrim REST stack: metrology + PNFS behind one HTTP server,
-//! exercised by the paper's two example requests plus the §VI
-//! hypothesis-selection extension.
+//! exercised by the paper's two example requests, the §VI
+//! hypothesis-selection extension, and a serving-time platform event
+//! (degrade a link, watch the forecast change, restore it).
 //!
 //! ```text
 //! cargo run --release --example rest_server
 //! ```
 
 use g5k::{synth, to_simflow, Flavor};
-use pilgrim_core::http::{http_get, Server};
+use pilgrim_core::http::{http_get, http_post, Server};
 use pilgrim_core::{Metrology, PilgrimService, Pnfs};
 use rrd::{time, ArchiveSpec, Cf, Database, DsKind};
 use simflow::NetworkConfig;
@@ -68,8 +69,28 @@ fn main() {
          &hypothesis=sagittaire-1.lyon.grid5000.fr,graphene-1.nancy.grid5000.fr,1e9",
     );
 
-    // discovery
+    let post = |query: &str| {
+        println!("$ curl -X POST \"http://{addr}{query}\"");
+        let (status, body) = http_post(addr, query).expect("request");
+        let rendered = jsonlite::Value::parse(&body)
+            .map(|v| v.to_pretty())
+            .unwrap_or(body);
+        println!("HTTP {status}\n{rendered}\n");
+    };
+
+    // serving-time platform dynamics: the intra-site link degrades to
+    // half capacity, the same question gets a slower answer, recovery
+    // restores the original forecast exactly
+    let intra = "/pilgrim/predict_transfers/g5k_test\
+                 ?transfer=capricorne-36.lyon.grid5000.fr,capricorne-1.lyon.grid5000.fr,5e8";
+    post("/pilgrim/link_event/g5k_test?link=capricorne-36.lyon.grid5000.fr-nic&factor=0.5");
+    show(intra);
+    post("/pilgrim/link_event/g5k_test?link=capricorne-36.lyon.grid5000.fr-nic&factor=1");
+    show(intra);
+
+    // discovery and engine counters
     show("/pilgrim/platforms");
+    show("/pilgrim/stats");
 
     drop(server);
     println!("server stopped.");

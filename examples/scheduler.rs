@@ -36,7 +36,7 @@ fn main() {
     println!("building the lab (platform model + ground-truth testbed)…");
     let lab = Lab::new();
 
-    let files = vec![
+    let files = [
         FileReplicas {
             name: "genome.db",
             bytes: 2.78e9,
