@@ -6,13 +6,17 @@
 //! Each measurement starts a fresh `Server` (fresh engine → cold cache),
 //! fires `clients` threads that cycle a fixed 16-query scenario set
 //! (select_fastest over 8 hypotheses each — the serving pattern the
-//! paper's §VI sketches), and records per-request wall-clock latency.
+//! paper's §VI sketches), and records per-request wall-clock latency
+//! into a `telemetry::Histogram` — the same mergeable log-linear
+//! histogram the serving path uses — reporting p50/p90/p99.
 //!
 //! Usage: `cargo run --release -p bench --bin bench_forecast [out.json]`
 
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
+
+use telemetry::Histogram;
 
 use g5k::{synth, to_simflow, Flavor};
 use pilgrim_core::http::{http_get, Server, ServerConfig};
@@ -65,35 +69,43 @@ fn start_server(sequential: bool, http_workers: usize) -> Server {
 }
 
 /// Fires `clients` threads, each issuing `per_client` requests cycling
-/// the scenario set from a client-specific offset. Returns (median
-/// latency in ms, aggregate queries/sec).
-fn run_level(addr: SocketAddr, scenarios: Arc<Vec<String>>, clients: usize, per_client: usize) -> (f64, f64) {
+/// the scenario set from a client-specific offset, every latency
+/// recorded into one shared lock-free histogram (in nanoseconds).
+/// Returns (latency histogram, aggregate queries/sec).
+fn run_level(
+    addr: SocketAddr,
+    scenarios: Arc<Vec<String>>,
+    clients: usize,
+    per_client: usize,
+) -> (Histogram, f64) {
+    let hist = Histogram::new();
     let t0 = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|c| {
             let scenarios = Arc::clone(&scenarios);
+            let hist = hist.clone();
             std::thread::spawn(move || {
-                let mut lat = Vec::with_capacity(per_client);
                 for k in 0..per_client {
                     let q = &scenarios[(c * 5 + k) % scenarios.len()];
                     let t = Instant::now();
                     let (status, body) = http_get(addr, q).expect("request");
                     assert_eq!(status, 200, "{body}");
-                    lat.push(t.elapsed().as_secs_f64() * 1e3);
+                    hist.record(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
                 }
-                lat
             })
         })
         .collect();
-    let mut latencies: Vec<f64> = handles
-        .into_iter()
-        .flat_map(|h| h.join().expect("client"))
-        .collect();
+    for h in handles {
+        h.join().expect("client");
+    }
     let wall = t0.elapsed().as_secs_f64();
-    latencies.sort_by(|a, b| a.total_cmp(b));
-    let median = latencies[latencies.len() / 2];
-    let qps = latencies.len() as f64 / wall;
-    (median, qps)
+    let qps = hist.count() as f64 / wall;
+    (hist, qps)
+}
+
+/// A histogram quantile in milliseconds.
+fn q_ms(hist: &Histogram, q: f64) -> f64 {
+    hist.quantile(q) as f64 / 1e6
 }
 
 /// A pooled server with explicit admission tuning (overload row).
@@ -159,9 +171,9 @@ fn main() {
             _ => 8,
         };
         for (mode, sequential) in [("sequential", true), ("pooled", false)] {
-            // Three repetitions, median run by latency: 64 threads on a
-            // small box make single runs too noisy to compare.
-            let mut runs: Vec<(f64, f64)> = (0..3)
+            // Three repetitions, median run by p50 latency: 64 threads on
+            // a small box make single runs too noisy to compare.
+            let mut runs: Vec<(Histogram, f64)> = (0..3)
                 .map(|_| {
                     // fresh server per run: cold engine, equal HTTP-side
                     // concurrency for both modes
@@ -171,15 +183,20 @@ fn main() {
                     r
                 })
                 .collect();
-            runs.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let (median_ms, qps) = runs[runs.len() / 2];
+            runs.sort_by_key(|r| r.0.quantile(0.5));
+            let (hist, qps) = &runs[runs.len() / 2];
+            let (p50, p90, p99) = (q_ms(hist, 0.5), q_ms(hist, 0.9), q_ms(hist, 0.99));
             println!(
-                "select8 clients={clients:<3} {mode:<10} median {median_ms:>9.3} ms   {qps:>8.1} q/s"
+                "select8 clients={clients:<3} {mode:<10} p50 {p50:>9.3} ms  \
+                 p90 {p90:>9.3} ms  p99 {p99:>9.3} ms   {qps:>8.1} q/s"
             );
+            let round3 = |v: f64| jsonlite::Value::Number((v * 1e3).round() / 1e3);
             results.push((
                 format!("select8/clients={clients}/{mode}"),
                 jsonlite::Value::object(vec![
-                    ("median_ms", jsonlite::Value::Number((median_ms * 1e3).round() / 1e3)),
+                    ("p50_ms", round3(p50)),
+                    ("p90_ms", round3(p90)),
+                    ("p99_ms", round3(p99)),
                     ("qps", jsonlite::Value::Number((qps * 10.0).round() / 10.0)),
                 ]),
             ));

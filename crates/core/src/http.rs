@@ -49,15 +49,36 @@
 //! Handler panics are caught per request (`500`, worker survives), and
 //! write-side errors (client hung up mid-response) are counted, never
 //! panicked on. [`ServerStats`] exposes the counters.
+//!
+//! ## Telemetry
+//!
+//! Every server owns a [`telemetry::MetricsRegistry`] (pass a shared one
+//! via [`Server::start_with_registry`] to merge with application
+//! metrics). The layer records, always-on:
+//!
+//! * `http_accepted_total`, `http_shed_total`, `http_stale_served_total`,
+//!   `http_expired_total`, `http_handler_panics_total`,
+//!   `http_write_errors_total` — the [`ServerStats`] counters, adopted
+//!   onto the registry (same cells, two views).
+//! * `http_request_latency_ns{endpoint,status}` — dequeue-to-written
+//!   latency histograms, keyed by the first two path segments (bounded
+//!   cardinality: past 64 series new endpoints fold into `other`).
+//! * `http_queue_wait_ns` — accept-to-dequeue wait, the admission
+//!   queue's own latency.
+//! * `http_request_header_bytes_total` / `http_response_body_bytes_total`
+//!   — wire volume in and out.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use jsonlite::Value;
+use parking_lot::Mutex;
+use telemetry::{Counter, Histogram, MetricsRegistry};
 
 /// A parsed request.
 #[derive(Clone, Debug)]
@@ -300,26 +321,157 @@ impl Default for ServerConfig {
 }
 
 /// Lifetime counters of one server (observability / tests).
+///
+/// Fields are shared-handle [`telemetry::Counter`]s: the server bumps
+/// the same atomic cells `/pilgrim/metrics` renders — the struct is a
+/// *view* over the registry-adopted instruments, not a second ledger.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Connections accepted.
-    pub accepted: AtomicU64,
+    pub accepted: Counter,
     /// Connections refused by admission control (503 or degraded path).
-    pub shed: AtomicU64,
+    pub shed: Counter,
     /// Shed connections answered 200 by the degraded-mode fallback.
-    pub stale_served: AtomicU64,
+    pub stale_served: Counter,
     /// Requests answered 504 (deadline expired before the handler ran).
-    pub expired: AtomicU64,
+    pub expired: Counter,
     /// Handler panics converted into 500s.
-    pub handler_panics: AtomicU64,
+    pub handler_panics: Counter,
     /// Response writes that failed (client hung up mid-response).
-    pub write_errors: AtomicU64,
+    pub write_errors: Counter,
 }
 
 impl ServerStats {
-    fn bump(field: &AtomicU64) {
-        field.fetch_add(1, Ordering::Relaxed);
+    /// Adopts every counter into `registry` as the `http_*` family.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.adopt_counter(
+            "http_accepted_total",
+            "Connections accepted by the listener",
+            &[],
+            &self.accepted,
+        );
+        registry.adopt_counter(
+            "http_shed_total",
+            "Connections refused by admission control (503 or degraded path)",
+            &[],
+            &self.shed,
+        );
+        registry.adopt_counter(
+            "http_stale_served_total",
+            "Shed connections answered 200 by the degraded-mode fallback",
+            &[],
+            &self.stale_served,
+        );
+        registry.adopt_counter(
+            "http_expired_total",
+            "Requests answered 504 (deadline passed before the handler ran)",
+            &[],
+            &self.expired,
+        );
+        registry.adopt_counter(
+            "http_handler_panics_total",
+            "Handler panics converted into 500s",
+            &[],
+            &self.handler_panics,
+        );
+        registry.adopt_counter(
+            "http_write_errors_total",
+            "Response writes that failed (client hung up mid-response)",
+            &[],
+            &self.write_errors,
+        );
     }
+}
+
+/// Distinct `(endpoint, status)` latency series the server will create
+/// before folding further requests into `endpoint="other"` — bounds the
+/// exposition's cardinality against hostile or misdirected paths.
+const MAX_LATENCY_SERIES: usize = 64;
+
+/// Request-path instruments beyond the plain [`ServerStats`] counters:
+/// queue-wait and per-endpoint latency histograms plus wire byte
+/// counters, all registered on the server's [`MetricsRegistry`].
+pub struct HttpMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Accept → worker-dequeue wait. No endpoint label: the request has
+    /// not been read yet when the wait ends.
+    queue_wait_ns: Histogram,
+    /// Request-line + header bytes read off sockets.
+    header_bytes: Counter,
+    /// Response body bytes successfully written.
+    body_bytes: Counter,
+    /// Handle cache for `http_request_latency_ns{endpoint,status}` —
+    /// avoids a registry lookup per request and enforces
+    /// [`MAX_LATENCY_SERIES`].
+    latency: Mutex<HashMap<(String, u16), Histogram>>,
+}
+
+impl HttpMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> HttpMetrics {
+        let queue_wait_ns = registry.histogram(
+            "http_queue_wait_ns",
+            "Accept-to-dequeue wait before a worker picked the connection up",
+            &[],
+        );
+        let header_bytes = registry.counter(
+            "http_request_header_bytes_total",
+            "Request-line and header bytes read from clients",
+            &[],
+        );
+        let body_bytes = registry.counter(
+            "http_response_body_bytes_total",
+            "Response body bytes successfully written to clients",
+            &[],
+        );
+        HttpMetrics {
+            registry,
+            queue_wait_ns,
+            header_bytes,
+            body_bytes,
+            latency: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Records one served request under its normalized endpoint and
+    /// response status.
+    fn observe(&self, endpoint: &str, status: u16, elapsed: Duration) {
+        let mut table = self.latency.lock();
+        let key = (endpoint.to_string(), status);
+        let hist = match table.get(&key) {
+            Some(h) => h.clone(),
+            None => {
+                let label = if table.len() >= MAX_LATENCY_SERIES { "other" } else { endpoint };
+                let h = self.registry.histogram(
+                    "http_request_latency_ns",
+                    "Dequeue-to-response-written request latency",
+                    &[("endpoint", label), ("status", &status.to_string())],
+                );
+                table.insert(key, h.clone());
+                h
+            }
+        };
+        drop(table);
+        hist.record(dur_ns(elapsed));
+    }
+}
+
+/// First two path segments (`/pilgrim/rrd/a/b.rrd` → `/pilgrim/rrd`):
+/// the bounded endpoint label the latency series are keyed by.
+fn normalize_endpoint(path: &str) -> &str {
+    let mut end = path.len();
+    for (n, (i, _)) in path.match_indices('/').enumerate() {
+        // n == 0 is the leading slash; the third slash closes segment 2
+        if n == 2 {
+            end = i;
+            break;
+        }
+    }
+    &path[..end]
+}
+
+/// A `Duration` as saturating nanoseconds.
+fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 enum LineError {
@@ -413,7 +565,11 @@ impl ParseFailure {
     }
 }
 
-fn parse_request(stream: &mut TcpStream, config: &ServerConfig) -> Result<Request, ParseFailure> {
+fn parse_request(
+    stream: &mut TcpStream,
+    config: &ServerConfig,
+    metrics: &HttpMetrics,
+) -> Result<Request, ParseFailure> {
     let deadline = Instant::now() + config.header_deadline;
     let mut reader =
         BufReader::new(stream.try_clone().map_err(|e| ParseFailure::Bad(e.to_string()))?);
@@ -423,6 +579,7 @@ fn parse_request(stream: &mut TcpStream, config: &ServerConfig) -> Result<Reques
                 format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes")
             })
         })?;
+    metrics.header_bytes.add(line.len() as u64);
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or(ParseFailure::Bad("missing method".into()))?.to_string();
     let target = parts.next().ok_or(ParseFailure::Bad("missing target".into()))?.to_string();
@@ -438,6 +595,7 @@ fn parse_request(stream: &mut TcpStream, config: &ServerConfig) -> Result<Reques
             .map_err(|e| {
                 ParseFailure::from_line(e, || format!("headers exceed {MAX_HEADER_BYTES} bytes"))
             })?;
+        metrics.header_bytes.add(h.len() as u64);
         if h == "\r\n" || h == "\n" || h.is_empty() {
             break;
         }
@@ -481,56 +639,80 @@ fn effective_deadline(req: &Request, config: &ServerConfig) -> Option<Duration> 
         .or(config.default_deadline)
 }
 
-fn write_response(stream: &mut TcpStream, response: &Response, stats: &ServerStats) {
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    stats: &ServerStats,
+    metrics: &HttpMetrics,
+) {
     if response.write_to(stream).is_err() {
-        ServerStats::bump(&stats.write_errors);
+        stats.write_errors.inc();
+    } else {
+        metrics.body_bytes.add(response.body.len() as u64);
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 /// Serves one admitted connection end to end on a worker thread.
-fn serve_connection(mut conn: Conn, handler: &Handler, config: &ServerConfig, stats: &ServerStats) {
+fn serve_connection(
+    mut conn: Conn,
+    handler: &Handler,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    metrics: &HttpMetrics,
+) {
+    metrics.queue_wait_ns.record(dur_ns(conn.accepted.elapsed()));
+    let t0 = Instant::now();
     // Queued-then-expired work is dropped before any parsing.
     if let Some(d) = config.default_deadline {
         if conn.accepted.elapsed() >= d {
-            ServerStats::bump(&stats.expired);
-            write_response(&mut conn.stream, &Response::deadline_expired(), stats);
+            stats.expired.inc();
+            let response = Response::deadline_expired();
+            write_response(&mut conn.stream, &response, stats, metrics);
+            metrics.observe("unparsed", response.status, t0.elapsed());
             return;
         }
     }
-    let response = match parse_request(&mut conn.stream, config) {
+    // Parse failures have no trustworthy path; they land on a fixed label.
+    let mut endpoint = String::from("unparsed");
+    let response = match parse_request(&mut conn.stream, config, metrics) {
         Ok(req) if req.method == "GET" || req.method == "POST" => {
+            endpoint = normalize_endpoint(&req.path).to_string();
             match effective_deadline(&req, config) {
                 // Re-checked after parsing, *before* the handler runs:
                 // simulation work never starts for an expired request.
                 Some(d) if conn.accepted.elapsed() >= d => {
-                    ServerStats::bump(&stats.expired);
+                    stats.expired.inc();
                     Response::deadline_expired()
                 }
                 _ => match catch_unwind(AssertUnwindSafe(|| handler(&req))) {
                     Ok(r) => r,
                     Err(_) => {
-                        ServerStats::bump(&stats.handler_panics);
+                        stats.handler_panics.inc();
                         Response::error(500, "handler panicked")
                     }
                 },
             }
         }
-        Ok(req) => Response::error(405, &format!("method {} not allowed", req.method)),
+        Ok(req) => {
+            endpoint = normalize_endpoint(&req.path).to_string();
+            Response::error(405, &format!("method {} not allowed", req.method))
+        }
         Err(ParseFailure::Bad(e)) => Response::error(400, &format!("bad request: {e}")),
         Err(ParseFailure::HeaderDeadline) => {
             Response::error(408, "request header read exceeded its deadline")
         }
     };
-    write_response(&mut conn.stream, &response, stats);
+    write_response(&mut conn.stream, &response, stats, metrics);
+    metrics.observe(&endpoint, response.status, t0.elapsed());
 }
 
 /// Answers a shed connection inline (no request read): 503 +
 /// `Retry-After`, with a short write timeout so the accept loop cannot
 /// be held by a hostile peer.
-fn refuse(mut stream: TcpStream, config: &ServerConfig, stats: &ServerStats) {
+fn refuse(mut stream: TcpStream, config: &ServerConfig, stats: &ServerStats, metrics: &HttpMetrics) {
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-    write_response(&mut stream, &Response::overloaded(config.retry_after_secs), stats);
+    write_response(&mut stream, &Response::overloaded(config.retry_after_secs), stats, metrics);
 }
 
 /// Serves one shed connection on the degraded-mode thread: parse (under
@@ -538,13 +720,19 @@ fn refuse(mut stream: TcpStream, config: &ServerConfig, stats: &ServerStats) {
 /// handler, count 200s as stale serves. Deliberately GET-only: a shed
 /// POST (a control mutation like a link event) must be refused with the
 /// overload answer, never silently degraded.
-fn serve_shed(mut conn: Conn, fallback: &Handler, config: &ServerConfig, stats: &ServerStats) {
-    let response = match parse_request(&mut conn.stream, config) {
+fn serve_shed(
+    mut conn: Conn,
+    fallback: &Handler,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    metrics: &HttpMetrics,
+) {
+    let response = match parse_request(&mut conn.stream, config, metrics) {
         Ok(req) if req.method == "GET" => {
             match catch_unwind(AssertUnwindSafe(|| fallback(&req))) {
                 Ok(r) => r,
                 Err(_) => {
-                    ServerStats::bump(&stats.handler_panics);
+                    stats.handler_panics.inc();
                     Response::overloaded(config.retry_after_secs)
                 }
             }
@@ -555,9 +743,9 @@ fn serve_shed(mut conn: Conn, fallback: &Handler, config: &ServerConfig, stats: 
         }
     };
     if response.status == 200 {
-        ServerStats::bump(&stats.stale_served);
+        stats.stale_served.inc();
     }
-    write_response(&mut conn.stream, &response, stats);
+    write_response(&mut conn.stream, &response, stats, metrics);
 }
 
 /// A running HTTP server.
@@ -568,6 +756,7 @@ pub struct Server {
     worker_threads: Vec<std::thread::JoinHandle<()>>,
     shed_thread: Option<std::thread::JoinHandle<()>>,
     stats: Arc<ServerStats>,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl Server {
@@ -580,17 +769,40 @@ impl Server {
 
     /// Binds `addr` with explicit admission/deadline tuning. When
     /// `shed_fallback` is set, shed connections are parsed and offered to
-    /// it (degraded mode) instead of being refused outright.
+    /// it (degraded mode) instead of being refused outright. The server
+    /// gets a private [`MetricsRegistry`].
     pub fn start_with(
         addr: &str,
         config: ServerConfig,
         handler: Handler,
         shed_fallback: Option<Handler>,
     ) -> std::io::Result<Server> {
+        Server::start_with_registry(
+            addr,
+            config,
+            handler,
+            shed_fallback,
+            Arc::new(MetricsRegistry::new()),
+        )
+    }
+
+    /// Like [`Server::start_with`], but adopting the server's instruments
+    /// into a caller-provided registry — the Pilgrim service passes its
+    /// own so `/pilgrim/metrics` exposes the `http_*` family alongside
+    /// the forecast/kernel/pool families.
+    pub fn start_with_registry(
+        addr: &str,
+        config: ServerConfig,
+        handler: Handler,
+        shed_fallback: Option<Handler>,
+        registry: Arc<MetricsRegistry>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
+        stats.register_metrics(&registry);
+        let metrics = Arc::new(HttpMetrics::new(Arc::clone(&registry)));
         let pending = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = crossbeam::channel::unbounded::<Conn>();
 
@@ -599,6 +811,7 @@ impl Server {
             let rx = rx.clone();
             let handler = handler.clone();
             let stats = Arc::clone(&stats);
+            let metrics = Arc::clone(&metrics);
             let pending = Arc::clone(&pending);
             worker_threads.push(std::thread::spawn(move || {
                 while let Ok(conn) = rx.recv() {
@@ -607,7 +820,7 @@ impl Server {
                     // outer guard keeps the worker alive even if the
                     // parse/write plumbing ever panics.
                     let _ = catch_unwind(AssertUnwindSafe(|| {
-                        serve_connection(conn, &handler, &config, &stats)
+                        serve_connection(conn, &handler, &config, &stats, &metrics)
                     }));
                 }
             }));
@@ -619,12 +832,13 @@ impl Server {
         let shed_pending = Arc::new(AtomicUsize::new(0));
         let shed_thread = shed_fallback.map(|fallback| {
             let stats = Arc::clone(&stats);
+            let metrics = Arc::clone(&metrics);
             let shed_pending = Arc::clone(&shed_pending);
             std::thread::spawn(move || {
                 while let Ok(conn) = shed_rx.recv() {
                     shed_pending.fetch_sub(1, Ordering::SeqCst);
                     let _ = catch_unwind(AssertUnwindSafe(|| {
-                        serve_shed(conn, &fallback, &config, &stats)
+                        serve_shed(conn, &fallback, &config, &stats, &metrics)
                     }));
                 }
             })
@@ -633,6 +847,7 @@ impl Server {
 
         let stop2 = stop.clone();
         let stats2 = Arc::clone(&stats);
+        let metrics2 = Arc::clone(&metrics);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop2.load(Ordering::SeqCst) {
@@ -640,16 +855,16 @@ impl Server {
                 }
                 match stream {
                     Ok(s) => {
-                        ServerStats::bump(&stats2.accepted);
+                        stats2.accepted.inc();
                         let conn = Conn { stream: s, accepted: Instant::now() };
                         if pending.load(Ordering::SeqCst) >= config.queue_limit {
-                            ServerStats::bump(&stats2.shed);
+                            stats2.shed.inc();
                             if degraded && shed_pending.load(Ordering::SeqCst) < SHED_QUEUE_LIMIT
                             {
                                 shed_pending.fetch_add(1, Ordering::SeqCst);
                                 let _ = shed_tx.send(conn);
                             } else {
-                                refuse(conn.stream, &config, &stats2);
+                                refuse(conn.stream, &config, &stats2, &metrics2);
                             }
                         } else {
                             pending.fetch_add(1, Ordering::SeqCst);
@@ -669,6 +884,7 @@ impl Server {
             worker_threads,
             shed_thread,
             stats,
+            registry,
         })
     }
 
@@ -680,6 +896,12 @@ impl Server {
     /// Lifetime counters.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// The registry holding this server's instruments (shared with the
+    /// caller if it was started via [`Server::start_with_registry`]).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Stops accepting and drains gracefully: queued and in-flight

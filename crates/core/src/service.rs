@@ -18,17 +18,51 @@
 //!   the event can touch; answers `{"ok",…,"invalidated"}`. POST-only —
 //!   this mutates serving state, and a GET must never do that;
 //! * `GET /pilgrim/stats` — engine observability: cache, coalescing,
-//!   shed and invalidation counters;
+//!   shed and invalidation counters (a thin JSON view over the metrics
+//!   registry — both read the same counter cells);
+//! * `GET /pilgrim/metrics` — the full [`telemetry::MetricsRegistry`] in
+//!   Prometheus text exposition format: forecast stage histograms,
+//!   cache/coalescing counters, kernel work counters, worker-pool gauges
+//!   and (when the server shares its registry via
+//!   `Server::start_with_registry`) the `http_*` family;
 //! * `GET /pilgrim/platforms` and `GET /pilgrim/rrds` — discovery.
+//!
+//! Every served request is additionally recorded in
+//! `pilgrim_request_latency_ns{endpoint=…}` — the service-level
+//! end-to-end histogram the per-stage forecast histograms decompose.
 
 use std::sync::Arc;
 
 use jsonlite::Value;
 use simflow::PlatformEventKind;
+use telemetry::{Histogram, MetricsRegistry, Span};
 
 use crate::http::{Handler, Request, Response};
 use crate::metrology::{Metrology, MetrologyError};
 use crate::pnfs::{Pnfs, PnfsError, TransferRequest};
+
+/// The fixed endpoint labels `pilgrim_request_latency_ns` is keyed by —
+/// static, so request paths cannot grow the exposition.
+const ENDPOINTS: &[&str] = &[
+    "link_event",
+    "rrd_update",
+    "rrd",
+    "predict_transfers",
+    "select_fastest",
+    "forecast_workflow",
+    "platforms",
+    "rrds",
+    "stats",
+    "metrics",
+    "unknown",
+];
+
+/// Maps a request path onto its [`ENDPOINTS`] label.
+fn endpoint_label(path: &str) -> &'static str {
+    let rest = path.strip_prefix("/pilgrim/").unwrap_or("");
+    let head = rest.split('/').next().unwrap_or("");
+    ENDPOINTS.iter().find(|&&e| e == head).copied().unwrap_or("unknown")
+}
 
 /// The assembled Pilgrim application state.
 pub struct PilgrimService {
@@ -36,12 +70,46 @@ pub struct PilgrimService {
     pub metrology: Metrology,
     /// Forecast service (platform models + simulation).
     pub pnfs: Pnfs,
+    /// The registry `/pilgrim/metrics` renders. Engine, cache, kernel and
+    /// pool instruments are adopted here at construction.
+    registry: Arc<MetricsRegistry>,
+    /// One end-to-end latency histogram per [`ENDPOINTS`] entry.
+    request_latency: Vec<(&'static str, Histogram)>,
 }
 
 impl PilgrimService {
-    /// Bundles the two services.
+    /// Bundles the two services over a fresh [`MetricsRegistry`].
     pub fn new(metrology: Metrology, pnfs: Pnfs) -> Self {
-        PilgrimService { metrology, pnfs }
+        PilgrimService::with_registry(metrology, pnfs, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Bundles the two services, adopting every engine instrument into
+    /// the caller's `registry` — pass the same registry to
+    /// `Server::start_with_registry` so `/pilgrim/metrics` also carries
+    /// the `http_*` family.
+    pub fn with_registry(
+        metrology: Metrology,
+        pnfs: Pnfs,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        pnfs.engine().register_metrics(&registry);
+        let request_latency = ENDPOINTS
+            .iter()
+            .map(|&endpoint| {
+                let h = registry.histogram(
+                    "pilgrim_request_latency_ns",
+                    "End-to-end service-handler latency per endpoint",
+                    &[("endpoint", endpoint)],
+                );
+                (endpoint, h)
+            })
+            .collect();
+        PilgrimService { metrology, pnfs, registry, request_latency }
+    }
+
+    /// The registry `/pilgrim/metrics` renders.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Adapts the service into an HTTP handler.
@@ -65,9 +133,20 @@ impl PilgrimService {
         Arc::new(move |req: &Request| svc.handle_shed(req))
     }
 
-    /// Routes one request. The control mutation (`link_event`) demands
-    /// POST; every read-side endpoint demands GET.
+    /// Routes one request, recording its end-to-end latency under the
+    /// endpoint's `pilgrim_request_latency_ns` series. The control
+    /// mutation (`link_event`) demands POST; every read-side endpoint
+    /// demands GET.
     pub fn handle(&self, req: &Request) -> Response {
+        let endpoint = endpoint_label(&req.path);
+        // ENDPOINTS is fixed and endpoint_label total over it
+        let (_, hist) =
+            self.request_latency.iter().find(|(e, _)| *e == endpoint).expect("known endpoint");
+        let _e2e = Span::start(hist);
+        self.route(req)
+    }
+
+    fn route(&self, req: &Request) -> Response {
         let path = req.path.trim_end_matches('/');
         if let Some(platform) = path.strip_prefix("/pilgrim/link_event/") {
             if req.method != "POST" {
@@ -105,6 +184,12 @@ impl PilgrimService {
                 Response::json(&Value::Array(names))
             }
             "/pilgrim/stats" => self.handle_stats(),
+            "/pilgrim/metrics" => Response {
+                status: 200,
+                body: self.registry.render(),
+                content_type: "text/plain; version=0.0.4",
+                headers: Vec::new(),
+            },
             _ => Response::error(404, &format!("no such endpoint: {path}")),
         }
     }
@@ -148,23 +233,35 @@ impl PilgrimService {
     }
 
     fn handle_predict(&self, platform: &str, req: &Request) -> Response {
+        let stages = self.pnfs.engine().metrics();
+        let admission = Span::start(&stages.stage_admission);
         let requests = match parse_predict_params(req) {
             Ok(r) => r,
             Err(resp) => return resp,
         };
+        drop(admission);
         match self.pnfs.predict(platform, &requests) {
-            Ok(preds) => render_predictions(&preds),
+            Ok(preds) => {
+                let _render = Span::start(&stages.stage_render);
+                render_predictions(&preds)
+            }
             Err(e) => pnfs_error_response(e),
         }
     }
 
     fn handle_select(&self, platform: &str, req: &Request) -> Response {
+        let stages = self.pnfs.engine().metrics();
+        let admission = Span::start(&stages.stage_admission);
         let hypotheses = match parse_hypotheses(req) {
             Ok(h) => h,
             Err(resp) => return resp,
         };
+        drop(admission);
         match self.pnfs.select_fastest(platform, &hypotheses) {
-            Ok(sel) => render_selection(&sel),
+            Ok(sel) => {
+                let _render = Span::start(&stages.stage_render);
+                render_selection(&sel)
+            }
             Err(e) => pnfs_error_response(e),
         }
     }

@@ -12,7 +12,6 @@
 
 use std::io::Write;
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -135,9 +134,23 @@ fn ten_x_overload_sheds_cleanly_and_admitted_answers_match_reference() {
     assert!(total[0] >= 1, "some requests must be admitted and served: {total:?}");
     assert!(total[1] >= 1, "64 clients vs a queue of 8 must shed: {total:?}");
     assert!(
-        server.stats().shed.load(Ordering::Relaxed) >= total[1] as u64,
+        server.stats().shed.get() >= total[1] as u64,
         "every 503 received corresponds to a counted shed"
     );
+    // Counter balance: one accept per client request, nothing double-
+    // counted and nothing lost — the shed and expired counters are
+    // subsets of the accepted count, and the client-visible tallies
+    // never exceed their server-side counterparts.
+    let stats = server.stats();
+    assert_eq!(stats.accepted.get(), 128, "one accepted connection per client request");
+    assert!(
+        stats.shed.get() + stats.expired.get() <= stats.accepted.get(),
+        "shed ({}) + expired ({}) cannot exceed accepted ({})",
+        stats.shed.get(),
+        stats.expired.get(),
+        stats.accepted.get()
+    );
+    assert!(stats.expired.get() >= total[2] as u64, "every 504 received was counted");
 
     // the burst over, the server is healthy
     let (status, _) = http_get(addr, &scenario_set[0]).unwrap();
@@ -257,9 +270,18 @@ fn chaos_faults_and_rude_clients_do_not_hang_or_poison_the_engine() {
     // Every injected panic surfaced as a counted handler panic (worker
     // alive, 500 sent) — none escaped, none double-counted.
     assert_eq!(
-        server.stats().handler_panics.load(Ordering::Relaxed),
+        server.stats().handler_panics.get(),
         injector.panics_injected(),
         "injected panics must be absorbed per-request"
+    );
+    // Counter balance under chaos: 8 rude + 24 polite connections were
+    // accepted, exactly once each, with the drained counters consistent.
+    let stats = server.stats();
+    assert_eq!(stats.accepted.get(), 32, "8 rude + 24 polite connections accepted");
+    assert!(
+        stats.shed.get() + stats.expired.get() + stats.handler_panics.get()
+            <= stats.accepted.get(),
+        "failure counters are disjoint subsets of accepted connections"
     );
 
     // Chaos off: the engine must be fully recovered — no poisoned lock,
@@ -436,7 +458,7 @@ fn degraded_mode_serves_stale_epoch_answers_with_lag_header() {
         let (status, _) = o.join().expect("occupier thread");
         assert_eq!(status, 200);
     }
-    assert!(server.stats().stale_served.load(Ordering::Relaxed) >= 1);
-    assert!(server.stats().shed.load(Ordering::Relaxed) >= 2);
+    assert!(server.stats().stale_served.get() >= 1);
+    assert!(server.stats().shed.get() >= 2);
     assert!(svc.pnfs.engine().shed() >= 1, "the refused shed query is counted on the engine");
 }

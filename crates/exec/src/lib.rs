@@ -37,7 +37,15 @@
 //! simulation's solver fans components out through the same pool), and
 //! the waiting thread simply executes the nested jobs itself if no
 //! worker is free.
+//!
+//! ## Observability
+//!
+//! The pool is always instrumented (see [`pool::PoolMetrics`]): a queue
+//! depth gauge, a per-job service-time histogram, and the
+//! `panics_caught` counter. Handles are shared atomics from the
+//! `telemetry` crate — [`WorkerPool::register_metrics`] adopts them
+//! into a `MetricsRegistry` for `/pilgrim/metrics` exposition.
 
 pub mod pool;
 
-pub use pool::{Scope, WorkerPool};
+pub use pool::{PoolMetrics, Scope, WorkerPool};

@@ -22,14 +22,31 @@
 //! help-while-wait semantics.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use telemetry::{Counter, Gauge, Histogram, MetricsRegistry, Span};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The pool's always-on instruments. Handles are `Arc`-shared: clone
+/// freely, or adopt into a [`MetricsRegistry`] via
+/// [`WorkerPool::register_metrics`].
+#[derive(Clone, Default, Debug)]
+pub struct PoolMetrics {
+    /// Jobs enqueued and not yet started (submit/spawn increments,
+    /// dequeue — by a worker or a helping scope — decrements).
+    pub queue_depth: Gauge,
+    /// Per-job service time in nanoseconds (execution only, queue wait
+    /// excluded).
+    pub service_time_ns: Histogram,
+    /// Job panics swallowed by the pool (fault-injection observability:
+    /// chaos tests assert workers survived exactly the injected panics).
+    pub panics_caught: Counter,
+}
 
 /// A fixed-size pool of persistent worker threads.
 pub struct WorkerPool {
@@ -37,9 +54,7 @@ pub struct WorkerPool {
     rx: Receiver<Job>,
     workers: Vec<JoinHandle<()>>,
     size: usize,
-    /// Job panics swallowed by the pool (fault-injection observability:
-    /// chaos tests assert workers survived exactly the injected panics).
-    panics: Arc<AtomicU64>,
+    metrics: PoolMetrics,
 }
 
 impl WorkerPool {
@@ -47,27 +62,30 @@ impl WorkerPool {
     pub fn new(size: usize) -> WorkerPool {
         let size = size.max(1);
         let (tx, rx) = channel::unbounded::<Job>();
-        let panics = Arc::new(AtomicU64::new(0));
+        let metrics = PoolMetrics::default();
         let workers = (0..size)
             .map(|i| {
                 let rx = rx.clone();
-                let panics = Arc::clone(&panics);
+                let metrics = metrics.clone();
                 std::thread::Builder::new()
                     .name(format!("exec-worker-{i}"))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
+                            metrics.queue_depth.dec();
+                            let span = Span::start(&metrics.service_time_ns);
                             // A panicking job must not take the worker
                             // down; scopes observe the panic through
                             // their own wrapper (see `Scope::spawn`).
                             if catch_unwind(AssertUnwindSafe(job)).is_err() {
-                                panics.fetch_add(1, Ordering::Relaxed);
+                                metrics.panics_caught.inc();
                             }
+                            drop(span);
                         }
                     })
                     .expect("spawn worker thread")
             })
             .collect();
-        WorkerPool { tx: Some(tx), rx, workers, size, panics }
+        WorkerPool { tx: Some(tx), rx, workers, size, metrics }
     }
 
     /// A pool sized to the machine: `available_parallelism`, at least 1.
@@ -84,7 +102,35 @@ impl WorkerPool {
     /// Lifetime count of job panics the pool absorbed (workers survive
     /// every one of them; scoped jobs additionally re-raise at the scope).
     pub fn panics_caught(&self) -> u64 {
-        self.panics.load(Ordering::Relaxed)
+        self.metrics.panics_caught.get()
+    }
+
+    /// The pool's instrument handles (cheap `Arc` clones inside).
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.metrics
+    }
+
+    /// Adopts the pool's instruments into `registry` under the
+    /// canonical `pool_*` metric names.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.adopt_gauge(
+            "pool_queue_depth",
+            "Jobs enqueued on the worker pool and not yet started.",
+            &[],
+            &self.metrics.queue_depth,
+        );
+        registry.adopt_histogram(
+            "pool_job_service_ns",
+            "Worker-pool job service time (execution only), nanoseconds.",
+            &[],
+            &self.metrics.service_time_ns,
+        );
+        registry.adopt_counter(
+            "pool_panics_caught_total",
+            "Job panics absorbed by the worker pool.",
+            &[],
+            &self.metrics.panics_caught,
+        );
     }
 
     fn sender(&self) -> &Sender<Job> {
@@ -95,6 +141,7 @@ impl WorkerPool {
     /// worker survives); use [`WorkerPool::scope`] when the caller needs
     /// completion or panic propagation.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.metrics.queue_depth.inc();
         let sent = self.sender().send(Box::new(job));
         assert!(sent.is_ok(), "workers alive while pool alive");
     }
@@ -210,9 +257,12 @@ fn wait_all(pool: &WorkerPool, state: &ScopeState) {
         }
         match pool.rx.try_recv() {
             Ok(job) => {
+                pool.metrics.queue_depth.dec();
+                let span = Span::start(&pool.metrics.service_time_ns);
                 if catch_unwind(AssertUnwindSafe(job)).is_err() {
-                    pool.panics.fetch_add(1, Ordering::Relaxed);
+                    pool.metrics.panics_caught.inc();
                 }
+                drop(span);
             }
             Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {
                 // Nothing to steal; sleep until a job completion pokes
@@ -249,11 +299,11 @@ impl<'env> Scope<'_, 'env> {
     pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
         self.state.pending.fetch_add(1, Ordering::SeqCst);
         let state = Arc::clone(&self.state);
-        let panics = Arc::clone(&self.pool.panics);
+        let panics = self.pool.metrics.panics_caught.clone();
         let wrapped = move || {
             let result = catch_unwind(AssertUnwindSafe(job));
             if let Err(payload) = result {
-                panics.fetch_add(1, Ordering::Relaxed);
+                panics.inc();
                 let mut slot = state.panic.lock().unwrap_or_else(|e| e.into_inner());
                 if slot.is_none() {
                     *slot = Some(payload);
@@ -274,6 +324,7 @@ impl<'env> Scope<'_, 'env> {
         let boxed: Job = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(boxed)
         };
+        self.pool.metrics.queue_depth.inc();
         let sent = self.pool.sender().send(boxed);
         assert!(sent.is_ok(), "workers alive while pool alive");
     }
@@ -390,6 +441,24 @@ mod tests {
         }));
         assert!(result.is_err());
         assert_eq!(pool.map(&[5u32], |_, x| *x), vec![5]);
+    }
+
+    #[test]
+    fn metrics_balance_after_drain() {
+        let pool = WorkerPool::new(2);
+        let metrics = pool.metrics().clone();
+        for _ in 0..64 {
+            pool.submit(|| {});
+        }
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {});
+            }
+        });
+        drop(pool); // joins workers, draining the queue
+        assert_eq!(metrics.queue_depth.get(), 0, "every enqueue must be dequeued");
+        assert_eq!(metrics.service_time_ns.count(), 80, "every job must be timed");
+        assert_eq!(metrics.panics_caught.get(), 0);
     }
 
     #[test]

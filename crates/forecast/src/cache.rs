@@ -50,10 +50,10 @@
 //! `link_event`'s eviction serializes on the same lock).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use telemetry::{Counter, MetricsRegistry};
 
 use crate::engine::{Selection, TransferSpec};
 
@@ -270,15 +270,19 @@ pub struct ForecastCache {
     /// serving keeps a few old epochs around to answer from when
     /// shedding.
     retention: u64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    coalesced: AtomicU64,
-    stale_served: AtomicU64,
-    shed: AtomicU64,
+    // Serving statistics are shared-handle `telemetry` counters so a
+    // `MetricsRegistry` can adopt the very cells the hot path bumps
+    // (`register_metrics`) — no snapshot copying, no second source of
+    // truth.
+    hits: Counter,
+    misses: Counter,
+    coalesced: Counter,
+    stale_served: Counter,
+    shed: Counter,
     /// Entries evicted by route-targeted link invalidation.
-    invalidated_targeted: AtomicU64,
+    invalidated_targeted: Counter,
     /// Entries reclaimed by epoch purges (the blanket hammer).
-    invalidated_epoch: AtomicU64,
+    invalidated_epoch: Counter,
 }
 
 impl ForecastCache {
@@ -303,14 +307,61 @@ impl ForecastCache {
             }),
             capacity: capacity.max(1),
             retention,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            stale_served: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            invalidated_targeted: AtomicU64::new(0),
-            invalidated_epoch: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            coalesced: Counter::new(),
+            stale_served: Counter::new(),
+            shed: Counter::new(),
+            invalidated_targeted: Counter::new(),
+            invalidated_epoch: Counter::new(),
         }
+    }
+
+    /// Adopts the cache's serving counters into `registry` — the
+    /// exposition reads the same atomic cells the hot path increments.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        registry.adopt_counter(
+            "forecast_cache_hits_total",
+            "Forecast cache lookups answered from a fresh entry",
+            &[],
+            &self.hits,
+        );
+        registry.adopt_counter(
+            "forecast_cache_misses_total",
+            "Forecast cache lookups that found no fresh entry",
+            &[],
+            &self.misses,
+        );
+        registry.adopt_counter(
+            "forecast_coalesced_total",
+            "Requests that joined an in-flight identical computation",
+            &[],
+            &self.coalesced,
+        );
+        registry.adopt_counter(
+            "forecast_stale_served_total",
+            "Degraded-mode answers served from a stale epoch",
+            &[],
+            &self.stale_served,
+        );
+        registry.adopt_counter(
+            "forecast_shed_total",
+            "Requests shed by admission control",
+            &[],
+            &self.shed,
+        );
+        registry.adopt_counter(
+            "forecast_cache_invalidated_total",
+            "Cache entries dropped by invalidation, by mechanism",
+            &[("kind", "targeted")],
+            &self.invalidated_targeted,
+        );
+        registry.adopt_counter(
+            "forecast_cache_invalidated_total",
+            "Cache entries dropped by invalidation, by mechanism",
+            &[("kind", "epoch")],
+            &self.invalidated_epoch,
+        );
     }
 
     /// Looks a key up, counting the hit/miss. A hit promotes the entry to
@@ -319,13 +370,13 @@ impl ForecastCache {
         let mut inner = self.inner.lock();
         match inner.map.get(key).copied() {
             Some(idx) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 inner.unlink(idx);
                 inner.push_front(idx);
                 inner.entries[idx].value.clone()
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -356,7 +407,7 @@ impl ForecastCache {
         inner.unlink(idx);
         inner.push_front(idx);
         let value = inner.entries[idx].value.clone()?;
-        self.stale_served.fetch_add(1, Ordering::Relaxed);
+        self.stale_served.inc();
         Some((value, fresh_epoch - e))
     }
 
@@ -396,7 +447,7 @@ impl ForecastCache {
             inner.inserts_since_purge = 0;
             let current = inner.latest_epoch;
             let purged = inner.purge(current, self.retention);
-            self.invalidated_epoch.fetch_add(purged, Ordering::Relaxed);
+            self.invalidated_epoch.add(purged);
         }
         if inner.map.contains_key(&key) {
             // A racing query computed the same forecast; results are
@@ -449,7 +500,7 @@ impl ForecastCache {
         for idx in victims {
             inner.remove(idx);
         }
-        self.invalidated_targeted.fetch_add(n, Ordering::Relaxed);
+        self.invalidated_targeted.add(n);
         n
     }
 
@@ -461,7 +512,7 @@ impl ForecastCache {
         let mut inner = self.inner.lock();
         inner.latest_epoch = inner.latest_epoch.max(current);
         let purged = inner.purge(current, self.retention);
-        self.invalidated_epoch.fetch_add(purged, Ordering::Relaxed);
+        self.invalidated_epoch.add(purged);
     }
 
     /// Number of live entries.
@@ -476,49 +527,49 @@ impl ForecastCache {
 
     /// Lifetime hit count.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lifetime miss count.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Records a request that joined an in-flight computation instead of
     /// re-simulating (singleflight).
     pub fn note_coalesced(&self) {
-        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        self.coalesced.inc();
     }
 
     /// Requests coalesced onto in-flight computations so far.
     pub fn coalesced(&self) -> u64 {
-        self.coalesced.load(Ordering::Relaxed)
+        self.coalesced.get()
     }
 
     /// Stale-epoch answers served so far (degraded mode).
     pub fn stale_served(&self) -> u64 {
-        self.stale_served.load(Ordering::Relaxed)
+        self.stale_served.get()
     }
 
     /// Records a request shed by admission control without an answer
     /// from this cache.
     pub fn note_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.inc();
     }
 
     /// Requests shed so far.
     pub fn shed(&self) -> u64 {
-        self.shed.load(Ordering::Relaxed)
+        self.shed.get()
     }
 
     /// Entries evicted by route-targeted link invalidation so far.
     pub fn invalidated_targeted(&self) -> u64 {
-        self.invalidated_targeted.load(Ordering::Relaxed)
+        self.invalidated_targeted.get()
     }
 
     /// Entries reclaimed by epoch purges so far.
     pub fn invalidated_epoch(&self) -> u64 {
-        self.invalidated_epoch.load(Ordering::Relaxed)
+        self.invalidated_epoch.get()
     }
 }
 

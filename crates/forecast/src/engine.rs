@@ -63,9 +63,11 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use parking_lot::RwLock;
 use simflow::{NetworkConfig, Platform, PlatformEventKind, SimError};
+use telemetry::{MetricsRegistry, Span};
 
 use crate::cache::{CacheKey, CachedResult, ForecastCache};
 use crate::faults::FaultInjector;
+use crate::metrics::ForecastMetrics;
 use crate::pool::WorkerPool;
 use crate::session::{BackgroundFlow, ResolvedSpec, Session};
 
@@ -203,9 +205,9 @@ pub struct ForecastEngine {
     /// Singleflight table: canonical key → the in-flight computation
     /// concurrent duplicates should join.
     flights: StdMutex<HashMap<CacheKey, Arc<Flight>>>,
-    /// Leader computations started (cache misses that actually
-    /// simulated) — the counter coalescing tests pin.
-    simulations: AtomicU64,
+    /// Instrument bundle: per-stage latency histograms, the simulations
+    /// counter, and the kernel work counters every session feeds.
+    metrics: ForecastMetrics,
     /// Optional chaos hook applied at the start of each leader
     /// computation.
     faults: RwLock<Option<Arc<FaultInjector>>>,
@@ -231,9 +233,26 @@ impl ForecastEngine {
             cache: ForecastCache::with_retention(engine.cache_capacity, engine.stale_retention),
             epoch: AtomicU64::new(0),
             flights: StdMutex::new(HashMap::new()),
-            simulations: AtomicU64::new(0),
+            metrics: ForecastMetrics::default(),
             faults: RwLock::new(None),
         }
+    }
+
+    /// The engine's instrument bundle (stage histograms, simulations
+    /// counter, kernel counters). Handles are cheap clones of shared
+    /// atomics; the service layer records its `admission`/`render`
+    /// stages through this.
+    pub fn metrics(&self) -> &ForecastMetrics {
+        &self.metrics
+    }
+
+    /// Adopts every engine-owned instrument into `registry`: the stage
+    /// histograms and kernel counters, the cache's serving counters, and
+    /// the shared worker pool's gauges.
+    pub fn register_metrics(&self, registry: &MetricsRegistry) {
+        self.metrics.register(registry);
+        self.cache.register_metrics(registry);
+        self.pool.register_metrics(registry);
     }
 
     /// The model configuration in use.
@@ -264,8 +283,12 @@ impl ForecastEngine {
 
     /// Registers an already-shared platform under `name`.
     pub fn register_platform_shared(&self, name: &str, platform: Arc<Platform>) {
-        let session =
-            Arc::new(Session::with_pool(platform, self.config, Some(Arc::clone(&self.pool))));
+        let session = Arc::new(Session::with_instruments(
+            platform,
+            self.config,
+            Some(Arc::clone(&self.pool)),
+            self.metrics.kernel.clone(),
+        ));
         self.sessions.write().insert(name.to_string(), session);
     }
 
@@ -372,7 +395,7 @@ impl ForecastEngine {
     /// reached simulation counts once, however many followers coalesced
     /// onto it.
     pub fn simulations(&self) -> u64 {
-        self.simulations.load(Ordering::SeqCst)
+        self.metrics.simulations.get()
     }
 
     /// Installs (or clears) the chaos hook applied at the start of every
@@ -384,7 +407,7 @@ impl ForecastEngine {
     /// Marks the start of a leader computation: counts it and applies
     /// the installed fault, if any (which may sleep or panic here).
     fn begin_simulation(&self) {
-        self.simulations.fetch_add(1, Ordering::SeqCst);
+        self.metrics.simulations.inc();
         let injector = self.faults.read().clone();
         if let Some(inj) = injector {
             inj.step();
@@ -425,6 +448,7 @@ impl ForecastEngine {
         };
         if let Some(flight) = existing {
             self.cache.note_coalesced();
+            let _wait = Span::start(&self.metrics.stage_coalesce_wait);
             return flight.wait();
         }
 
@@ -449,7 +473,12 @@ impl ForecastEngine {
             }
         }
         let mut guard = LeaderGuard { engine: self, key: &key, done: false };
+        // The simulate stage covers the whole leader computation
+        // (sharding, simulation, selection replay); a panicking compute
+        // still records — the span drops during unwinding.
+        let simulate = Span::start(&self.metrics.stage_simulate);
         let result = compute();
+        drop(simulate);
         guard.done = true;
         drop(guard);
         if let Ok(value) = &result {
@@ -483,6 +512,10 @@ impl ForecastEngine {
         specs: &[TransferSpec],
     ) -> Result<Arc<Vec<f64>>, ForecastError> {
         let session = self.session(platform)?;
+        // The cache_lookup stage covers key construction (resolution,
+        // footprint) plus the lookup itself — everything between
+        // admission and the simulate/coalesce decision.
+        let lookup = Span::start(&self.metrics.stage_cache_lookup);
         // Validation errors are cheap and per-request; resolving up
         // front also yields the route union the footprint key and
         // targeted invalidation need.
@@ -497,6 +530,7 @@ impl ForecastEngine {
         if let Some(CachedResult::Predict(d)) = self.cache.get(&key) {
             return Ok(d);
         }
+        drop(lookup);
         let valid_session = Arc::clone(&session);
         let outcome = self.coalesce(
             key,
@@ -627,6 +661,7 @@ impl ForecastEngine {
             return Err(ForecastError::NoHypotheses);
         }
         let session = self.session(platform)?;
+        let lookup = Span::start(&self.metrics.stage_cache_lookup);
         let resolved = hypotheses
             .iter()
             .flatten()
@@ -639,6 +674,7 @@ impl ForecastEngine {
         if let Some(CachedResult::Select(s)) = self.cache.get(&key) {
             return Ok(s);
         }
+        drop(lookup);
         let valid_session = Arc::clone(&session);
         let outcome = self.coalesce(
             key,

@@ -67,6 +67,7 @@
 pub mod cache;
 pub mod engine;
 pub mod faults;
+pub mod metrics;
 pub mod session;
 
 /// The worker pool now lives in the bottom-layer [`exec`] crate so that
@@ -78,5 +79,6 @@ pub use exec::pool;
 pub use cache::{CacheKey, CachedResult, ForecastCache};
 pub use engine::{EngineConfig, ForecastEngine, ForecastError, Selection, TransferSpec};
 pub use exec::{Scope, WorkerPool};
+pub use metrics::{ForecastMetrics, KernelCounters};
 pub use faults::{Fault, FaultInjector, FaultPlan};
 pub use session::{BackgroundFlow, LinkState, ResolvedSpec, Session};

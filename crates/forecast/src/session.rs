@@ -39,6 +39,8 @@ use simflow::{
     ResolvedPath, SimTuning, Simulation,
 };
 
+use crate::metrics::KernelCounters;
+
 use crate::engine::{ForecastError, TransferSpec};
 
 /// A background flow: a resolved path plus the bytes in flight, injected
@@ -97,6 +99,11 @@ pub struct Session {
     /// solver's component fan-out runs on the engine's threads instead
     /// of oversubscribing the machine.
     pool: Option<Arc<WorkerPool>>,
+    /// Shared kernel counters the session folds each finished run's
+    /// [`simflow::KernelStats`] into — after `run()` returns, never
+    /// inside the solve (the kernel counts plain integers and the
+    /// determinism contract forbids clocks/atomics there).
+    kernel: KernelCounters,
 }
 
 impl Session {
@@ -112,6 +119,19 @@ impl Session {
         config: NetworkConfig,
         pool: Option<Arc<WorkerPool>>,
     ) -> Session {
+        Session::with_instruments(platform, config, pool, KernelCounters::default())
+    }
+
+    /// [`Session::with_pool`] with caller-shared kernel counters: the
+    /// engine hands every session clones of one process-wide
+    /// [`KernelCounters`], so all platforms aggregate into the same
+    /// `kernel_*` metric family.
+    pub fn with_instruments(
+        platform: Arc<Platform>,
+        config: NetworkConfig,
+        pool: Option<Arc<WorkerPool>>,
+        kernel: KernelCounters,
+    ) -> Session {
         let capacities = Simulation::shared_capacities(&platform, &config);
         let conn = Connectivity::new(capacities.len());
         Session {
@@ -126,7 +146,13 @@ impl Session {
             overlay: RwLock::new(BTreeMap::new()),
             overlay_version: AtomicU64::new(0),
             pool,
+            kernel,
         }
+    }
+
+    /// The kernel counters this session aggregates into.
+    pub fn kernel_metrics(&self) -> &KernelCounters {
+        &self.kernel
     }
 
     /// The platform this session simulates.
@@ -352,6 +378,7 @@ impl Session {
             })
             .collect();
         let report = sim.run().map_err(ForecastError::Sim)?;
+        self.kernel.observe(&report.stats);
         Ok(ids
             .iter()
             .map(|id| {

@@ -79,7 +79,7 @@ use std::collections::BinaryHeap;
 use std::fmt;
 
 use crate::config::{NetworkConfig, SimTuning};
-use crate::model::MaxMinSolver;
+use crate::model::{MaxMinSolver, SolverStats};
 use crate::platform::{HostId, LinkId, Platform, RouteError, SharingPolicy};
 use crate::trace::{Trace, TraceEvent};
 use crate::units::{Duration, SimTime};
@@ -179,6 +179,24 @@ impl Completion {
     }
 }
 
+/// Event counts of one simulation run (observability). Everything here
+/// is a plain integer tally — the kernel and solver never read
+/// wall-clock, so the bit-identical sequential/parallel/warm solve
+/// paths are untouched by instrumentation. Sessions aggregate these
+/// into the process-wide metrics registry *after* `run` returns.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Solver reshares (same value as [`Report::reshares`]).
+    pub reshares: u64,
+    /// Completion-calendar heap pops, including stale entries discarded
+    /// by peeks (the lazy-deletion overhead the calendar trades for
+    /// O(log) updates).
+    pub calendar_pops: u64,
+    /// Solver component dispatch counts, size histogram and warm-replay
+    /// outcomes.
+    pub solver: SolverStats,
+}
+
 /// Results of a simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -191,6 +209,9 @@ pub struct Report {
     /// instant completion is discovered *by* a reshare, i.e.
     /// infinite-rate unconstrained transfers, need a second one).
     pub reshares: u64,
+    /// Full event-count breakdown of the run (reshares, calendar pops,
+    /// component sizes, warm-replay outcomes).
+    pub stats: KernelStats,
 }
 
 impl Report {
@@ -385,6 +406,9 @@ pub struct Simulation<'p> {
     link_count: usize,
     /// Set once the run loop starts; guards late `add_dependencies`.
     started: bool,
+    /// Calendar heap pops, stale discards included (pure count — see
+    /// [`KernelStats`]).
+    calendar_pops: u64,
     /// Scheduled platform events, indexed by [`Event::Platform`].
     platform_events: Vec<(u32, PlatformEventKind)>,
     /// Dynamic-platform state; `None` until the first platform event.
@@ -466,6 +490,7 @@ impl<'p> Simulation<'p> {
             calendar: BinaryHeap::new(),
             link_count: platform.link_count(),
             started: false,
+            calendar_pops: 0,
             platform_events: Vec::new(),
             dynamics: None,
             policy: DeadRoutePolicy::default(),
@@ -846,6 +871,7 @@ impl<'p> Simulation<'p> {
                 return Some(t);
             }
             self.calendar.pop();
+            self.calendar_pops += 1;
         }
         None
     }
@@ -921,12 +947,14 @@ impl<'p> Simulation<'p> {
                 if self.works[wi].status != Status::Running || self.works[wi].generation != gen
                 {
                     self.calendar.pop();
+                    self.calendar_pops += 1;
                     continue;
                 }
                 if te > now {
                     break;
                 }
                 self.calendar.pop();
+                self.calendar_pops += 1;
                 let w = &mut self.works[wi];
                 w.status = Status::Done;
                 w.remaining = 0.0;
@@ -1058,6 +1086,11 @@ impl<'p> Simulation<'p> {
         }
 
         let reshares = self.solver.reshares();
+        let stats = KernelStats {
+            reshares,
+            calendar_pops: self.calendar_pops,
+            solver: self.solver.stats().clone(),
+        };
         let completions = self
             .works
             .into_iter()
@@ -1074,7 +1107,7 @@ impl<'p> Simulation<'p> {
                 },
             })
             .collect();
-        Ok((Report { completions, reshares }, trace))
+        Ok((Report { completions, reshares, stats }, trace))
     }
 }
 

@@ -57,9 +57,10 @@ pub mod units;
 pub use config::{NetworkConfig, SimTuning};
 pub use connect::Connectivity;
 pub use kernel::{
-    Completion, CompletionOutcome, DeadRoutePolicy, PlatformEventKind, Report, ResolvedPath,
-    SimError, Simulation, WorkId, WorkKind,
+    Completion, CompletionOutcome, DeadRoutePolicy, KernelStats, PlatformEventKind, Report,
+    ResolvedPath, SimError, Simulation, WorkId, WorkKind,
 };
+pub use model::{SolverStats, WarmReplayStats, COMP_SIZE_BUCKETS};
 pub use platform::builder::{BuildError, PlatformBuilder};
 pub use platform::routing::{Element, RoutingKind};
 pub use platform::{HostId, LinkId, NetPointId, Platform, Route, RouteError, SharingPolicy, ZoneId};

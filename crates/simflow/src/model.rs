@@ -296,6 +296,77 @@ impl SolverCore {
     }
 }
 
+/// Log₂ buckets of the component-size histogram in [`SolverStats`]:
+/// bucket `k` counts components of `2^k ..= 2^(k+1)-1` flows, the last
+/// bucket everything larger.
+pub const COMP_SIZE_BUCKETS: usize = 17;
+
+/// Warm-start replay outcomes, counted per recorded level. Pure event
+/// counts — the solver never reads wall-clock — accumulated in per-job
+/// scratches and merged after the jobs return, so the bit-identical
+/// parallel solve paths stay untouched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmReplayStats {
+    /// Cached levels replayed verbatim (the fill work warm start saved).
+    pub levels_replayed: u64,
+    /// Cached levels skipped because they belonged entirely to a
+    /// since-split-off piece of the recorded component.
+    pub levels_skipped_split: u64,
+    /// Levels dropped because a seed-crossed resource's ratio bound at
+    /// or below the level's threshold.
+    pub invalidated_dirty_ratio: u64,
+    /// Levels dropped because a live seed's cap potential bound first.
+    pub invalidated_seed_cap: u64,
+    /// Levels dropped because a recorded binding resource went dirty.
+    pub invalidated_bind_dirty: u64,
+    /// Levels dropped because a recorded frozen flow is now a seed,
+    /// inactive, or already frozen.
+    pub invalidated_frozen_flow: u64,
+}
+
+impl WarmReplayStats {
+    fn merge(&mut self, o: &WarmReplayStats) {
+        self.levels_replayed += o.levels_replayed;
+        self.levels_skipped_split += o.levels_skipped_split;
+        self.invalidated_dirty_ratio += o.invalidated_dirty_ratio;
+        self.invalidated_seed_cap += o.invalidated_seed_cap;
+        self.invalidated_bind_dirty += o.invalidated_bind_dirty;
+        self.invalidated_frozen_flow += o.invalidated_frozen_flow;
+    }
+
+    /// Total recorded levels dropped without replay, all reasons.
+    pub fn levels_invalidated(&self) -> u64 {
+        self.invalidated_dirty_ratio
+            + self.invalidated_seed_cap
+            + self.invalidated_bind_dirty
+            + self.invalidated_frozen_flow
+    }
+}
+
+/// Lifetime event counts of one [`MaxMinSolver`] (observability; the
+/// kernel folds them into [`crate::KernelStats`] at the end of a run).
+/// Plain integers on the sequential path, per-job deltas on the
+/// parallel path — never atomics or clocks inside the solve.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Components dispatched across all reshares (including trivial
+    /// single-flow components solved inline).
+    pub components_solved: u64,
+    /// Histogram of component sizes (flows per dispatched component):
+    /// bucket `k` counts sizes in `2^k ..= 2^(k+1)-1`.
+    pub component_size_log2: [u64; COMP_SIZE_BUCKETS],
+    /// Warm-start replay outcomes.
+    pub warm: WarmReplayStats,
+}
+
+impl SolverStats {
+    fn record_component_size(&mut self, flows: usize) {
+        self.components_solved += 1;
+        let bucket = (usize::BITS - 1 - flows.max(1).leading_zeros()) as usize;
+        self.component_size_log2[bucket.min(COMP_SIZE_BUCKETS - 1)] += 1;
+    }
+}
+
 /// One component solve's mutable state. Every array is either cleared per
 /// run or guarded by a stamp (`stamp` for flow freezes, `round_stamp` for
 /// per-round resource dedup), so a scratch can be reused across solves —
@@ -306,6 +377,8 @@ struct SolveScratch {
     /// Bumped per component solve; `frozen_stamp[f] == stamp` means flow
     /// `f` froze (got its rate) during this solve.
     stamp: u64,
+    /// Warm-replay outcome counts, harvested by the owning reshare.
+    stats: WarmReplayStats,
     frozen_stamp: Vec<u64>,
     /// Per-resource working state, valid only for the component's
     /// resources (initialized at solve start).
@@ -648,6 +721,8 @@ pub struct MaxMinSolver {
     scratch_main: SolveScratch,
     /// Scratches for pool workers; grabbed and returned per job.
     scratch_pool: std::sync::Mutex<Vec<SolveScratch>>,
+    /// Lifetime event counts (components, sizes, warm-replay outcomes).
+    stats: SolverStats,
 }
 
 impl Clone for MaxMinSolver {
@@ -672,6 +747,7 @@ impl Clone for MaxMinSolver {
             changed: self.changed.clone(),
             scratch_main: SolveScratch::default(),
             scratch_pool: std::sync::Mutex::new(Vec::new()),
+            stats: self.stats.clone(),
         }
     }
 }
@@ -721,6 +797,7 @@ impl MaxMinSolver {
             changed: Vec::new(),
             scratch_main: SolveScratch::default(),
             scratch_pool: std::sync::Mutex::new(Vec::new()),
+            stats: SolverStats::default(),
         }
     }
 
@@ -864,6 +941,13 @@ impl MaxMinSolver {
     /// kernel surfaces it as [`crate::Report::reshares`]).
     pub fn reshares(&self) -> u64 {
         self.core.epoch
+    }
+
+    /// Lifetime event counts: components dispatched, their size
+    /// histogram, and warm-replay outcomes (observability; the kernel
+    /// folds them into [`crate::KernelStats`]).
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
     }
 
     /// Marks `flow` as competing for its resources.
@@ -1043,6 +1127,14 @@ impl MaxMinSolver {
             return &self.changed;
         }
 
+        // Component-size accounting: sizes are known at dispatch time,
+        // so this is one O(#components) integer pass per reshare —
+        // never inside a solve, never a clock read.
+        for ci in 0..self.comps.len() {
+            let n = (self.comps[ci].flows.1 - self.comps[ci].flows.0) as usize;
+            self.stats.record_component_size(n);
+        }
+
         let record = self.warm_start;
         // Partition the components into pool jobs: trivial (≤1 flow, no
         // warm replay) components stay inline behind their fused fast
@@ -1134,6 +1226,8 @@ impl MaxMinSolver {
                     self.warm.detach(res);
                 }
             }
+            let delta = std::mem::take(&mut self.scratch_main.stats);
+            self.stats.warm.merge(&delta);
         } else {
             // Parallel path: trivial components solve inline first (their
             // fused fast path beats any dispatch), then the jobs fan out
@@ -1162,7 +1256,7 @@ impl MaxMinSolver {
                     (ci, flows, res, warm, use_warm)
                 })
                 .collect();
-            let outs: Vec<Vec<CompOut>> =
+            let outs: Vec<(Vec<CompOut>, WarmReplayStats)> =
                 pool.map(&self.job_bounds, |_, &(lo, hi)| {
                     let mut scratch = scratch_pool
                         .lock()
@@ -1195,23 +1289,30 @@ impl MaxMinSolver {
                             }),
                         });
                     }
+                    // Harvest the job's warm-replay counts before the
+                    // scratch returns to the pool (deltas merge on the
+                    // dispatching thread — no atomics in the solve).
+                    let stats = std::mem::take(&mut scratch.stats);
                     scratch_pool.lock().unwrap_or_else(|e| e.into_inner()).push(scratch);
-                    job_out
+                    (job_out, stats)
                 });
             drop(jobs);
-            for out in outs.into_iter().flatten() {
-                for (f, rate) in out.changed {
-                    self.rates[f as usize] = rate;
-                    self.changed.push(f);
-                }
-                if record {
-                    let span = self.comps[out.comp as usize];
-                    let res = &self.comp_res[span.res.0 as usize..span.res.1 as usize];
-                    match out.rec {
-                        Some(rec) => self.warm.store_owned(res, Some(rec)),
-                        None => {
-                            if self.warm.has_records() {
-                                self.warm.detach(res);
+            for (job_out, delta) in outs {
+                self.stats.warm.merge(&delta);
+                for out in job_out {
+                    for (f, rate) in out.changed {
+                        self.rates[f as usize] = rate;
+                        self.changed.push(f);
+                    }
+                    if record {
+                        let span = self.comps[out.comp as usize];
+                        let res = &self.comp_res[span.res.0 as usize..span.res.1 as usize];
+                        match out.rec {
+                            Some(rec) => self.warm.store_owned(res, Some(rec)),
+                            None => {
+                                if self.warm.has_records() {
+                                    self.warm.detach(res);
+                                }
                             }
                         }
                     }
@@ -1439,21 +1540,28 @@ fn replay_rounds(
         }
     }
 
+    let total_levels = w.phis.len() as u64;
     let mut frozen_total = 0;
     'rounds: for k in 0..w.phis.len() {
         let phi = w.phis[k];
         let threshold = phi * (1.0 + REL_EPS) + f64::MIN_POSITIVE;
+        // Levels not yet reached when a check breaks the replay count as
+        // invalidated under that check's reason (pure integer
+        // bookkeeping; the replay logic is unchanged).
+        let left = total_levels - k as u64;
 
         // A dirty constraint binding at or below this level means the
         // seeds reshuffle the filling from here on: stop replaying.
         for di in 0..s.dirty.len() {
             let ri = s.dirty[di] as usize;
             if s.active_count_on[ri] > 0 && s.remaining[ri] / s.inv_w_sum[ri] <= threshold {
+                s.stats.invalidated_dirty_ratio += left;
                 break 'rounds;
             }
         }
         for si in 0..s.seed_flows.len() {
             if core.phi_cap[s.seed_flows[si] as usize] <= threshold {
+                s.stats.invalidated_seed_cap += left;
                 break 'rounds;
             }
         }
@@ -1468,6 +1576,7 @@ fn replay_rounds(
         let (blo, bhi) = (w.bind_offsets[k] as usize, w.bind_offsets[k + 1] as usize);
         for &r in &w.bind[blo..bhi] {
             if core.res_dirty[r as usize] == core.epoch {
+                s.stats.invalidated_bind_dirty += left;
                 break 'rounds;
             }
         }
@@ -1486,6 +1595,7 @@ fn replay_rounds(
                 || !core.flows[fi].active
                 || s.frozen_stamp[fi] == s.stamp
             {
+                s.stats.invalidated_frozen_flow += left;
                 break 'rounds;
             }
             // Capped or pinned by a clean binding resource — both
@@ -1494,11 +1604,13 @@ fn replay_rounds(
         }
         if s.touched.is_empty() {
             // Level belonged entirely to a split-off piece; skip it.
+            s.stats.levels_skipped_split += 1;
             continue;
         }
         s.round_bind.clear();
         s.round_bind.extend_from_slice(&w.bind[blo..bhi]);
         frozen_total += apply_round(core, record, phi, threshold, sink, s, false);
+        s.stats.levels_replayed += 1;
     }
     frozen_total
 }

@@ -1,0 +1,125 @@
+//! Scalar instruments: monotone [`Counter`] and up/down [`Gauge`].
+//!
+//! Both are an `Arc` around a single atomic — `clone()` shares the
+//! underlying cell, so the same counter can live in a subsystem's
+//! struct *and* in the [`crate::MetricsRegistry`] without any
+//! indirection or double counting.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonically increasing event counter (relaxed `fetch_add`).
+#[derive(Clone, Default, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// True if `other` shares this counter's cell (same instrument).
+    pub fn same_as(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// Instantaneous level (queue depth, cache entries, current epoch):
+/// goes up and down, can be `set` outright.
+#[derive(Clone, Default, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// True if `other` shares this gauge's cell (same instrument).
+    pub fn same_as(&self, other: &Gauge) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shares_through_clone() {
+        let c = Counter::new();
+        let view = c.clone();
+        c.inc();
+        view.add(4);
+        assert_eq!(c.get(), 5);
+        assert!(c.same_as(&view));
+        assert!(!c.same_as(&Counter::new()));
+    }
+
+    #[test]
+    fn gauge_up_down_set() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.add(-5);
+        assert_eq!(g.get(), -4);
+        g.set(17);
+        assert_eq!(g.get(), 17);
+    }
+
+    #[test]
+    fn counter_concurrent_exact() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+}

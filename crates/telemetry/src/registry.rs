@@ -1,0 +1,250 @@
+//! The registry: named, labeled instruments and Prometheus rendering.
+//!
+//! The registry is the *directory*, not the data path — records go
+//! straight to the instrument's atomics; the registry mutex is taken
+//! only to create/look up a handle or to render. Subsystems either ask
+//! the registry for a handle (`counter`/`gauge`/`histogram`,
+//! create-or-get) or construct instruments themselves and hand them in
+//! later (`adopt_*`), which keeps one definition per metric even when
+//! the owning struct is built before any registry exists.
+
+use crate::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+use std::sync::Mutex;
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Family {
+    help: &'static str,
+    /// keyed by the rendered `k="v",…` label interior (sorted by key)
+    series: BTreeMap<String, Instrument>,
+}
+
+/// Thread-safe directory of named instruments; renders Prometheus text
+/// exposition format (version 0.0.4).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<_> = labels.to_vec();
+    pairs.sort_unstable();
+    let mut out = String::new();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T: Clone>(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        wrap: impl Fn(T) -> Instrument,
+        unwrap: impl Fn(&Instrument) -> Option<T>,
+        fresh: impl Fn() -> T,
+    ) -> T {
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = families
+            .entry(name.to_string())
+            .or_insert_with(|| Family { help, series: BTreeMap::new() });
+        let series = family.series.entry(label_key(labels)).or_insert_with(|| wrap(fresh()));
+        unwrap(series).unwrap_or_else(|| {
+            panic!("metric '{name}' already registered as a {}", series.kind())
+        })
+    }
+
+    /// Create-or-get the counter `name{labels}`.
+    pub fn counter(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Counter {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            Instrument::Counter,
+            |i| match i {
+                Instrument::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            Counter::new,
+        )
+    }
+
+    /// Create-or-get the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Gauge {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            Instrument::Gauge,
+            |i| match i {
+                Instrument::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            Gauge::new,
+        )
+    }
+
+    /// Create-or-get the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Histogram {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            Instrument::Histogram,
+            |i| match i {
+                Instrument::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            Histogram::new,
+        )
+    }
+
+    /// Registers an externally owned counter as `name{labels}`,
+    /// replacing any series previously under that key. The registry
+    /// and the owner share the same cell afterwards.
+    pub fn adopt_counter(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        c: &Counter,
+    ) {
+        self.adopt(name, help, labels, Instrument::Counter(c.clone()));
+    }
+
+    /// Registers an externally owned gauge as `name{labels}`.
+    pub fn adopt_gauge(&self, name: &str, help: &'static str, labels: &[(&str, &str)], g: &Gauge) {
+        self.adopt(name, help, labels, Instrument::Gauge(g.clone()));
+    }
+
+    /// Registers an externally owned histogram as `name{labels}`.
+    pub fn adopt_histogram(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        h: &Histogram,
+    ) {
+        self.adopt(name, help, labels, Instrument::Histogram(h.clone()));
+    }
+
+    fn adopt(&self, name: &str, help: &'static str, labels: &[(&str, &str)], inst: Instrument) {
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = families
+            .entry(name.to_string())
+            .or_insert_with(|| Family { help, series: BTreeMap::new() });
+        family.series.insert(label_key(labels), inst);
+    }
+
+    /// Renders every family in Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` headers, families sorted by name, series
+    /// sorted by label set, histograms as cumulative `le` buckets plus
+    /// `_sum` / `_count`.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let kind =
+                family.series.values().next().map(Instrument::kind).unwrap_or("untyped");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (labels, inst) in family.series.iter() {
+                let lb = if labels.is_empty() { String::new() } else { format!("{{{labels}}}") };
+                match inst {
+                    Instrument::Counter(c) => {
+                        let _ = writeln!(out, "{name}{lb} {}", c.get());
+                    }
+                    Instrument::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{lb} {}", g.get());
+                    }
+                    Instrument::Histogram(h) => {
+                        h.render_prometheus(&mut out, name, labels);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_or_get_returns_same_cell() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x_total", "x", &[("k", "v")]);
+        let b = r.counter("x_total", "x", &[("k", "v")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(a.same_as(&b));
+        // different labels → different cell
+        let c = r.counter("x_total", "x", &[("k", "w")]);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn adopted_counter_is_shared() {
+        let r = MetricsRegistry::new();
+        let mine = Counter::new();
+        mine.add(5);
+        r.adopt_counter("owned_total", "pre-owned", &[], &mine);
+        let view = r.counter("owned_total", "pre-owned", &[]);
+        assert!(view.same_as(&mine));
+        assert!(r.render().contains("owned_total 5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("m", "m", &[]);
+        r.gauge("m", "m", &[]);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("t_total", "t", &[("b", "2"), ("a", "1")]);
+        let b = r.counter("t_total", "t", &[("a", "1"), ("b", "2")]);
+        assert!(a.same_as(&b));
+        assert!(r.render().contains("t_total{a=\"1\",b=\"2\"} 0"));
+    }
+
+    #[test]
+    fn label_values_escaped() {
+        let r = MetricsRegistry::new();
+        r.counter("e_total", "e", &[("p", "a\"b\\c\nd")]);
+        assert!(r.render().contains(r#"p="a\"b\\c\nd""#));
+    }
+}

@@ -1,0 +1,89 @@
+//! Record-on-drop stage timer.
+
+use crate::Histogram;
+use std::time::Instant;
+
+/// Times a stage and records the elapsed nanoseconds into the stage's
+/// [`Histogram`] when dropped:
+///
+/// ```
+/// # use telemetry::{Histogram, Span};
+/// let stage = Histogram::new();
+/// {
+///     let _span = Span::start(&stage);
+///     // ... stage work ...
+/// } // drop records elapsed ns
+/// assert_eq!(stage.count(), 1);
+/// ```
+///
+/// The handle clone is an `Arc` bump; the only wall-clock reads are
+/// one `Instant::now` at start and one at drop. Use [`Span::cancel`]
+/// to abandon a measurement (e.g. on an error path that should not
+/// pollute the latency distribution).
+pub struct Span {
+    hist: Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl Span {
+    #[inline]
+    pub fn start(stage: &Histogram) -> Span {
+        Span { hist: stage.clone(), start: Instant::now(), armed: true }
+    }
+
+    /// Nanoseconds elapsed so far (the value a drop would record now).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Consumes the span without recording.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+
+    /// Consumes the span, recording now; returns the recorded ns.
+    pub fn finish(mut self) -> u64 {
+        let ns = self.elapsed_ns();
+        self.armed = false;
+        self.hist.record(ns);
+        ns
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Histogram::new();
+        {
+            let _s = Span::start(&h);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn cancel_skips_recording() {
+        let h = Histogram::new();
+        Span::start(&h).cancel();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn finish_records_once_and_returns_ns() {
+        let h = Histogram::new();
+        let ns = Span::start(&h).finish();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), ns);
+    }
+}

@@ -1,0 +1,64 @@
+//! Golden test of the Prometheus text exposition renderer: a registry
+//! with one instrument of each kind, deterministic recordings, exact
+//! expected output. Guards header order, label canonicalization, the
+//! cumulative `le` ladder, and the `_sum`/`_count` trailer.
+
+use telemetry::MetricsRegistry;
+
+#[test]
+fn exposition_format_golden() {
+    let r = MetricsRegistry::new();
+
+    let c = r.counter("pilgrim_requests_total", "Requests accepted.", &[("endpoint", "stats")]);
+    c.add(42);
+    // second series of the same family, labels given out of order
+    let c2 =
+        r.counter("pilgrim_requests_total", "Requests accepted.", &[("endpoint", "predict")]);
+    c2.inc();
+
+    let g = r.gauge("pilgrim_queue_depth", "Connections queued.", &[]);
+    g.set(-3);
+
+    let h = r.histogram("pilgrim_latency_ns", "Request latency.", &[("endpoint", "stats")]);
+    // buckets: 2 → exact unit bucket; 100 → [96,103]; 1000 → [960,1023]
+    h.record(2);
+    h.record(100);
+    h.record(100);
+    h.record(1000);
+
+    let expected = "\
+# HELP pilgrim_latency_ns Request latency.
+# TYPE pilgrim_latency_ns histogram
+pilgrim_latency_ns_bucket{endpoint=\"stats\",le=\"1\"} 0
+pilgrim_latency_ns_bucket{endpoint=\"stats\",le=\"3\"} 1
+pilgrim_latency_ns_bucket{endpoint=\"stats\",le=\"7\"} 1
+pilgrim_latency_ns_bucket{endpoint=\"stats\",le=\"15\"} 1
+pilgrim_latency_ns_bucket{endpoint=\"stats\",le=\"31\"} 1
+pilgrim_latency_ns_bucket{endpoint=\"stats\",le=\"63\"} 1
+pilgrim_latency_ns_bucket{endpoint=\"stats\",le=\"127\"} 3
+pilgrim_latency_ns_bucket{endpoint=\"stats\",le=\"255\"} 3
+pilgrim_latency_ns_bucket{endpoint=\"stats\",le=\"511\"} 3
+pilgrim_latency_ns_bucket{endpoint=\"stats\",le=\"1023\"} 4
+pilgrim_latency_ns_bucket{endpoint=\"stats\",le=\"+Inf\"} 4
+pilgrim_latency_ns_sum{endpoint=\"stats\"} 1202
+pilgrim_latency_ns_count{endpoint=\"stats\"} 4
+# HELP pilgrim_queue_depth Connections queued.
+# TYPE pilgrim_queue_depth gauge
+pilgrim_queue_depth -3
+# HELP pilgrim_requests_total Requests accepted.
+# TYPE pilgrim_requests_total counter
+pilgrim_requests_total{endpoint=\"predict\"} 1
+pilgrim_requests_total{endpoint=\"stats\"} 42
+";
+    assert_eq!(r.render(), expected);
+}
+
+#[test]
+fn empty_histogram_renders_closed_ladder() {
+    let r = MetricsRegistry::new();
+    r.histogram("idle_ns", "Never recorded.", &[]);
+    let text = r.render();
+    assert!(text.contains("idle_ns_bucket{le=\"+Inf\"} 0"), "{text}");
+    assert!(text.contains("idle_ns_sum 0"), "{text}");
+    assert!(text.contains("idle_ns_count 0"), "{text}");
+}

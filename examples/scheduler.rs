@@ -164,6 +164,29 @@ fn main() {
             .fold(0.0, f64::max)
     };
 
+    // --- export a zoomable timeline of the winning plan: re-simulate it
+    //     traced and dump a Chrome trace-event file (open in
+    //     about:tracing or ui.perfetto.dev)
+    {
+        let mut sim =
+            simflow::Simulation::new(&lab.platform, simflow::NetworkConfig::default());
+        for t in &hypotheses[selection.best] {
+            let src = lab.platform.host_by_name(&t.src).expect("src");
+            let dst = lab.platform.host_by_name(&t.dst).expect("dst");
+            sim.add_transfer(src, dst, t.size).expect("transfer");
+        }
+        let (report, trace) = sim.run_traced().expect("traced run");
+        let out = "chosen_plan.trace.json";
+        std::fs::write(out, trace.to_chrome_json()).expect("write trace");
+        println!(
+            "\nwrote {out}: {} events, {} reshares, {} calendar pops \
+             (load in about:tracing)",
+            trace.events.len(),
+            report.stats.reshares,
+            report.stats.calendar_pops
+        );
+    }
+
     let naive_makespan = execute(&naive);
     let chosen_makespan = execute(&hypotheses[selection.best]);
     println!("\nexecuted on the testbed:");
