@@ -4,11 +4,18 @@
 //! `BENCH_forecast.json`.
 //!
 //! Each measurement starts a fresh `Server` (fresh engine → cold cache),
-//! fires `clients` threads that cycle a fixed 16-query scenario set
-//! (select_fastest over 8 hypotheses each — the serving pattern the
-//! paper's §VI sketches), and records per-request wall-clock latency
-//! into a `telemetry::Histogram` — the same mergeable log-linear
-//! histogram the serving path uses — reporting p50/p90/p99.
+//! fires `clients` keep-alive connections that cycle a fixed 16-query
+//! scenario set (select_fastest over 8 hypotheses each — the serving
+//! pattern the paper's §VI sketches), and records per-request wall-clock
+//! latency into a `telemetry::Histogram` — the same mergeable log-linear
+//! histogram the serving path uses — reporting p50/p90/p99 plus the
+//! server-side admission-queue wait (`http_queue_wait_ns` p50/p99).
+//!
+//! Three modes per concurrency level separate the two axes of the
+//! serving stack: `sequential` (reference engine, event front end),
+//! `pooled` (pooled engine, event front end — the headline rows), and
+//! `pooled-threaded` (pooled engine, thread-per-connection front end —
+//! the A/B row isolating what the epoll poller buys).
 //!
 //! Usage: `cargo run --release -p bench --bin bench_forecast [out.json]`
 
@@ -18,90 +25,11 @@ use std::time::Instant;
 
 use telemetry::Histogram;
 
+use bench::serving::{per_client_for, run_level, scenario_set, start_server, workers_for};
 use g5k::{synth, to_simflow, Flavor};
-use pilgrim_core::http::{http_get, Server, ServerConfig};
+use pilgrim_core::http::{http_get, FrontEnd, Server, ServerConfig};
 use pilgrim_core::{Metrology, PilgrimService, Pnfs};
 use simflow::NetworkConfig;
-
-/// The fixed scenario set: 16 `select_fastest` queries, 8 hypotheses
-/// each, mixing intra-cluster, intra-site and inter-site placements.
-fn scenario_set() -> Vec<String> {
-    (0..16)
-        .map(|i| {
-            let mut q = String::from("/pilgrim/select_fastest/g5k_test?");
-            for h in 0..8 {
-                let (src, dst) = match (i + h) % 4 {
-                    0 => (
-                        format!("sagittaire-{}.lyon.grid5000.fr", 1 + (i + h) % 20),
-                        format!("sagittaire-{}.lyon.grid5000.fr", 21 + (i + h) % 20),
-                    ),
-                    1 => (
-                        format!("graphene-{}.nancy.grid5000.fr", 1 + (i + h) % 30),
-                        format!("graphene-{}.nancy.grid5000.fr", 31 + (i + h) % 30),
-                    ),
-                    2 => (
-                        format!("capricorne-{}.lyon.grid5000.fr", 1 + (i + h) % 15),
-                        format!("sagittaire-{}.lyon.grid5000.fr", 1 + (i + h) % 20),
-                    ),
-                    _ => (
-                        format!("sagittaire-{}.lyon.grid5000.fr", 1 + (i + h) % 20),
-                        format!("griffon-{}.nancy.grid5000.fr", 1 + (i + h) % 40),
-                    ),
-                };
-                let size = 1e8 * (1 + (i * 7 + h * 3) % 9) as f64;
-                q.push_str(&format!("hypothesis={src},{dst},{size}&"));
-            }
-            q.pop(); // trailing '&'
-            q
-        })
-        .collect()
-}
-
-fn start_server(sequential: bool, http_workers: usize) -> Server {
-    let mut pnfs = if sequential {
-        Pnfs::sequential_reference(NetworkConfig::default())
-    } else {
-        Pnfs::new(NetworkConfig::default())
-    };
-    pnfs.register_platform("g5k_test", to_simflow(&synth::standard(), Flavor::G5kTest));
-    let service = PilgrimService::new(Metrology::new(), pnfs);
-    Server::start("127.0.0.1:0", http_workers, service.into_handler()).expect("bind")
-}
-
-/// Fires `clients` threads, each issuing `per_client` requests cycling
-/// the scenario set from a client-specific offset, every latency
-/// recorded into one shared lock-free histogram (in nanoseconds).
-/// Returns (latency histogram, aggregate queries/sec).
-fn run_level(
-    addr: SocketAddr,
-    scenarios: Arc<Vec<String>>,
-    clients: usize,
-    per_client: usize,
-) -> (Histogram, f64) {
-    let hist = Histogram::new();
-    let t0 = Instant::now();
-    let handles: Vec<_> = (0..clients)
-        .map(|c| {
-            let scenarios = Arc::clone(&scenarios);
-            let hist = hist.clone();
-            std::thread::spawn(move || {
-                for k in 0..per_client {
-                    let q = &scenarios[(c * 5 + k) % scenarios.len()];
-                    let t = Instant::now();
-                    let (status, body) = http_get(addr, q).expect("request");
-                    assert_eq!(status, 200, "{body}");
-                    hist.record(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
-                }
-            })
-        })
-        .collect();
-    for h in handles {
-        h.join().expect("client");
-    }
-    let wall = t0.elapsed().as_secs_f64();
-    let qps = hist.count() as f64 / wall;
-    (hist, qps)
-}
 
 /// A histogram quantile in milliseconds.
 fn q_ms(hist: &Histogram, q: f64) -> f64 {
@@ -164,31 +92,41 @@ fn main() {
     let scenarios = Arc::new(scenario_set());
     let mut results: Vec<(String, jsonlite::Value)> = Vec::new();
 
-    for clients in [1usize, 8, 64] {
-        let per_client = match clients {
-            1 => 32,
-            8 => 16,
-            _ => 8,
-        };
-        for (mode, sequential) in [("sequential", true), ("pooled", false)] {
-            // Three repetitions, median run by p50 latency: 64 threads on
-            // a small box make single runs too noisy to compare.
-            let mut runs: Vec<(Histogram, f64)> = (0..3)
+    for clients in [1usize, 8, 64, 256] {
+        let per_client = per_client_for(clients);
+        for (mode, sequential, front_end) in [
+            ("sequential", true, FrontEnd::Event),
+            ("pooled", false, FrontEnd::Event),
+            ("pooled-threaded", false, FrontEnd::Threaded),
+        ] {
+            // Three repetitions, median run by p50 latency: hundreds of
+            // threads on a small box make single runs too noisy to
+            // compare.
+            let mut runs: Vec<(Histogram, f64, Histogram)> = (0..3)
                 .map(|_| {
                     // fresh server per run: cold engine, equal HTTP-side
-                    // concurrency for both modes
-                    let mut server = start_server(sequential, clients.max(8));
-                    let r = run_level(server.addr(), Arc::clone(&scenarios), clients, per_client);
+                    // concurrency for all modes (worker threads capped at
+                    // 64 — beyond that they only add scheduler pressure)
+                    let mut server = start_server(sequential, workers_for(clients), front_end);
+                    let (hist, qps) =
+                        run_level(server.addr(), Arc::clone(&scenarios), clients, per_client);
+                    let queue_wait = server.registry().histogram(
+                        "http_queue_wait_ns",
+                        "Accept-to-dequeue wait before a worker picked the connection up",
+                        &[],
+                    );
                     server.stop();
-                    r
+                    (hist, qps, queue_wait)
                 })
                 .collect();
             runs.sort_by_key(|r| r.0.quantile(0.5));
-            let (hist, qps) = &runs[runs.len() / 2];
+            let (hist, qps, queue_wait) = &runs[runs.len() / 2];
             let (p50, p90, p99) = (q_ms(hist, 0.5), q_ms(hist, 0.9), q_ms(hist, 0.99));
+            let (qw50, qw99) = (q_ms(queue_wait, 0.5), q_ms(queue_wait, 0.99));
             println!(
-                "select8 clients={clients:<3} {mode:<10} p50 {p50:>9.3} ms  \
-                 p90 {p90:>9.3} ms  p99 {p99:>9.3} ms   {qps:>8.1} q/s"
+                "select8 clients={clients:<3} {mode:<15} p50 {p50:>9.3} ms  \
+                 p90 {p90:>9.3} ms  p99 {p99:>9.3} ms   {qps:>8.1} q/s  \
+                 qwait p50 {qw50:>7.3} ms p99 {qw99:>7.3} ms"
             );
             let round3 = |v: f64| jsonlite::Value::Number((v * 1e3).round() / 1e3);
             results.push((
@@ -198,6 +136,8 @@ fn main() {
                     ("p90_ms", round3(p90)),
                     ("p99_ms", round3(p99)),
                     ("qps", jsonlite::Value::Number((qps * 10.0).round() / 10.0)),
+                    ("queue_wait_p50_ms", round3(qw50)),
+                    ("queue_wait_p99_ms", round3(qw99)),
                 ]),
             ));
         }

@@ -7,3 +7,4 @@
 //! the `bench_guard` regression gate.
 
 pub mod scenarios;
+pub mod serving;

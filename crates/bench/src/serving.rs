@@ -1,0 +1,139 @@
+//! Shared fixtures for the forecast-*serving* benchmarks: the fixed
+//! select_fastest scenario set, server construction for each
+//! (engine mode × front end) combination, and the closed-loop
+//! keep-alive client driver. Used by the `bench_forecast` trajectory
+//! recorder and the `bench_guard` serving-latency gate, so both measure
+//! exactly the same thing.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use g5k::{synth, to_simflow, Flavor};
+use pilgrim_core::http::{FrontEnd, HttpClient, Server, ServerConfig};
+use pilgrim_core::{Metrology, PilgrimService, Pnfs};
+use simflow::NetworkConfig;
+use telemetry::Histogram;
+
+/// The fixed scenario set: 16 `select_fastest` queries, 8 hypotheses
+/// each, mixing intra-cluster, intra-site and inter-site placements.
+pub fn scenario_set() -> Vec<String> {
+    (0..16)
+        .map(|i| {
+            let mut q = String::from("/pilgrim/select_fastest/g5k_test?");
+            for h in 0..8 {
+                let (src, dst) = match (i + h) % 4 {
+                    0 => (
+                        format!("sagittaire-{}.lyon.grid5000.fr", 1 + (i + h) % 20),
+                        format!("sagittaire-{}.lyon.grid5000.fr", 21 + (i + h) % 20),
+                    ),
+                    1 => (
+                        format!("graphene-{}.nancy.grid5000.fr", 1 + (i + h) % 30),
+                        format!("graphene-{}.nancy.grid5000.fr", 31 + (i + h) % 30),
+                    ),
+                    2 => (
+                        format!("capricorne-{}.lyon.grid5000.fr", 1 + (i + h) % 15),
+                        format!("sagittaire-{}.lyon.grid5000.fr", 1 + (i + h) % 20),
+                    ),
+                    _ => (
+                        format!("sagittaire-{}.lyon.grid5000.fr", 1 + (i + h) % 20),
+                        format!("griffon-{}.nancy.grid5000.fr", 1 + (i + h) % 40),
+                    ),
+                };
+                let size = 1e8 * (1 + (i * 7 + h * 3) % 9) as f64;
+                q.push_str(&format!("hypothesis={src},{dst},{size}&"));
+            }
+            q.pop(); // trailing '&'
+            q
+        })
+        .collect()
+}
+
+/// Requests each client issues at a given concurrency level — the knob
+/// that keeps total request count (and run time) roughly constant
+/// across levels. Shared so the guard re-measures what the trajectory
+/// recorded.
+pub fn per_client_for(clients: usize) -> usize {
+    match clients {
+        1 => 32,
+        8 => 16,
+        64 => 8,
+        _ => 4,
+    }
+}
+
+/// HTTP worker threads for a given client count: scaled with the load,
+/// capped at 64 (beyond that they only add scheduler pressure).
+pub fn workers_for(clients: usize) -> usize {
+    clients.clamp(8, 64)
+}
+
+/// A fresh server: fresh engine (cold cache), selectable engine mode
+/// and connection front end.
+pub fn start_server(sequential: bool, http_workers: usize, front_end: FrontEnd) -> Server {
+    let mut pnfs = if sequential {
+        Pnfs::sequential_reference(NetworkConfig::default())
+    } else {
+        Pnfs::new(NetworkConfig::default())
+    };
+    pnfs.register_platform("g5k_test", to_simflow(&synth::standard(), Flavor::G5kTest));
+    let service = PilgrimService::new(Metrology::new(), pnfs);
+    let config = ServerConfig { front_end, workers: http_workers, ..ServerConfig::default() };
+    Server::start_with("127.0.0.1:0", config, service.into_handler(), None).expect("bind")
+}
+
+/// Fires `clients` keep-alive connections, each issuing `per_client`
+/// requests cycling the scenario set from a client-specific offset,
+/// every latency recorded into one shared lock-free histogram (in
+/// nanoseconds). The keep-alive client degrades transparently against
+/// the threaded front end (which answers `Connection: close`), so the
+/// same loop measures both. Returns (latency histogram, aggregate
+/// queries/sec).
+pub fn run_level(
+    addr: SocketAddr,
+    scenarios: Arc<Vec<String>>,
+    clients: usize,
+    per_client: usize,
+) -> (Histogram, f64) {
+    let hist = Histogram::new();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let scenarios = Arc::clone(&scenarios);
+            let hist = hist.clone();
+            std::thread::spawn(move || {
+                let mut client = HttpClient::new(addr);
+                for k in 0..per_client {
+                    let q = &scenarios[(c * 5 + k) % scenarios.len()];
+                    let t = Instant::now();
+                    let (status, body) = client.get(q).expect("request");
+                    assert_eq!(status, 200, "{body}");
+                    hist.record(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let qps = hist.count() as f64 / wall;
+    (hist, qps)
+}
+
+/// One median-of-three pooled-event measurement at `clients`, returning
+/// the run's p50 latency in milliseconds — the cell the serving gate
+/// compares against the committed trajectory.
+pub fn measure_pooled_p50_ms(scenarios: &Arc<Vec<String>>, clients: usize) -> f64 {
+    let mut runs: Vec<Histogram> = (0..3)
+        .map(|_| {
+            let mut server = start_server(false, workers_for(clients), FrontEnd::Event);
+            let (hist, _) =
+                run_level(server.addr(), Arc::clone(scenarios), clients, per_client_for(clients));
+            server.stop();
+            hist
+        })
+        .collect();
+    runs.sort_by_key(|h| h.quantile(0.5));
+    runs[runs.len() / 2].quantile(0.5) as f64 / 1e6
+}

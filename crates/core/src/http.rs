@@ -3,14 +3,40 @@
 //! The paper: "These services are implemented as REST-style web-services:
 //! transport is HTTP, requests are HTTP GET whose parameters are embedded
 //! in the requested URI. Answers to requests are JSON formatted
-//! documents." That surface — query parameters, JSON bodies,
-//! connection-close — is all this module implements: a blocking server
-//! with a crossbeam-channel worker pool, and a matching one-call client.
-//! GET carries every read-side query; POST (same URI-parameter encoding,
-//! no request body) is admitted for the state-changing control endpoints
-//! (`/pilgrim/link_event`). Other methods get 405, and the degraded-mode
-//! shed path stays GET-only — a shed control mutation must fail loudly,
-//! not quietly succeed at a stale answer's price.
+//! documents." That surface — query parameters, JSON bodies — is all this
+//! module implements. GET carries every read-side query; POST (same
+//! URI-parameter encoding, no request body) is admitted for the
+//! state-changing control endpoints (`/pilgrim/link_event`). Other
+//! methods get 405, and the degraded-mode shed path stays GET-only — a
+//! shed control mutation must fail loudly, not quietly succeed at a
+//! stale answer's price.
+//!
+//! ## Two front ends, one contract
+//!
+//! The server has two interchangeable connection front ends, selected by
+//! [`ServerConfig::front_end`]:
+//!
+//! * [`FrontEnd::Event`] (default on Linux) — one poller thread drives
+//!   every connection through an epoll readiness loop (see the sibling
+//!   `sys` module for the FFI and `poller` for the state machines):
+//!   nonblocking sockets, buffered partial reads and writes, HTTP/1.1
+//!   keep-alive (a client connection amortizes its accept across many
+//!   requests), and a timer wheel that turns the header deadline, idle
+//!   timeout and write timeout into `epoll_wait` timeouts instead of
+//!   per-socket `SO_RCVTIMEO`. Parse-complete requests are handed to an
+//!   `exec::WorkerPool`; finished responses come back over an
+//!   `exec::Handback` plus wake pipe.
+//! * [`FrontEnd::Threaded`] — the original blocking design and the
+//!   portable fallback: an accept thread, a crossbeam channel, and one
+//!   OS thread per worker, each owning a connection end-to-end,
+//!   connection-close only.
+//!
+//! Both front ends share the same parsing, admission control, shed path,
+//! [`ServerStats`] counters, and metric families below: every test suite
+//! and the bench harness run against both, and the observable semantics
+//! (status codes, headers, counter balance, JSON shapes) are identical.
+//! The one intentional difference: the event front end honors HTTP/1.1
+//! keep-alive, the threaded one always answers `Connection: close`.
 //!
 //! ## Admission control and overload semantics
 //!
@@ -67,6 +93,13 @@
 //!   queue's own latency.
 //! * `http_request_header_bytes_total` / `http_response_body_bytes_total`
 //!   — wire volume in and out.
+//! * `http_connections_open` — currently open client connections (both
+//!   front ends).
+//! * `http_keepalive_reuse_total` — responses after which a connection
+//!   was recycled for another request (event front end; the threaded one
+//!   never reuses).
+//! * `epoll_wakeups_total` — `epoll_wait` returns in the poller loop
+//!   (event front end only).
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -203,13 +236,17 @@ impl Response {
         }
     }
 
-    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+    /// Serializes the whole response (head + body) into one buffer with
+    /// the requested connection framing. Both front ends use this; the
+    /// threaded one always passes `keep_alive = false`.
+    pub(crate) fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         );
         for (k, v) in &self.headers {
             head.push_str(k);
@@ -218,8 +255,13 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(self.body.as_bytes())?;
+        let mut out = head.into_bytes();
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        stream.write_all(&self.to_bytes(false))?;
         stream.flush()
     }
 }
@@ -272,16 +314,38 @@ pub fn parse_query(q: &str) -> Vec<(String, String)> {
 /// legitimate Pilgrim queries embed whole transfer lists in the URI —
 /// but finite, so a hostile client cannot grow server memory without
 /// bound by never sending a newline.
-const MAX_REQUEST_LINE_BYTES: usize = 64 * 1024;
+pub(crate) const MAX_REQUEST_LINE_BYTES: usize = 64 * 1024;
 /// Upper bound on the total header bytes after the request line.
-const MAX_HEADER_BYTES: usize = 64 * 1024;
+pub(crate) const MAX_HEADER_BYTES: usize = 64 * 1024;
 /// Pending shed connections the degraded-mode thread may hold; beyond
 /// this, plain inline 503s resume.
-const SHED_QUEUE_LIMIT: usize = 64;
+pub(crate) const SHED_QUEUE_LIMIT: usize = 64;
+
+/// Which connection front end a server runs (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrontEnd {
+    /// Single epoll poller thread + worker pool for CPU work. Linux
+    /// only; selecting it elsewhere falls back to [`FrontEnd::Threaded`].
+    Event,
+    /// Accept thread + one blocking OS thread per worker.
+    Threaded,
+}
+
+impl Default for FrontEnd {
+    fn default() -> FrontEnd {
+        if cfg!(target_os = "linux") {
+            FrontEnd::Event
+        } else {
+            FrontEnd::Threaded
+        }
+    }
+}
 
 /// Server tuning: admission, deadlines and socket timeouts.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
+    /// Connection front end (event-driven poller vs thread-per-worker).
+    pub front_end: FrontEnd,
     /// Worker threads serving parsed requests (clamped to ≥ 1).
     pub workers: usize,
     /// Accepted connections allowed to wait for a worker before new
@@ -290,7 +354,9 @@ pub struct ServerConfig {
     /// Total wall-clock budget for receiving the request line + headers
     /// (slowloris guard); violations get 408.
     pub header_deadline: Duration,
-    /// Per-read socket timeout (the legacy 10 s body-phase timeout).
+    /// Per-read socket timeout on the threaded front end; the event
+    /// front end reuses it as the keep-alive idle timeout (a recycled
+    /// connection that stays silent past it is closed).
     pub read_timeout: Duration,
     /// Socket write timeout: a client that stops reading its response
     /// cannot hold a worker past this.
@@ -308,6 +374,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            front_end: FrontEnd::default(),
             workers: 4,
             queue_limit: 1024,
             header_deadline: Duration::from_secs(5),
@@ -395,11 +462,18 @@ pub struct HttpMetrics {
     registry: Arc<MetricsRegistry>,
     /// Accept → worker-dequeue wait. No endpoint label: the request has
     /// not been read yet when the wait ends.
-    queue_wait_ns: Histogram,
+    pub(crate) queue_wait_ns: Histogram,
     /// Request-line + header bytes read off sockets.
-    header_bytes: Counter,
+    pub(crate) header_bytes: Counter,
     /// Response body bytes successfully written.
-    body_bytes: Counter,
+    pub(crate) body_bytes: Counter,
+    /// Currently open client connections (either front end).
+    pub(crate) connections_open: telemetry::Gauge,
+    /// Responses after which the connection was recycled for another
+    /// request (event front end keep-alive).
+    pub(crate) keepalive_reuse: Counter,
+    /// `epoll_wait` returns in the poller loop.
+    pub(crate) epoll_wakeups: Counter,
     /// Handle cache for `http_request_latency_ns{endpoint,status}` —
     /// avoids a registry lookup per request and enforces
     /// [`MAX_LATENCY_SERIES`].
@@ -423,18 +497,36 @@ impl HttpMetrics {
             "Response body bytes successfully written to clients",
             &[],
         );
+        let connections_open = registry.gauge(
+            "http_connections_open",
+            "Currently open client connections",
+            &[],
+        );
+        let keepalive_reuse = registry.counter(
+            "http_keepalive_reuse_total",
+            "Responses after which the connection was kept alive for another request",
+            &[],
+        );
+        let epoll_wakeups = registry.counter(
+            "epoll_wakeups_total",
+            "Returns from epoll_wait in the event front end's poller loop",
+            &[],
+        );
         HttpMetrics {
             registry,
             queue_wait_ns,
             header_bytes,
             body_bytes,
+            connections_open,
+            keepalive_reuse,
+            epoll_wakeups,
             latency: Mutex::new(HashMap::new()),
         }
     }
 
     /// Records one served request under its normalized endpoint and
     /// response status.
-    fn observe(&self, endpoint: &str, status: u16, elapsed: Duration) {
+    pub(crate) fn observe(&self, endpoint: &str, status: u16, elapsed: Duration) {
         let mut table = self.latency.lock();
         let key = (endpoint.to_string(), status);
         let hist = match table.get(&key) {
@@ -457,7 +549,7 @@ impl HttpMetrics {
 
 /// First two path segments (`/pilgrim/rrd/a/b.rrd` → `/pilgrim/rrd`):
 /// the bounded endpoint label the latency series are keyed by.
-fn normalize_endpoint(path: &str) -> &str {
+pub(crate) fn normalize_endpoint(path: &str) -> &str {
     let mut end = path.len();
     for (n, (i, _)) in path.match_indices('/').enumerate() {
         // n == 0 is the leading slash; the third slash closes segment 2
@@ -470,7 +562,7 @@ fn normalize_endpoint(path: &str) -> &str {
 }
 
 /// A `Duration` as saturating nanoseconds.
-fn dur_ns(d: Duration) -> u64 {
+pub(crate) fn dur_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
@@ -565,6 +657,45 @@ impl ParseFailure {
     }
 }
 
+/// Parses a request line into `(method, target)`, rejecting anything
+/// that is not HTTP/1.x. Shared by both front ends.
+pub(crate) fn parse_request_line(line: &str) -> Result<(String, String), String> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| "missing method".to_string())?.to_string();
+    let target = parts.next().ok_or_else(|| "missing target".to_string())?.to_string();
+    let version = parts.next().ok_or_else(|| "missing version".to_string())?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version}"));
+    }
+    Ok((method, target))
+}
+
+/// Parses one header line into a lowercased `(name, value)` pair;
+/// field-less lines are skipped (matching the lenient blocking parser).
+pub(crate) fn parse_header_line(h: &str) -> Option<(String, String)> {
+    h.split_once(':')
+        .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_string()))
+}
+
+/// Assembles a [`Request`] from a parsed request line and header list —
+/// the one place the target is split and percent-decoded.
+pub(crate) fn request_from_parts(
+    method: String,
+    target: String,
+    headers: Vec<(String, String)>,
+) -> Request {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    Request {
+        method,
+        path: percent_decode(&path),
+        params: parse_query(&query),
+        headers,
+    }
+}
+
 fn parse_request(
     stream: &mut TcpStream,
     config: &ServerConfig,
@@ -580,13 +711,7 @@ fn parse_request(
             })
         })?;
     metrics.header_bytes.add(line.len() as u64);
-    let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or(ParseFailure::Bad("missing method".into()))?.to_string();
-    let target = parts.next().ok_or(ParseFailure::Bad("missing target".into()))?.to_string();
-    let version = parts.next().ok_or(ParseFailure::Bad("missing version".into()))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(ParseFailure::Bad(format!("unsupported version {version}")));
-    }
+    let (method, target) = parse_request_line(&line).map_err(ParseFailure::Bad)?;
     // collect headers, within a total byte budget and the header deadline
     let mut headers = Vec::new();
     let mut remaining = MAX_HEADER_BYTES;
@@ -600,46 +725,41 @@ fn parse_request(
             break;
         }
         remaining -= h.len();
-        if let Some((name, value)) = h.split_once(':') {
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        if let Some(pair) = parse_header_line(&h) {
+            headers.push(pair);
         }
     }
     // past the headers: restore the body-phase read timeout, and bound
     // the response write so a non-reading client cannot hold the worker
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), q.to_string()),
-        None => (target, String::new()),
-    };
-    Ok(Request {
-        method,
-        path: percent_decode(&path),
-        params: parse_query(&query),
-        headers,
-    })
+    Ok(request_from_parts(method, target, headers))
 }
 
 /// The request handler type shared by all workers.
 pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
 /// An accepted connection waiting for a worker.
-struct Conn {
-    stream: TcpStream,
-    accepted: Instant,
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
+    pub(crate) accepted: Instant,
 }
 
 /// The deadline a request runs under: the client's
 /// `X-Pilgrim-Deadline-Ms` (capped by `max_deadline`) or the server-side
 /// default.
-fn effective_deadline(req: &Request, config: &ServerConfig) -> Option<Duration> {
+pub(crate) fn effective_deadline(req: &Request, config: &ServerConfig) -> Option<Duration> {
     req.header("x-pilgrim-deadline-ms")
         .and_then(|v| v.trim().parse::<u64>().ok())
         .map(|ms| Duration::from_millis(ms).min(config.max_deadline))
         .or(config.default_deadline)
 }
 
-fn write_response(
+/// Writes one connection-close response and shuts the socket down. Every
+/// blocking-path connection (threaded front end, shed thread, inline
+/// refusals) passes through here exactly once, so this is also where
+/// `http_connections_open` is decremented for those paths.
+pub(crate) fn write_response(
     stream: &mut TcpStream,
     response: &Response,
     stats: &ServerStats,
@@ -651,6 +771,7 @@ fn write_response(
         metrics.body_bytes.add(response.body.len() as u64);
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
+    metrics.connections_open.dec();
 }
 
 /// Serves one admitted connection end to end on a worker thread.
@@ -715,19 +836,37 @@ fn refuse(mut stream: TcpStream, config: &ServerConfig, stats: &ServerStats, met
     write_response(&mut stream, &Response::overloaded(config.retry_after_secs), stats, metrics);
 }
 
-/// Serves one shed connection on the degraded-mode thread: parse (under
-/// the usual header deadline), offer the request to the fallback
-/// handler, count 200s as stale serves. Deliberately GET-only: a shed
-/// POST (a control mutation like a link event) must be refused with the
-/// overload answer, never silently degraded.
+/// A connection diverted to the degraded-mode thread: either still
+/// unread (shed at accept time — the threaded front end and the event
+/// poller's accept-side admission check) or already parsed (the event
+/// poller sheds keep-alive and raced requests after reading their head).
+pub(crate) enum ShedJob {
+    /// Shed before any byte was read; the shed thread parses it.
+    Raw(Conn),
+    /// Head already parsed by the event poller.
+    Parsed(TcpStream, Request),
+}
+
+/// Serves one shed connection on the degraded-mode thread: parse if
+/// still raw (under the usual header deadline), offer the request to the
+/// fallback handler, count 200s as stale serves. Deliberately GET-only:
+/// a shed POST (a control mutation like a link event) must be refused
+/// with the overload answer, never silently degraded.
 fn serve_shed(
-    mut conn: Conn,
+    job: ShedJob,
     fallback: &Handler,
     config: &ServerConfig,
     stats: &ServerStats,
     metrics: &HttpMetrics,
 ) {
-    let response = match parse_request(&mut conn.stream, config, metrics) {
+    let (mut stream, parsed) = match job {
+        ShedJob::Raw(mut conn) => {
+            let parsed = parse_request(&mut conn.stream, config, metrics);
+            (conn.stream, parsed)
+        }
+        ShedJob::Parsed(stream, req) => (stream, Ok(req)),
+    };
+    let response = match parsed {
         Ok(req) if req.method == "GET" => {
             match catch_unwind(AssertUnwindSafe(|| fallback(&req))) {
                 Ok(r) => r,
@@ -745,16 +884,48 @@ fn serve_shed(
     if response.status == 200 {
         stats.stale_served.inc();
     }
-    write_response(&mut conn.stream, &response, stats, metrics);
+    write_response(&mut stream, &response, stats, metrics);
+}
+
+/// Spawns the degraded-mode thread both front ends share: it drains
+/// [`ShedJob`]s, decrementing the bounded `shed_pending` gauge the
+/// enqueuing side checks against [`SHED_QUEUE_LIMIT`].
+pub(crate) fn spawn_shed_thread(
+    shed_rx: crossbeam::channel::Receiver<ShedJob>,
+    shed_pending: Arc<AtomicUsize>,
+    fallback: Handler,
+    config: ServerConfig,
+    stats: Arc<ServerStats>,
+    metrics: Arc<HttpMetrics>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while let Ok(job) = shed_rx.recv() {
+            shed_pending.fetch_sub(1, Ordering::SeqCst);
+            // serve_shed catches fallback panics itself; this outer guard
+            // keeps the shed thread alive if the plumbing ever panics.
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                serve_shed(job, &fallback, &config, &stats, &metrics)
+            }));
+        }
+    })
+}
+
+/// The running front end behind a [`Server`].
+enum Front {
+    Threaded {
+        accept_thread: Option<std::thread::JoinHandle<()>>,
+        worker_threads: Vec<std::thread::JoinHandle<()>>,
+        shed_thread: Option<std::thread::JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    Event(crate::poller::EventFront),
 }
 
 /// A running HTTP server.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    worker_threads: Vec<std::thread::JoinHandle<()>>,
-    shed_thread: Option<std::thread::JoinHandle<()>>,
+    front: Front,
     stats: Arc<ServerStats>,
     registry: Arc<MetricsRegistry>,
 }
@@ -803,6 +974,21 @@ impl Server {
         let stats = Arc::new(ServerStats::default());
         stats.register_metrics(&registry);
         let metrics = Arc::new(HttpMetrics::new(Arc::clone(&registry)));
+
+        #[cfg(target_os = "linux")]
+        if config.front_end == FrontEnd::Event {
+            let front = crate::poller::start(
+                listener,
+                config,
+                handler,
+                shed_fallback,
+                Arc::clone(&stats),
+                Arc::clone(&metrics),
+                Arc::clone(&stop),
+            )?;
+            return Ok(Server { addr: local, stop, front: Front::Event(front), stats, registry });
+        }
+
         let pending = Arc::new(AtomicUsize::new(0));
         let (tx, rx) = crossbeam::channel::unbounded::<Conn>();
 
@@ -828,20 +1014,17 @@ impl Server {
 
         // Degraded-mode thread: parses shed connections off the accept
         // path and offers them to the fallback.
-        let (shed_tx, shed_rx) = crossbeam::channel::unbounded::<Conn>();
+        let (shed_tx, shed_rx) = crossbeam::channel::unbounded::<ShedJob>();
         let shed_pending = Arc::new(AtomicUsize::new(0));
         let shed_thread = shed_fallback.map(|fallback| {
-            let stats = Arc::clone(&stats);
-            let metrics = Arc::clone(&metrics);
-            let shed_pending = Arc::clone(&shed_pending);
-            std::thread::spawn(move || {
-                while let Ok(conn) = shed_rx.recv() {
-                    shed_pending.fetch_sub(1, Ordering::SeqCst);
-                    let _ = catch_unwind(AssertUnwindSafe(|| {
-                        serve_shed(conn, &fallback, &config, &stats, &metrics)
-                    }));
-                }
-            })
+            spawn_shed_thread(
+                shed_rx,
+                Arc::clone(&shed_pending),
+                fallback,
+                config,
+                Arc::clone(&stats),
+                Arc::clone(&metrics),
+            )
         });
         let degraded = shed_thread.is_some();
 
@@ -856,13 +1039,14 @@ impl Server {
                 match stream {
                     Ok(s) => {
                         stats2.accepted.inc();
+                        metrics2.connections_open.inc();
                         let conn = Conn { stream: s, accepted: Instant::now() };
                         if pending.load(Ordering::SeqCst) >= config.queue_limit {
                             stats2.shed.inc();
                             if degraded && shed_pending.load(Ordering::SeqCst) < SHED_QUEUE_LIMIT
                             {
                                 shed_pending.fetch_add(1, Ordering::SeqCst);
-                                let _ = shed_tx.send(conn);
+                                let _ = shed_tx.send(ShedJob::Raw(conn));
                             } else {
                                 refuse(conn.stream, &config, &stats2, &metrics2);
                             }
@@ -880,9 +1064,11 @@ impl Server {
         Ok(Server {
             addr: local,
             stop,
-            accept_thread: Some(accept_thread),
-            worker_threads,
-            shed_thread,
+            front: Front::Threaded {
+                accept_thread: Some(accept_thread),
+                worker_threads,
+                shed_thread,
+            },
             stats,
             registry,
         })
@@ -908,18 +1094,25 @@ impl Server {
     /// requests finish, every worker is joined, new connections are
     /// refused once the listener closes. Idempotent.
     pub fn stop(&mut self) {
-        if !self.stop.swap(true, Ordering::SeqCst) {
-            // poke the listener out of accept()
-            let _ = TcpStream::connect(self.addr);
-        }
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        for t in self.worker_threads.drain(..) {
-            let _ = t.join();
-        }
-        if let Some(t) = self.shed_thread.take() {
-            let _ = t.join();
+        let first = !self.stop.swap(true, Ordering::SeqCst);
+        match &mut self.front {
+            Front::Threaded { accept_thread, worker_threads, shed_thread } => {
+                if first {
+                    // poke the listener out of accept()
+                    let _ = TcpStream::connect(self.addr);
+                }
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+                for t in worker_threads.drain(..) {
+                    let _ = t.join();
+                }
+                if let Some(t) = shed_thread.take() {
+                    let _ = t.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            Front::Event(front) => front.join(),
         }
     }
 }
@@ -989,6 +1182,109 @@ fn http_request(
         .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
         .collect();
     Ok((status, resp_headers, body.to_string()))
+}
+
+/// A keep-alive HTTP/1.1 client: one TCP connection reused across
+/// requests, responses framed by `Content-Length`. Against the event
+/// front end consecutive requests ride the same connection; against the
+/// threaded front end (which answers `Connection: close`) the client
+/// transparently reconnects per request — so benches and tests can use
+/// it unconditionally for an apples-to-apples comparison.
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl HttpClient {
+    /// A client for `addr`; no connection is opened until first use.
+    pub fn new(addr: SocketAddr) -> HttpClient {
+        HttpClient { addr, stream: None }
+    }
+
+    /// GET returning `(status, body)`.
+    pub fn get(&mut self, path_and_query: &str) -> std::io::Result<(u16, String)> {
+        let (status, _, body) = self.request("GET", path_and_query, &[])?;
+        Ok((status, body))
+    }
+
+    /// Issues one request, reusing the live connection when possible.
+    /// A failure on a *reused* connection (the server may have closed it
+    /// between requests — an inherent keep-alive race) is retried once
+    /// on a fresh connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientAnswer> {
+        let reused = self.stream.is_some();
+        match self.try_request(method, path_and_query, headers) {
+            Err(_) if reused => {
+                self.stream = None;
+                self.try_request(method, path_and_query, headers)
+            }
+            r => r,
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientAnswer> {
+        use std::io::{Error, ErrorKind};
+        if self.stream.is_none() {
+            let s = TcpStream::connect(self.addr)?;
+            s.set_read_timeout(Some(Duration::from_secs(30)))?;
+            s.set_nodelay(true)?;
+            self.stream = Some(BufReader::new(s));
+        }
+        let reader = self.stream.as_mut().expect("connected above");
+        let mut req = format!("{method} {path_and_query} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        for (k, v) in headers {
+            req.push_str(&format!("{k}: {v}\r\n"));
+        }
+        req.push_str("\r\n");
+        reader.get_mut().write_all(req.as_bytes())?;
+        let mut status_line = String::new();
+        if reader.read_line(&mut status_line)? == 0 {
+            return Err(Error::new(ErrorKind::UnexpectedEof, "connection closed"));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::new(ErrorKind::InvalidData, "bad status line"))?;
+        let mut resp_headers: Vec<(String, String)> = Vec::new();
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(Error::new(ErrorKind::UnexpectedEof, "eof in headers"));
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                resp_headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+            }
+        }
+        let content_length: usize = resp_headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| Error::new(ErrorKind::InvalidData, "missing content-length"))?;
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        let close = resp_headers
+            .iter()
+            .any(|(k, v)| k == "connection" && v.eq_ignore_ascii_case("close"));
+        if close {
+            self.stream = None;
+        }
+        Ok((status, resp_headers, String::from_utf8_lossy(&body).into_owned()))
+    }
 }
 
 #[cfg(test)]

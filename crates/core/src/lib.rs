@@ -35,7 +35,11 @@ pub mod calibration;
 pub mod http;
 pub mod metrology;
 pub mod pnfs;
+#[cfg(target_os = "linux")]
+mod poller;
 pub mod service;
+#[cfg(target_os = "linux")]
+mod sys;
 pub mod workflow;
 
 pub use calibration::calibrate;

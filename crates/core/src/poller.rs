@@ -1,0 +1,989 @@
+//! The event-driven HTTP front end: one poller thread, epoll readiness,
+//! per-connection state machines, and a timer wheel.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients ──▶ listener ─┐                        ┌─▶ exec::WorkerPool
+//!                        ▼                        │   (handler runs here)
+//!                epoll_wait loop ── parse-complete┘         │
+//!                ▲   │  ▲                                   │
+//!                │   │  └── wake pipe ◀── exec::Handback ◀──┘
+//!                │   └── timer wheel (header / idle / write deadlines)
+//!                └── nonblocking reads & writes, keep-alive recycle
+//! ```
+//!
+//! The poller owns every socket. A connection walks `Reading` (buffer
+//! the head, bounded by the shared caps) → `InFlight` (request handed to
+//! the pool; the worker job decrements the shared admission counter,
+//! checks the per-request deadline, runs the handler under
+//! `catch_unwind`, and pushes the response through the [`Handback`]) →
+//! `Writing` (response bytes drained nonblocking, `EPOLLOUT` registered
+//! only while a partial write is outstanding) → recycled back to
+//! `Reading` when HTTP/1.1 keep-alive applies, else closed.
+//!
+//! ## Timers
+//!
+//! A single-level wheel (512 slots × 32 ms ≈ 16 s horizon, overflow list
+//! refiled on wrap) drives every deadline off `epoll_wait`'s timeout:
+//! the slowloris header deadline while a head is arriving, the
+//! keep-alive idle timeout while a recycled connection is silent, and
+//! the write timeout while a response is blocked on a non-reading peer.
+//! Cancellation is lazy — each connection carries a `timer_gen` bumped
+//! on every state change, and stale entries are dropped when they
+//! expire.
+//!
+//! ## Semantics parity with the threaded front end
+//!
+//! Admission control (accept-time and submit-time shed → 503 +
+//! `Retry-After`, degraded hand-off to the shared shed thread), the
+//! per-request deadline 504s, handler-panic 500s, graceful drain
+//! (in-flight requests finish, reading/idle connections close), and all
+//! `ServerStats`/`HttpMetrics` cells behave exactly as in the threaded
+//! front end — the shared test suites assert this for both. The only
+//! deliberate addition is keep-alive (plus pipelined-request tolerance:
+//! bytes already buffered past one head are served as the next request).
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use exec::{Handback, WorkerPool};
+
+use crate::http::{
+    dur_ns, effective_deadline, normalize_endpoint, parse_header_line, parse_request_line,
+    request_from_parts, Conn as ShedConn, Handler, HttpMetrics, Request, Response, ServerConfig,
+    ServerStats, ShedJob, MAX_HEADER_BYTES, MAX_REQUEST_LINE_BYTES, SHED_QUEUE_LIMIT,
+};
+use crate::sys::{Epoll, EpollEvent, WakeHandle, WakePipe, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// Epoll token of the listening socket.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Epoll token of the wake pipe's read end.
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+/// Timer wheel geometry: 512 slots of 32 ms ≈ 16.4 s horizon.
+const WHEEL_SLOTS: usize = 512;
+const WHEEL_TICK: Duration = Duration::from_millis(32);
+
+fn token_of(idx: usize, gen: u32) -> u64 {
+    (idx as u64) | (u64::from(gen) << 32)
+}
+
+fn split_token(token: u64) -> (usize, u32) {
+    ((token & 0xffff_ffff) as usize, (token >> 32) as u32)
+}
+
+/// What a worker job sends back through the [`Handback`].
+struct Completion {
+    token: u64,
+    endpoint: String,
+    /// When the worker picked the job up (dequeue-equivalent instant the
+    /// latency histogram is measured from).
+    started: Instant,
+    response: Response,
+}
+
+/// Handles to a running event front end, owned by `http::Server`.
+pub(crate) struct EventFront {
+    poller_thread: Option<std::thread::JoinHandle<()>>,
+    shed_thread: Option<std::thread::JoinHandle<()>>,
+    wake: Arc<WakeHandle>,
+}
+
+impl EventFront {
+    /// Wakes the poller (the stop flag is set by the caller) and joins
+    /// both threads. Idempotent.
+    pub(crate) fn join(&mut self) {
+        self.wake.wake();
+        if let Some(t) = self.poller_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.shed_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts the poller thread (and the degraded-mode shed thread when a
+/// fallback handler is configured). Called by `Server::start_with_registry`.
+pub(crate) fn start(
+    listener: TcpListener,
+    config: ServerConfig,
+    handler: Handler,
+    shed_fallback: Option<Handler>,
+    stats: Arc<ServerStats>,
+    metrics: Arc<HttpMetrics>,
+    stop: Arc<AtomicBool>,
+) -> std::io::Result<EventFront> {
+    listener.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    let (wake_pipe, wake_handle) = WakePipe::new()?;
+    let wake = Arc::new(wake_handle);
+    epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+    epoll.add(wake_pipe.read_fd(), EPOLLIN, TOKEN_WAKE)?;
+
+    let (shed_tx, shed_rx) = crossbeam::channel::unbounded::<ShedJob>();
+    let shed_pending = Arc::new(AtomicUsize::new(0));
+    let shed_thread = shed_fallback.map(|fallback| {
+        crate::http::spawn_shed_thread(
+            shed_rx,
+            Arc::clone(&shed_pending),
+            fallback,
+            config,
+            Arc::clone(&stats),
+            Arc::clone(&metrics),
+        )
+    });
+    let degraded = shed_thread.is_some();
+
+    let handback: Arc<Handback<Completion>> = {
+        let wake = Arc::clone(&wake);
+        Arc::new(Handback::new(move || wake.wake()))
+    };
+
+    let now = Instant::now();
+    let poller = Poller {
+        epoll,
+        wake_pipe,
+        listener: Some(listener),
+        conns: Vec::new(),
+        free: Vec::new(),
+        gens: Vec::new(),
+        open_count: 0,
+        inflight: 0,
+        pending: Arc::new(AtomicUsize::new(0)),
+        handback,
+        pool: Some(WorkerPool::new(config.workers.max(1))),
+        wheel: TimerWheel::new(now),
+        config,
+        handler,
+        stats,
+        metrics,
+        stop,
+        draining: false,
+        shed_tx,
+        shed_pending,
+        degraded,
+    };
+    let poller_thread = std::thread::Builder::new()
+        .name("http-poller".into())
+        .spawn(move || poller.run())?;
+    Ok(EventFront { poller_thread: Some(poller_thread), shed_thread, wake })
+}
+
+/// Which deadline a connection's (single) active timer enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TimerKind {
+    /// Slowloris guard: the request head must complete by the deadline
+    /// (→ 408).
+    Header,
+    /// Keep-alive idle timeout: a silent recycled connection is closed.
+    Idle,
+    /// Write timeout: a response blocked on a non-reading peer is
+    /// abandoned (→ `write_errors`).
+    Write,
+}
+
+struct TimerEntry {
+    deadline: Instant,
+    token: u64,
+    timer_gen: u64,
+    kind: TimerKind,
+}
+
+/// A single-level timer wheel with an overflow list. Entries more than
+/// one horizon out wait in `overflow` and are refiled each full wrap;
+/// cancellation is lazy (generation checks at expiry).
+struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    overflow: Vec<TimerEntry>,
+    cursor: usize,
+    /// Wall-clock time of the current cursor slot's start.
+    cursor_time: Instant,
+    count: usize,
+}
+
+impl TimerWheel {
+    fn new(now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            cursor: 0,
+            cursor_time: now,
+            count: 0,
+        }
+    }
+
+    fn horizon() -> Duration {
+        WHEEL_TICK * WHEEL_SLOTS as u32
+    }
+
+    fn insert(&mut self, entry: TimerEntry) {
+        self.count += 1;
+        let delta = entry.deadline.saturating_duration_since(self.cursor_time);
+        if delta >= Self::horizon() {
+            self.overflow.push(entry);
+            return;
+        }
+        let ticks = (delta.as_millis() as u64 / WHEEL_TICK.as_millis() as u64) as usize;
+        let slot = (self.cursor + ticks) % WHEEL_SLOTS;
+        self.slots[slot].push(entry);
+    }
+
+    /// Steps the cursor up to `now`, moving expired entries into
+    /// `expired`. Entries are filed so that a slot's deadline has always
+    /// passed by the time the cursor moves beyond it.
+    fn advance(&mut self, now: Instant, expired: &mut Vec<TimerEntry>) {
+        while now.saturating_duration_since(self.cursor_time) >= WHEEL_TICK {
+            let entries = std::mem::take(&mut self.slots[self.cursor]);
+            for e in entries {
+                if e.deadline <= now {
+                    self.count -= 1;
+                    expired.push(e);
+                } else {
+                    // refiled overflow entry not yet due
+                    self.count -= 1;
+                    self.insert(e);
+                }
+            }
+            self.cursor = (self.cursor + 1) % WHEEL_SLOTS;
+            self.cursor_time += WHEEL_TICK;
+            if self.cursor == 0 && !self.overflow.is_empty() {
+                let overflow = std::mem::take(&mut self.overflow);
+                for e in overflow {
+                    self.count -= 1;
+                    self.insert(e);
+                }
+            }
+        }
+    }
+
+    /// Milliseconds until the next potentially-expiring slot, `None`
+    /// when no timers are armed.
+    fn next_timeout_ms(&self, now: Instant) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        for i in 0..WHEEL_SLOTS {
+            let slot = (self.cursor + i) % WHEEL_SLOTS;
+            if !self.slots[slot].is_empty() {
+                let slot_end = self.cursor_time + WHEEL_TICK * (i as u32 + 1);
+                let wait = slot_end.saturating_duration_since(now);
+                return Some((wait.as_millis() as u64).max(1));
+            }
+        }
+        // only overflow entries: sleep one horizon at most
+        Some(Self::horizon().as_millis() as u64)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Reading,
+    InFlight,
+    Writing,
+}
+
+struct PConn {
+    stream: TcpStream,
+    fd: RawFd,
+    gen: u32,
+    state: State,
+    /// Read accumulation; may hold pipelined bytes past the current head.
+    buf: Vec<u8>,
+    /// Position up to which `buf` has been scanned for the head end.
+    scan_pos: usize,
+    /// Queued response bytes and write progress.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Body length of the queued response (for `body_bytes` on success).
+    body_len: usize,
+    /// When the current request started arriving (accept time for the
+    /// first request, first-byte time after a keep-alive recycle).
+    request_t0: Instant,
+    /// Keep-alive decision for the response being written.
+    keep_alive: bool,
+    read_closed: bool,
+    peer_dead: bool,
+    /// Whether the fd is still registered with epoll.
+    in_epoll: bool,
+    interest: u32,
+    timer_gen: u64,
+    /// Deferred latency observation: `(endpoint, status, started)`,
+    /// recorded when the response write finishes or fails.
+    observe: Option<(String, u16, Instant)>,
+    /// Whether a write timer has been armed for the current response.
+    write_timer_armed: bool,
+}
+
+struct Poller {
+    epoll: Epoll,
+    wake_pipe: WakePipe,
+    listener: Option<TcpListener>,
+    conns: Vec<Option<PConn>>,
+    free: Vec<usize>,
+    /// Per-slot generation counters (outlive the conns so stale epoll
+    /// events and timers can be told apart after slot reuse).
+    gens: Vec<u32>,
+    open_count: usize,
+    /// Jobs submitted to the pool whose completions are undelivered.
+    inflight: usize,
+    /// Admission counter: jobs submitted but not yet started (the
+    /// event-front equivalent of the threaded channel's queue depth).
+    pending: Arc<AtomicUsize>,
+    handback: Arc<Handback<Completion>>,
+    pool: Option<WorkerPool>,
+    wheel: TimerWheel,
+    config: ServerConfig,
+    handler: Handler,
+    stats: Arc<ServerStats>,
+    metrics: Arc<HttpMetrics>,
+    stop: Arc<AtomicBool>,
+    draining: bool,
+    shed_tx: crossbeam::channel::Sender<ShedJob>,
+    shed_pending: Arc<AtomicUsize>,
+    degraded: bool,
+}
+
+impl Poller {
+    fn run(mut self) {
+        let mut events = vec![EpollEvent::zeroed(); 256];
+        let mut expired: Vec<TimerEntry> = Vec::new();
+        loop {
+            if self.stop.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain();
+            }
+            if self.draining
+                && self.open_count == 0
+                && self.inflight == 0
+                && self.handback.is_empty()
+            {
+                break;
+            }
+            let now = Instant::now();
+            let timeout = if self.draining {
+                // bounded heartbeat while waiting for in-flight work
+                Some(self.wheel.next_timeout_ms(now).map_or(50, |t| t.min(50)))
+            } else {
+                self.wheel.next_timeout_ms(now)
+            };
+            let n = self.epoll.wait(&mut events, timeout).unwrap_or(0);
+            self.metrics.epoll_wakeups.inc();
+            for ev in events.iter().take(n) {
+                let (mask, data) = ev.parts();
+                match data {
+                    TOKEN_WAKE => self.wake_pipe.drain(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    token => self.conn_ready(token, mask),
+                }
+            }
+            self.deliver_completions();
+            let now = Instant::now();
+            self.wheel.advance(now, &mut expired);
+            for e in expired.drain(..) {
+                self.timer_fired(e);
+            }
+        }
+        // Join the workers before returning (queue is empty: inflight == 0);
+        // dropping shed_tx afterwards lets the shed thread drain and exit.
+        self.pool.take();
+    }
+
+    /// Closes the listener and every connection still reading (idle
+    /// keep-alive or mid-head); in-flight and writing connections finish.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.listener = None; // closing the fd deregisters it
+        let reading: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| match c {
+                Some(conn) if conn.state == State::Reading => Some(i),
+                _ => None,
+            })
+            .collect();
+        for idx in reading {
+            self.close_conn(idx);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else { return };
+            match listener.accept() {
+                Ok((stream, _)) => self.on_accept(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                // transient per-connection failures (ECONNABORTED …):
+                // level-triggered epoll re-reports anything still pending
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn on_accept(&mut self, stream: TcpStream) {
+        self.stats.accepted.inc();
+        self.metrics.connections_open.inc();
+        let accepted = Instant::now();
+        if self.pending.load(Ordering::SeqCst) >= self.config.queue_limit {
+            self.stats.shed.inc();
+            if self.degraded && self.shed_pending.load(Ordering::SeqCst) < SHED_QUEUE_LIMIT {
+                // hand the raw socket to the shed thread, which parses it
+                // with blocking I/O (connections_open is decremented by
+                // its write_response)
+                self.shed_pending.fetch_add(1, Ordering::SeqCst);
+                let _ = stream.set_nonblocking(false);
+                let _ = self.shed_tx.send(ShedJob::Raw(ShedConn { stream, accepted }));
+                return;
+            }
+            // inline refusal without reading the request, through the
+            // nonblocking write machinery (threaded refuse() equivalent)
+            if stream.set_nonblocking(true).is_err() {
+                self.metrics.connections_open.dec();
+                return;
+            }
+            let refusal = Response::overloaded(self.config.retry_after_secs);
+            if let Some(idx) = self.install(stream, accepted, 0) {
+                self.queue_response(idx, &refusal, false, None);
+            }
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            self.metrics.connections_open.dec();
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        if let Some(idx) = self.install(stream, accepted, EPOLLIN | EPOLLRDHUP) {
+            self.arm_timer(idx, TimerKind::Header, accepted + self.config.header_deadline);
+        }
+    }
+
+    /// Places a connection in the slab and registers it with epoll.
+    /// Returns `None` (closing the stream) if registration fails.
+    fn install(&mut self, stream: TcpStream, accepted: Instant, interest: u32) -> Option<usize> {
+        let fd = stream.as_raw_fd();
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.gens.push(0);
+            self.conns.len() - 1
+        });
+        self.gens[idx] = self.gens[idx].wrapping_add(1);
+        let gen = self.gens[idx];
+        if self.epoll.add(fd, interest, token_of(idx, gen)).is_err() {
+            self.free.push(idx);
+            self.metrics.connections_open.dec();
+            return None;
+        }
+        self.conns[idx] = Some(PConn {
+            stream,
+            fd,
+            gen,
+            state: State::Reading,
+            buf: Vec::new(),
+            scan_pos: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            body_len: 0,
+            request_t0: accepted,
+            keep_alive: false,
+            read_closed: false,
+            peer_dead: false,
+            in_epoll: true,
+            interest,
+            timer_gen: 0,
+            observe: None,
+            write_timer_armed: false,
+        });
+        self.open_count += 1;
+        Some(idx)
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].take() {
+            if conn.in_epoll {
+                let _ = self.epoll.delete(conn.fd);
+            }
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            self.free.push(idx);
+            self.open_count -= 1;
+            self.metrics.connections_open.dec();
+        }
+    }
+
+    fn update_interest(&mut self, idx: usize, interest: u32) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        if !conn.in_epoll || conn.interest == interest {
+            return;
+        }
+        if self.epoll.modify(conn.fd, interest, token_of(idx, conn.gen)).is_ok() {
+            conn.interest = interest;
+        }
+    }
+
+    /// Arms (or re-arms) the connection's single timer; any previously
+    /// armed entry is cancelled lazily via the generation bump.
+    fn arm_timer(&mut self, idx: usize, kind: TimerKind, deadline: Instant) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        conn.timer_gen += 1;
+        let entry = TimerEntry {
+            deadline,
+            token: token_of(idx, conn.gen),
+            timer_gen: conn.timer_gen,
+            kind,
+        };
+        self.wheel.insert(entry);
+    }
+
+    fn timer_fired(&mut self, entry: TimerEntry) {
+        let (idx, gen) = split_token(entry.token);
+        let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else { return };
+        if conn.gen != gen || conn.timer_gen != entry.timer_gen {
+            return; // stale (cancelled or slot reused)
+        }
+        match entry.kind {
+            TimerKind::Header => {
+                if conn.state == State::Reading {
+                    // slowloris: the head did not complete in time
+                    let t0 = conn.request_t0;
+                    let resp = Response::error(408, "request header read exceeded its deadline");
+                    self.queue_response(idx, &resp, false, Some(("unparsed".into(), 408, t0)));
+                }
+            }
+            TimerKind::Idle => {
+                if conn.state == State::Reading && conn.buf.is_empty() {
+                    self.close_conn(idx); // silent: no request in progress
+                }
+            }
+            TimerKind::Write => {
+                if conn.state == State::Writing && conn.out_pos < conn.out.len() {
+                    self.write_failed(idx);
+                }
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, mask: u32) {
+        let (idx, gen) = split_token(token);
+        let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else { return };
+        if conn.gen != gen {
+            return; // slot reused since this event was queued
+        }
+        if mask & (EPOLLHUP | EPOLLERR) != 0 {
+            conn.peer_dead = true;
+            match conn.state {
+                State::InFlight => {
+                    // The response is still being computed: deregister so
+                    // the level-triggered HUP stops waking us, keep the
+                    // slab entry until the completion arrives (the write
+                    // attempt will fail and count a write error).
+                    if conn.in_epoll {
+                        let _ = self.epoll.delete(conn.fd);
+                        conn.in_epoll = false;
+                    }
+                }
+                State::Writing => self.write_failed(idx),
+                State::Reading => self.close_conn(idx), // rude disconnect
+            }
+            return;
+        }
+        let state = conn.state;
+        if mask & EPOLLOUT != 0 && state == State::Writing {
+            self.try_write(idx);
+            return;
+        }
+        if mask & (EPOLLIN | EPOLLRDHUP) != 0 && state == State::Reading {
+            self.try_read(idx);
+        }
+    }
+
+    fn try_read(&mut self, idx: usize) {
+        let mut chunk = [0u8; 4096];
+        let mut saw_eof = false;
+        loop {
+            let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else { return };
+            // A recycled connection's idle timer becomes a header
+            // deadline the moment the next request starts arriving.
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    saw_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    let was_empty = conn.buf.is_empty();
+                    conn.buf.extend_from_slice(&chunk[..n]);
+                    if was_empty {
+                        let now = Instant::now();
+                        conn.request_t0 = now;
+                        self.arm_timer(idx, TimerKind::Header, now + self.config.header_deadline);
+                    }
+                    if let Some(cap_err) = self.head_cap_violation(idx) {
+                        let resp = Response::error(400, &format!("bad request: {cap_err}"));
+                        self.queue_response(idx, &resp, false, None);
+                        return;
+                    }
+                    if self.try_process_head(idx, false) {
+                        return; // state changed; stop reading
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // reset mid-request: nothing useful to answer
+                    self.close_conn(idx);
+                    return;
+                }
+            }
+        }
+        if saw_eof {
+            // EOF path: a half-closed client (shutdown(WR)) may have a
+            // complete or EOF-terminated head buffered; a clean close
+            // has nothing. Either way the connection never stays in
+            // Reading (which would busy-loop on level-triggered EOF).
+            let empty = match self.conns.get(idx).and_then(|c| c.as_ref()) {
+                Some(conn) => conn.buf.iter().all(|&b| b == b'\r' || b == b'\n'),
+                None => return,
+            };
+            if empty || !self.try_process_head(idx, true) {
+                self.close_conn(idx);
+            }
+        }
+    }
+
+    /// Checks the shared request-line / header-size caps against the
+    /// buffered (incomplete) head; returns the 400 message on violation.
+    fn head_cap_violation(&self, idx: usize) -> Option<String> {
+        let conn = self.conns.get(idx).and_then(|c| c.as_ref())?;
+        match conn.buf.iter().position(|&b| b == b'\n') {
+            None if conn.buf.len() > MAX_REQUEST_LINE_BYTES => {
+                Some(format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"))
+            }
+            Some(line_end) if conn.buf.len() - line_end > MAX_HEADER_BYTES => {
+                Some(format!("headers exceed {MAX_HEADER_BYTES} bytes"))
+            }
+            _ => None,
+        }
+    }
+
+    /// Index just past the head terminator (`\n\n` or `\n\r\n`), if the
+    /// buffered bytes contain a complete head.
+    fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+        let start = from.saturating_sub(2);
+        let mut i = start;
+        while i < buf.len() {
+            if buf[i] == b'\n' {
+                if buf.get(i + 1) == Some(&b'\n') {
+                    return Some(i + 2);
+                }
+                if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                    return Some(i + 3);
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Parses and dispatches the buffered head if complete (or, `at_eof`,
+    /// whatever arrived before the half-close — matching the blocking
+    /// parser, which treats EOF as end-of-line). Returns true when the
+    /// connection left the `Reading` state.
+    fn try_process_head(&mut self, idx: usize, at_eof: bool) -> bool {
+        let (head, head_len) = {
+            let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+                return true;
+            };
+            let end = match Self::find_head_end(&conn.buf, conn.scan_pos) {
+                Some(e) => e,
+                None if at_eof => conn.buf.len(),
+                None => {
+                    conn.scan_pos = conn.buf.len();
+                    return false;
+                }
+            };
+            let head = String::from_utf8_lossy(&conn.buf[..end]).into_owned();
+            conn.buf.drain(..end);
+            conn.scan_pos = 0;
+            (head, end)
+        };
+        self.metrics.header_bytes.add(head_len as u64);
+        let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+        let request_line = lines.next().unwrap_or("");
+        match parse_request_line(request_line) {
+            Ok((method, target)) => {
+                let mut headers = Vec::new();
+                for line in lines {
+                    if line.is_empty() {
+                        break;
+                    }
+                    if let Some(pair) = parse_header_line(line) {
+                        headers.push(pair);
+                    }
+                }
+                self.dispatch_request(idx, request_from_parts(method, target, headers));
+            }
+            Err(e) => {
+                let resp = Response::error(400, &format!("bad request: {e}"));
+                let t0 = self.conns[idx].as_ref().map(|c| c.request_t0);
+                self.queue_response(idx, &resp, false, t0.map(|t| ("unparsed".into(), 400, t)));
+            }
+        }
+        true
+    }
+
+    /// Admission control and hand-off to the worker pool for one parsed
+    /// request.
+    fn dispatch_request(&mut self, idx: usize, req: Request) {
+        let (want_keep_alive, request_t0, token) = {
+            let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else { return };
+            // Keep-alive: HTTP/1.1 default unless the client said close.
+            // Requests carrying a body would desync the framing (bodies
+            // are never read), so they close too — as does a half-closed
+            // peer, where the recycle could only ever see EOF.
+            let close_requested =
+                req.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
+            let has_body = req.header("content-length").is_some_and(|v| v.trim() != "0")
+                || req.header("transfer-encoding").is_some();
+            let want = !close_requested && !has_body && !conn.read_closed;
+            (want, conn.request_t0, token_of(idx, conn.gen))
+        };
+        if req.method != "GET" && req.method != "POST" {
+            let endpoint = normalize_endpoint(&req.path).to_string();
+            let resp = Response::error(405, &format!("method {} not allowed", req.method));
+            self.queue_response(idx, &resp, false, Some((endpoint, 405, request_t0)));
+            return;
+        }
+        if self.pending.load(Ordering::SeqCst) >= self.config.queue_limit {
+            self.stats.shed.inc();
+            if self.degraded
+                && req.method == "GET"
+                && self.shed_pending.load(Ordering::SeqCst) < SHED_QUEUE_LIMIT
+            {
+                // Divert the already-parsed request to the shed thread:
+                // take the socket out of the poller entirely (the shed
+                // thread's blocking write_response closes it and
+                // decrements connections_open).
+                if let Some(conn) = self.conns[idx].take() {
+                    self.free.push(idx);
+                    self.open_count -= 1;
+                    if conn.in_epoll {
+                        let _ = self.epoll.delete(conn.fd);
+                    }
+                    let _ = conn.stream.set_nonblocking(false);
+                    self.shed_pending.fetch_add(1, Ordering::SeqCst);
+                    let _ = self.shed_tx.send(ShedJob::Parsed(conn.stream, req));
+                }
+                return;
+            }
+            let resp = Response::overloaded(self.config.retry_after_secs);
+            self.queue_response(idx, &resp, false, None);
+            return;
+        }
+        // Admit: cancel the header timer, quiesce epoll interest (flow
+        // control: nothing is read while the request is in flight), and
+        // hand the CPU work to the pool.
+        {
+            let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else { return };
+            conn.state = State::InFlight;
+            conn.keep_alive = want_keep_alive;
+            conn.timer_gen += 1;
+        }
+        self.update_interest(idx, 0);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.inflight += 1;
+        let endpoint = normalize_endpoint(&req.path).to_string();
+        let handler = Arc::clone(&self.handler);
+        let stats = Arc::clone(&self.stats);
+        let metrics = Arc::clone(&self.metrics);
+        let handback = Arc::clone(&self.handback);
+        let pending = Arc::clone(&self.pending);
+        let config = self.config;
+        let pool = self.pool.as_ref().expect("pool alive while accepting");
+        pool.submit(move || {
+            pending.fetch_sub(1, Ordering::SeqCst);
+            metrics.queue_wait_ns.record(dur_ns(request_t0.elapsed()));
+            let started = Instant::now();
+            let response = match effective_deadline(&req, &config) {
+                // the deadline is re-checked at execution start: queued-
+                // then-expired work never runs the handler
+                Some(d) if request_t0.elapsed() >= d => {
+                    stats.expired.inc();
+                    Response::deadline_expired()
+                }
+                _ => match catch_unwind(AssertUnwindSafe(|| handler(&req))) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        stats.handler_panics.inc();
+                        Response::error(500, "handler panicked")
+                    }
+                },
+            };
+            handback.push(Completion { token, endpoint, started, response });
+        });
+    }
+
+    fn deliver_completions(&mut self) {
+        for c in self.handback.drain() {
+            self.inflight -= 1;
+            let (idx, gen) = split_token(c.token);
+            let keep_alive = match self.conns.get_mut(idx).and_then(|x| x.as_mut()) {
+                Some(conn) if conn.gen == gen && conn.state == State::InFlight => {
+                    conn.keep_alive && !conn.read_closed && !conn.peer_dead && !self.draining
+                }
+                // the connection can only have vanished through close
+                // paths that never apply to InFlight conns; be safe
+                _ => continue,
+            };
+            let observe = Some((c.endpoint, c.response.status, c.started));
+            self.queue_response(idx, &c.response, keep_alive, observe);
+        }
+    }
+
+    /// Serializes `response` onto the connection and starts draining it.
+    fn queue_response(
+        &mut self,
+        idx: usize,
+        response: &Response,
+        keep_alive: bool,
+        observe: Option<(String, u16, Instant)>,
+    ) {
+        {
+            let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else { return };
+            conn.out = response.to_bytes(keep_alive);
+            conn.out_pos = 0;
+            conn.body_len = response.body.len();
+            conn.keep_alive = keep_alive;
+            conn.state = State::Writing;
+            conn.observe = observe;
+            conn.write_timer_armed = false;
+            conn.timer_gen += 1; // cancel any reading-phase timer
+        }
+        self.try_write(idx);
+    }
+
+    fn try_write(&mut self, idx: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else { return };
+            if conn.out_pos >= conn.out.len() {
+                self.finish_write(idx);
+                return;
+            }
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.write_failed(idx);
+                    return;
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    let arm = !conn.write_timer_armed;
+                    conn.write_timer_armed = true;
+                    self.update_interest(idx, EPOLLOUT);
+                    if arm {
+                        let deadline = Instant::now() + self.config.write_timeout;
+                        self.arm_timer(idx, TimerKind::Write, deadline);
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.write_failed(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// A response could not be fully delivered (peer gone or write
+    /// timeout): count it, record the deferred latency observation as
+    /// the threaded front end does, and close.
+    fn write_failed(&mut self, idx: usize) {
+        self.stats.write_errors.inc();
+        if let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) {
+            if let Some((endpoint, status, started)) = conn.observe.take() {
+                self.metrics.observe(&endpoint, status, started.elapsed());
+            }
+        }
+        self.close_conn(idx);
+    }
+
+    /// The response was fully written: account for it, then close or
+    /// recycle the connection for its next keep-alive request.
+    fn finish_write(&mut self, idx: usize) {
+        let recycle = {
+            let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else { return };
+            self.metrics.body_bytes.add(conn.body_len as u64);
+            if let Some((endpoint, status, started)) = conn.observe.take() {
+                self.metrics.observe(&endpoint, status, started.elapsed());
+            }
+            conn.keep_alive && !conn.read_closed && !conn.peer_dead && !self.draining
+        };
+        if !recycle {
+            self.close_conn(idx);
+            return;
+        }
+        self.metrics.keepalive_reuse.inc();
+        let pipelined = {
+            let Some(conn) = self.conns.get_mut(idx).and_then(|c| c.as_mut()) else { return };
+            conn.state = State::Reading;
+            conn.out = Vec::new();
+            conn.out_pos = 0;
+            conn.body_len = 0;
+            conn.request_t0 = Instant::now();
+            conn.scan_pos = 0;
+            !conn.buf.is_empty()
+        };
+        self.update_interest(idx, EPOLLIN | EPOLLRDHUP);
+        let now = Instant::now();
+        if pipelined {
+            // the next request (or part of it) was already buffered
+            self.arm_timer(idx, TimerKind::Header, now + self.config.header_deadline);
+            self.try_process_head(idx, false);
+        } else {
+            self.arm_timer(idx, TimerKind::Idle, now + self.config.read_timeout);
+        }
+    }
+}
+
+/// A tiny smoke test of the wheel itself; end-to-end poller behavior is
+/// exercised by the HTTP test suites against both front ends.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_orders_and_expires() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0);
+        assert_eq!(wheel.next_timeout_ms(t0), None);
+        wheel.insert(TimerEntry {
+            deadline: t0 + Duration::from_millis(40),
+            token: 1,
+            timer_gen: 0,
+            kind: TimerKind::Header,
+        });
+        wheel.insert(TimerEntry {
+            deadline: t0 + Duration::from_secs(60), // beyond the horizon
+            token: 2,
+            timer_gen: 0,
+            kind: TimerKind::Idle,
+        });
+        assert!(wheel.next_timeout_ms(t0).is_some());
+
+        let mut expired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(100), &mut expired);
+        assert_eq!(expired.len(), 1, "only the 40 ms timer fires");
+        assert_eq!(expired[0].token, 1);
+
+        expired.clear();
+        wheel.advance(t0 + Duration::from_secs(61), &mut expired);
+        assert_eq!(expired.len(), 1, "overflow entry fires after refile");
+        assert_eq!(expired[0].token, 2);
+        assert_eq!(wheel.count, 0);
+        assert_eq!(wheel.next_timeout_ms(t0 + Duration::from_secs(61)), None);
+    }
+}

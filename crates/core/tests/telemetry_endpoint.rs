@@ -106,6 +106,9 @@ fn metrics_endpoint_renders_every_layer_over_http() {
         "http_queue_wait_ns",
         "http_request_header_bytes_total",
         "http_response_body_bytes_total",
+        "http_connections_open",
+        "http_keepalive_reuse_total",
+        "epoll_wakeups_total",
         "pilgrim_request_latency_ns",
         "forecast_stage_latency_ns",
         "forecast_cache_hits_total",
@@ -124,6 +127,13 @@ fn metrics_endpoint_renders_every_layer_over_http() {
     assert!(body.contains("forecast_simulations_total 1"), "{body}");
     assert!(body.contains(r#"pilgrim_request_latency_ns_count{endpoint="unknown"} 1"#), "{body}");
     assert!(body.contains("kernel_components_solved_total"), "{body}");
+    // The connection gauge renders as a gauge and reflects the one live
+    // connection doing this very scrape (the event front end holds it
+    // open; the threaded one has already counted it in).
+    assert!(body.contains("# TYPE http_connections_open gauge"), "{body}");
+    assert!(body.contains("http_connections_open 1"), "{body}");
+    // The poller loop has demonstrably turned at least once by now.
+    assert!(body.contains("epoll_wakeups_total"), "{body}");
 
     // Exposition syntax: every non-comment, non-empty line is
     // `name{labels} value` with a parseable numeric value.

@@ -46,6 +46,15 @@
 //! `telemetry` crate — [`WorkerPool::register_metrics`] adopts them
 //! into a `MetricsRegistry` for `/pilgrim/metrics` exposition.
 
+//! ## Completion hand-back
+//!
+//! Event-loop consumers (the `pilgrim-core` HTTP poller) receive worker
+//! results through [`handback::Handback`]: workers push finished items
+//! and fire a pluggable wake callback (a pipe write, for epoll), the
+//! consumer drains the batch in O(1) lock time.
+
+pub mod handback;
 pub mod pool;
 
+pub use handback::Handback;
 pub use pool::{PoolMetrics, Scope, WorkerPool};
