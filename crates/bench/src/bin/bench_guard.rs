@@ -35,10 +35,20 @@
 //! degenerating to per-request connection churn) moves every level the
 //! same direction.
 //!
+//! ## Scenario selection
+//!
+//! `--scenario <substr>` restricts the kernel gate to scenarios whose
+//! name contains the substring (repeatable). Scenarios flagged *heavy*
+//! (the 50k-flow ladder rung and the 100k-host platform) are skipped
+//! unless a `--scenario` filter explicitly matches them: their absolute
+//! runtimes are seconds, and on the shared box that noise budget
+//! belongs in an opt-in run, not the default verify line.
+//!
 //! Usage: `cargo run --release -p bench --bin bench_guard \
 //!             [BENCH_kernel.json] [--tolerance <percent>] \
 //!             [--overhead-tolerance <percent>] \
-//!             [--serving-tolerance <percent>]`
+//!             [--serving-tolerance <percent>] \
+//!             [--scenario <substr>]...`
 
 use std::sync::Arc;
 
@@ -53,9 +63,17 @@ fn main() {
     let mut tolerance = 15.0f64;
     let mut overhead_tolerance = 2.0f64;
     let mut serving_tolerance = 35.0f64;
+    let mut filters: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--tolerance" || a == "--overhead-tolerance" || a == "--serving-tolerance" {
+        if a == "--scenario" {
+            let v = args.next().unwrap_or_default();
+            if v.is_empty() {
+                eprintln!("error: --scenario needs a substring");
+                std::process::exit(2);
+            }
+            filters.push(v);
+        } else if a == "--tolerance" || a == "--overhead-tolerance" || a == "--serving-tolerance" {
             let v = args.next().unwrap_or_default();
             let parsed = match v.parse() {
                 Ok(t) => t,
@@ -97,13 +115,29 @@ fn main() {
     let mut regressions = 0usize;
     let mut missing = 0usize;
     let mut overhead_ratios: Vec<(String, f64)> = Vec::new();
+    // Committed rows are objects since the footprint column landed
+    // (`{"median_ns": ..., "route_entries": ...}`), but older flat
+    // `name: number` files still parse — the guard only gates time.
+    let committed_median = |name: &str| {
+        committed
+            .get(name)
+            .and_then(|v| v.as_f64().or_else(|| v.get("median_ns").and_then(|m| m.as_f64())))
+    };
     println!("{:<27} {:>12} {:>12} {:>8}", "scenario", "committed", "fresh", "delta");
     for scenario in kernel_suite() {
+        let matched = filters.iter().any(|f| scenario.name.contains(f.as_str()));
+        if !filters.is_empty() && !matched {
+            continue;
+        }
+        if scenario.heavy && !matched {
+            println!("{:<27} {:>12} (heavy; pass --scenario to gate)", scenario.name, "-");
+            continue;
+        }
         let baseline = overhead_baseline
             .as_ref()
             .and_then(|b| b.get(&scenario.name))
             .and_then(|v| v.as_f64());
-        let want = committed.get(&scenario.name).and_then(|v| v.as_f64());
+        let want = committed_median(&scenario.name);
         if want.is_none() && baseline.is_none() {
             println!("{:<27} {:>12} (not in {committed_path}; skipped)", scenario.name, "-");
             missing += 1;
@@ -137,8 +171,21 @@ fn main() {
         println!("note: {missing} scenario(s) not present in {committed_path} (new since last regen?)");
     }
 
-    // Overhead verdict: geomean of fresh/uninstrumented ratios.
+    // Overhead verdict: geomean of fresh/uninstrumented ratios. A
+    // `--scenario` filter disables both aggregate guards — a geomean
+    // over a hand-picked subset gates nothing meaningful.
     let mut overhead_failed = false;
+    if !filters.is_empty() {
+        println!("note: --scenario filter active — overhead and serving guards skipped");
+        if regressions > 0 {
+            eprintln!(
+                "bench_guard: {regressions} scenario(s) regressed more than {tolerance}%"
+            );
+            std::process::exit(1);
+        }
+        println!("bench_guard: filtered scenarios within {tolerance}% of {committed_path}");
+        return;
+    }
     if overhead_ratios.is_empty() {
         if overhead_baseline.is_none() {
             println!("note: {OVERHEAD_PATH} absent — instrumentation-overhead guard skipped");

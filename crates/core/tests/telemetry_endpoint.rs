@@ -117,6 +117,10 @@ fn metrics_endpoint_renders_every_layer_over_http() {
         "kernel_reshares_total",
         "kernel_calendar_pops_total",
         "kernel_component_size",
+        "kernel_calendar_peak",
+        "kernel_warm_cache_bytes",
+        "kernel_route_memo_hits_total",
+        "kernel_route_memo_entries",
         "pool_queue_depth",
         "pool_job_service_ns",
     ] {

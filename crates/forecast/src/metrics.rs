@@ -17,8 +17,8 @@
 //! the per-run totals into these shared counters *after* `run()`
 //! returns, off the hot path.
 
-use simflow::{KernelStats, COMP_SIZE_BUCKETS};
-use telemetry::{Counter, Histogram, MetricsRegistry};
+use simflow::{KernelStats, RouteMemoStats, COMP_SIZE_BUCKETS};
+use telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 
 /// Shared counters aggregating kernel work across every simulation the
 /// engine runs (all platforms, all sessions — one process-wide family).
@@ -45,6 +45,19 @@ pub struct KernelCounters {
     pub warm_invalidated_bind_dirty: Counter,
     /// Levels abandoned: a frozen flow changed.
     pub warm_invalidated_frozen_flow: Counter,
+    /// Completion-calendar length high-water mark of the most recent
+    /// finished run (a memory proxy: entries are 16 bytes each).
+    pub calendar_peak: Gauge,
+    /// Warm-start cache resident bytes as of the most recent finished
+    /// run.
+    pub warm_bytes: Gauge,
+    /// Hierarchical route-memo hits across every route resolution (the
+    /// platform counts monotonically; sessions fold the delta since
+    /// their last fold — see [`KernelCounters::observe_route_memo`]).
+    pub route_memo_hits: Counter,
+    /// Memoized (cluster, cluster) route entries currently held by the
+    /// most recently folded platform.
+    pub route_memo_entries: Gauge,
 }
 
 impl KernelCounters {
@@ -67,6 +80,21 @@ impl KernelCounters {
         self.warm_invalidated_seed_cap.add(w.invalidated_seed_cap);
         self.warm_invalidated_bind_dirty.add(w.invalidated_bind_dirty);
         self.warm_invalidated_frozen_flow.add(w.invalidated_frozen_flow);
+        self.calendar_peak.set(stats.calendar_peak as i64);
+        self.warm_bytes.set(stats.warm_bytes as i64);
+    }
+
+    /// Folds a platform's [`simflow::Platform::route_memo_stats`]
+    /// snapshot, given the hit total at the previous fold (`prev_hits`).
+    /// The platform counter is monotone, so the caller tracks its last
+    /// folded value (e.g. with `AtomicU64::fetch_max`) and only the
+    /// delta lands on the shared counter — route resolution happens
+    /// outside the solve, so this never runs on the kernel's hot path.
+    pub fn observe_route_memo(&self, memo: RouteMemoStats, prev_hits: u64) {
+        if memo.hits > prev_hits {
+            self.route_memo_hits.add(memo.hits - prev_hits);
+        }
+        self.route_memo_entries.set(memo.entries as i64);
     }
 
     /// Adopts the kernel family into `registry`.
@@ -121,6 +149,30 @@ impl KernelCounters {
                 counter,
             );
         }
+        registry.adopt_gauge(
+            "kernel_calendar_peak",
+            "Completion-calendar length high-water mark of the latest run",
+            &[],
+            &self.calendar_peak,
+        );
+        registry.adopt_gauge(
+            "kernel_warm_cache_bytes",
+            "Warm-start cache resident bytes as of the latest run",
+            &[],
+            &self.warm_bytes,
+        );
+        registry.adopt_counter(
+            "kernel_route_memo_hits_total",
+            "Hierarchical (cluster, cluster) route-memo hits during route resolution",
+            &[],
+            &self.route_memo_hits,
+        );
+        registry.adopt_gauge(
+            "kernel_route_memo_entries",
+            "Memoized (cluster, cluster) route entries held by the latest platform",
+            &[],
+            &self.route_memo_entries,
+        );
     }
 }
 
@@ -196,17 +248,36 @@ mod tests {
                 invalidated_frozen_flow: 0,
             },
         };
-        let stats = KernelStats { reshares: 5, calendar_pops: 9, solver };
+        let stats = KernelStats {
+            reshares: 5,
+            calendar_pops: 9,
+            calendar_peak: 12,
+            warm_bytes: 4096,
+            solver,
+        };
         m.observe(&stats);
         m.observe(&stats);
         assert_eq!(m.reshares.get(), 10);
         assert_eq!(m.calendar_pops.get(), 18);
+        assert_eq!(m.calendar_peak.get(), 12);
+        assert_eq!(m.warm_bytes.get(), 4096);
         assert_eq!(m.components_solved.get(), 6);
         assert_eq!(m.component_size.count(), 6);
         // 2×(2·1 + 1·8) = 20 total "flows" recorded
         assert_eq!(m.component_size.sum(), 20);
         assert_eq!(m.warm_levels_replayed.get(), 14);
         assert_eq!(m.warm_invalidated_dirty_ratio.get(), 4);
+    }
+
+    #[test]
+    fn route_memo_folds_deltas_only() {
+        let m = KernelCounters::default();
+        m.observe_route_memo(RouteMemoStats { hits: 10, entries: 3, links: 9 }, 0);
+        m.observe_route_memo(RouteMemoStats { hits: 25, entries: 4, links: 12 }, 10);
+        // a stale prev (racing folder already consumed these hits) adds nothing
+        m.observe_route_memo(RouteMemoStats { hits: 25, entries: 4, links: 12 }, 25);
+        assert_eq!(m.route_memo_hits.get(), 25);
+        assert_eq!(m.route_memo_entries.get(), 4);
     }
 
     #[test]
@@ -223,6 +294,10 @@ mod tests {
             "kernel_reshares_total",
             "kernel_component_size",
             "kernel_warm_levels_invalidated_total",
+            "kernel_calendar_peak",
+            "kernel_warm_cache_bytes",
+            "kernel_route_memo_hits_total",
+            "kernel_route_memo_entries",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }

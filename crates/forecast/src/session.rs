@@ -43,6 +43,10 @@ use crate::metrics::KernelCounters;
 
 use crate::engine::{ForecastError, TransferSpec};
 
+/// Upper bound on memoized `(src, dst)` route resolutions per session
+/// (see [`Session::resolve`]).
+const ROUTE_CACHE_CAP: usize = 1 << 16;
+
 /// A background flow: a resolved path plus the bytes in flight, injected
 /// into every simulation of the session's platform.
 #[derive(Clone, Debug)]
@@ -104,6 +108,9 @@ pub struct Session {
     /// inside the solve (the kernel counts plain integers and the
     /// determinism contract forbids clocks/atomics there).
     kernel: KernelCounters,
+    /// The platform's route-memo hit total at this session's last fold;
+    /// only the delta since then lands on the shared counter.
+    memo_hits_seen: AtomicU64,
 }
 
 impl Session {
@@ -147,6 +154,7 @@ impl Session {
             overlay_version: AtomicU64::new(0),
             pool,
             kernel,
+            memo_hits_seen: AtomicU64::new(0),
         }
     }
 
@@ -289,7 +297,12 @@ impl Session {
             .ok_or_else(|| ForecastError::UnknownHost(name.to_string()))
     }
 
-    /// The memoized route resolution between two hosts.
+    /// The memoized route resolution between two hosts. The per-pair map
+    /// is capped at [`ROUTE_CACHE_CAP`] entries — on a 100k-host platform
+    /// the pair space is ~10¹⁰, so an uncapped map under adversarial or
+    /// merely broad traffic would grow without bound; past the cap,
+    /// resolutions still succeed (and still benefit from the platform's
+    /// own cluster-pair route memo) but are not retained here.
     pub fn resolve(&self, src: HostId, dst: HostId) -> Result<Arc<ResolvedPath>, ForecastError> {
         if let Some(p) = self.routes.read().get(&(src, dst)) {
             return Ok(Arc::clone(p));
@@ -299,6 +312,9 @@ impl Session {
                 .map_err(ForecastError::Sim)?,
         );
         let mut w = self.routes.write();
+        if w.len() >= ROUTE_CACHE_CAP {
+            return Ok(w.get(&(src, dst)).map(Arc::clone).unwrap_or(path));
+        }
         // A racing resolver may have inserted meanwhile; keep the first
         // entry so every caller shares one allocation.
         Ok(Arc::clone(w.entry((src, dst)).or_insert(path)))
@@ -379,6 +395,13 @@ impl Session {
             .collect();
         let report = sim.run().map_err(ForecastError::Sim)?;
         self.kernel.observe(&report.stats);
+        // Fold the platform's route-memo counters (delta since this
+        // session's last fold; `fetch_max` keeps racing folders from
+        // double-counting). Resolution runs at add-transfer time, so this
+        // is off the solve path like every other fold here.
+        let memo = self.platform.route_memo_stats();
+        let prev = self.memo_hits_seen.fetch_max(memo.hits, Ordering::Relaxed);
+        self.kernel.observe_route_memo(memo, prev);
         Ok(ids
             .iter()
             .map(|id| {

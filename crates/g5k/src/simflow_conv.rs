@@ -355,6 +355,22 @@ mod tests {
     }
 
     #[test]
+    fn synthetic_platform_builds_and_routes_across_sites() {
+        let api = synth::synthetic(3000);
+        let p = to_simflow(&api, Flavor::G5kTest);
+        assert_eq!(p.host_count(), 3000);
+        let a = p.host_by_name("s00c0-1.s00.grid5000.fr").unwrap();
+        let b = p.host_by_name("s01c3-250.s01.grid5000.fr").unwrap();
+        let r = p.route_hosts(a, b).unwrap();
+        let names: Vec<&str> = r.links.iter().map(|l| p.link(*l).name.as_str()).collect();
+        assert!(names.iter().any(|n| n.starts_with("bb-")), "{names:?}");
+        // same-cluster pair: two NICs, no backbone
+        let c = p.host_by_name("s00c0-2.s00.grid5000.fr").unwrap();
+        let r = p.route_hosts(a, c).unwrap();
+        assert_eq!(r.links.len(), 2);
+    }
+
+    #[test]
     fn flat_full_table_is_quadratic() {
         let api = synth::standard();
         let flat = to_simflow(&api, Flavor::FlatFull);

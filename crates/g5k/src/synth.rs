@@ -191,6 +191,74 @@ pub fn standard() -> RefApi {
     api
 }
 
+/// Hosts per synthetic cluster (Grid'5000 clusters run 25–350 nodes;
+/// 250 keeps the zone count moderate at 100k hosts).
+pub const SYNTH_HOSTS_PER_CLUSTER: u32 = 250;
+/// Clusters per synthetic site (the larger real sites host 5–10).
+pub const SYNTH_CLUSTERS_PER_SITE: usize = 8;
+
+/// A deterministic Grid'5000-style platform scaled to exactly
+/// `total_hosts` hosts — the scale-testing companion to [`standard`].
+///
+/// Sites of [`SYNTH_CLUSTERS_PER_SITE`] directly-wired clusters ×
+/// [`SYNTH_HOSTS_PER_CLUSTER`] gigabit hosts (the last site/cluster
+/// takes the remainder) hang off non-blocking routers joined by a
+/// complete 10 Gbit/s backbone mesh — the root zone routes site pairs
+/// with explicit full-routing entries, so every pair needs a link, and
+/// RENATER's L2VPN overlay is effectively a full mesh anyway. At
+/// 100 000 hosts this yields 50 sites, 400 cluster zones and ~1 225
+/// backbone links.
+pub fn synthetic(total_hosts: usize) -> RefApi {
+    let total_hosts = total_hosts.max(1);
+    let mut sites = Vec::new();
+    let mut remaining = total_hosts;
+    let mut si = 0usize;
+    while remaining > 0 {
+        let site_name = format!("s{si:02}");
+        let mut clusters = Vec::new();
+        for ci in 0..SYNTH_CLUSTERS_PER_SITE {
+            if remaining == 0 {
+                break;
+            }
+            let n = remaining.min(SYNTH_HOSTS_PER_CLUSTER as usize) as u32;
+            remaining -= n as usize;
+            clusters.push(Cluster {
+                name: format!("{site_name}c{ci}"),
+                nodes: n,
+                node: NodeModel {
+                    speed_flops: 1.0e10,
+                    nic_bps: GBIT,
+                    startup_overhead_s: NEW_NODE_OVERHEAD,
+                },
+                aggregation: Aggregation::Direct,
+            });
+        }
+        sites.push(Site {
+            name: site_name.clone(),
+            router: Router {
+                name: format!("gw.{site_name}"),
+                backplane_bps: SITE_ROUTER_BACKPLANE,
+            },
+            clusters,
+        });
+        si += 1;
+    }
+    let mut backbone = Vec::new();
+    for i in 0..sites.len() {
+        for j in i + 1..sites.len() {
+            backbone.push(BackboneLink {
+                a: sites[i].name.clone(),
+                b: sites[j].name.clone(),
+                rate_bps: TEN_GBIT,
+                latency_s: 2.25e-3,
+            });
+        }
+    }
+    let api = RefApi { sites, backbone };
+    debug_assert!(api.validate().is_empty(), "{:?}", api.validate());
+    api
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +266,23 @@ mod tests {
     #[test]
     fn standard_is_valid() {
         assert!(standard().validate().is_empty());
+    }
+
+    #[test]
+    fn synthetic_hits_requested_host_count() {
+        for n in [1, 250, 2000, 2001, 10_000] {
+            let api = synthetic(n);
+            assert!(api.validate().is_empty(), "{:?}", api.validate());
+            assert_eq!(api.node_count(), n);
+        }
+    }
+
+    #[test]
+    fn synthetic_backbone_is_complete() {
+        let api = synthetic(10_000);
+        let s = api.sites.len();
+        assert_eq!(s, 5);
+        assert_eq!(api.backbone.len(), s * (s - 1) / 2);
     }
 
     #[test]

@@ -192,6 +192,14 @@ pub struct KernelStats {
     /// by peeks (the lazy-deletion overhead the calendar trades for
     /// O(log) updates).
     pub calendar_pops: u64,
+    /// Peak completion-calendar length over the run, stale entries
+    /// included — the calendar's memory high-water mark (entries are 16
+    /// bytes each). Compaction (see `run`) bounds it to a small multiple
+    /// of the live work count.
+    pub calendar_peak: u64,
+    /// Approximate heap bytes held by the solver's warm-start cache when
+    /// the run finished (see [`crate::model::MaxMinSolver::warm_bytes`]).
+    pub warm_bytes: u64,
     /// Solver component dispatch counts, size histogram and warm-replay
     /// outcomes.
     pub solver: SolverStats,
@@ -409,6 +417,8 @@ pub struct Simulation<'p> {
     /// Calendar heap pops, stale discards included (pure count — see
     /// [`KernelStats`]).
     calendar_pops: u64,
+    /// Calendar length high-water mark (see [`KernelStats`]).
+    calendar_peak: u64,
     /// Scheduled platform events, indexed by [`Event::Platform`].
     platform_events: Vec<(u32, PlatformEventKind)>,
     /// Dynamic-platform state; `None` until the first platform event.
@@ -491,6 +501,7 @@ impl<'p> Simulation<'p> {
             link_count: platform.link_count(),
             started: false,
             calendar_pops: 0,
+            calendar_peak: 0,
             platform_events: Vec::new(),
             dynamics: None,
             policy: DeadRoutePolicy::default(),
@@ -1083,12 +1094,34 @@ impl<'p> Simulation<'p> {
                     }
                 }
             }
+
+            // Calendar hygiene for large N. Lazy deletion leaves one
+            // stale entry behind per rate change, so a long run over many
+            // flows can grow the heap far past the live work count. Track
+            // the high-water mark (the bench's memory-footprint proxy)
+            // and, once stale entries dominate, rebuild the heap from the
+            // valid ones — O(len) per compaction, amortized free since it
+            // only fires after the heap doubled past the bound.
+            let cal_len = self.calendar.len();
+            if cal_len as u64 > self.calendar_peak {
+                self.calendar_peak = cal_len as u64;
+            }
+            if cal_len > 4 * n_remaining + 1024 {
+                let mut entries = std::mem::take(&mut self.calendar).into_vec();
+                entries.retain(|&Reverse((_, id, gen))| {
+                    let w = &self.works[id as usize];
+                    w.status == Status::Running && w.generation == gen
+                });
+                self.calendar = BinaryHeap::from(entries);
+            }
         }
 
         let reshares = self.solver.reshares();
         let stats = KernelStats {
             reshares,
             calendar_pops: self.calendar_pops,
+            calendar_peak: self.calendar_peak,
+            warm_bytes: self.solver.warm_bytes(),
             solver: self.solver.stats().clone(),
         };
         let completions = self

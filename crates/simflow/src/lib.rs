@@ -63,6 +63,8 @@ pub use kernel::{
 pub use model::{SolverStats, WarmReplayStats, COMP_SIZE_BUCKETS};
 pub use platform::builder::{BuildError, PlatformBuilder};
 pub use platform::routing::{Element, RoutingKind};
-pub use platform::{HostId, LinkId, NetPointId, Platform, Route, RouteError, SharingPolicy, ZoneId};
+pub use platform::{
+    HostId, LinkId, NetPointId, Platform, Route, RouteError, RouteMemoStats, SharingPolicy, ZoneId,
+};
 pub use trace::{Trace, TraceEvent};
 pub use units::{Bytes, Duration, Rate, SimTime};

@@ -22,6 +22,29 @@
 //! filling, all pinned bit-identical to the reference (see the
 //! `MaxMinSolver` docs for the argument and `maxmin_properties.rs` for
 //! the enforcement).
+//!
+//! ## Large-N layout notes
+//!
+//! The incremental solver is sized for 100k-flow problems on 100k-host
+//! platforms. Everything per-flow and per-resource lives in flat arrays
+//! (a membership CSR, span arenas, epoch-stamp vectors) so the hot path
+//! is pointer-chase-free and memory is `O(flows + resources +
+//! total incidence)` with no per-flow heap allocation. Three bounds keep
+//! the footprint from growing with component size or run length:
+//!
+//! * **warm-record admission** — freeze-order records are linear in
+//!   component flow count, so recording is gated to the
+//!   `[warm_threshold, warm_flow_cap]` size band (see
+//!   [`MaxMinSolver::set_warm_flow_cap`]); oversized components solve
+//!   cold and hold no record. [`MaxMinSolver::warm_bytes`] reports the
+//!   cache's resident bytes for the bench's memory-footprint column.
+//! * **recycled record slots** — the warm-cache slab reuses freed
+//!   entries (buffers intact), so steady-state re-solving allocates
+//!   nothing and the slab never exceeds the peak live record count.
+//! * **`changed`-list merging** — parallel component jobs buffer
+//!   `(flow, rate)` pairs and merge in component discovery order, then
+//!   one `sort_unstable` restores ascending ids; the merge is linear in
+//!   flows actually changed, not in flows registered.
 
 use crate::connect::Connectivity;
 
@@ -221,6 +244,15 @@ const DEFAULT_PAR_THRESHOLD: usize = 32;
 /// fill's few hundred nanoseconds undercut the replay's validation work
 /// (measured crossover on `bench_kernel`'s concurrent scenarios).
 const DEFAULT_WARM_THRESHOLD: usize = 128;
+
+/// Default maximum component size (flows) for warm-start recording; see
+/// [`MaxMinSolver::set_warm_flow_cap`]. A recorded freeze order is
+/// proportional to the component's flow count, so one 100k-flow
+/// component would hoard megabytes of record for a replay whose first
+/// level is almost always invalidated anyway (every completion seeds
+/// the binding resource). Above the cap, components solve cold and the
+/// cache stays bounded.
+const DEFAULT_WARM_FLOW_CAP: usize = 16_384;
 
 #[derive(Clone, Debug)]
 struct SolverFlow {
@@ -584,6 +616,25 @@ impl WarmCache {
         self.live = 0;
         self.res_solve.fill(0);
     }
+
+    /// Approximate heap bytes held: record buffers (recycled slots keep
+    /// their capacity, so capacities — not lengths — are what's resident)
+    /// plus the slab and per-resource stamp table.
+    fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut total = self.res_solve.capacity() * size_of::<u32>()
+            + self.solves.capacity() * size_of::<Option<CachedSolve>>()
+            + self.free.capacity() * size_of::<u32>();
+        for c in self.solves.iter().flatten() {
+            total += c.phis.capacity() * size_of::<f64>()
+                + (c.offsets.capacity()
+                    + c.frozen.capacity()
+                    + c.bind_offsets.capacity()
+                    + c.bind.capacity())
+                    * size_of::<u32>();
+        }
+        total
+    }
 }
 
 /// One parallel component job: id, flow/resource slices, optional cached
@@ -694,6 +745,9 @@ pub struct MaxMinSolver {
     /// Minimum flows for warm-start recording/replay; see
     /// [`MaxMinSolver::set_warm_threshold`].
     warm_threshold: usize,
+    /// Maximum flows for warm-start recording/replay; see
+    /// [`MaxMinSolver::set_warm_flow_cap`].
+    warm_flow_cap: usize,
     warm: WarmCache,
     /// Flows activated/deactivated since the last reshare; folded into
     /// the next reshare's seeds so no membership change can slip past the
@@ -734,6 +788,7 @@ impl Clone for MaxMinSolver {
             warm_start: self.warm_start,
             par_threshold: self.par_threshold,
             warm_threshold: self.warm_threshold,
+            warm_flow_cap: self.warm_flow_cap,
             warm: self.warm.clone(),
             pending: self.pending.clone(),
             conn: self.conn.clone(),
@@ -779,6 +834,7 @@ impl MaxMinSolver {
             warm_start: true,
             par_threshold: DEFAULT_PAR_THRESHOLD,
             warm_threshold: DEFAULT_WARM_THRESHOLD,
+            warm_flow_cap: DEFAULT_WARM_FLOW_CAP,
             warm: WarmCache {
                 res_solve: vec![0; nr],
                 solves: Vec::new(),
@@ -830,6 +886,23 @@ impl MaxMinSolver {
     /// replay on small inputs.
     pub fn set_warm_threshold(&mut self, min_flows: usize) {
         self.warm_threshold = min_flows.max(1);
+    }
+
+    /// Maximum component size (flows) for warm-start recording and
+    /// replay — the size-aware admission bound that keeps the cache from
+    /// hoarding memory on very large components (a record is linear in
+    /// the component's flow count, and huge components invalidate their
+    /// first cached level on nearly every completion anyway). Components
+    /// above the cap solve cold. Results are bit-identical regardless.
+    pub fn set_warm_flow_cap(&mut self, max_flows: usize) {
+        self.warm_flow_cap = max_flows.max(1);
+    }
+
+    /// Approximate heap bytes held by the warm-start cache (record
+    /// buffers plus slab bookkeeping) — the memory-footprint proxy the
+    /// bench suite records. O(#records); never called inside a solve.
+    pub fn warm_bytes(&self) -> u64 {
+        self.warm.bytes() as u64
     }
 
     /// Enables or disables warm-start filling (on by default). Disabling
@@ -1152,7 +1225,7 @@ impl MaxMinSolver {
             let mut chunk_flows = 0usize;
             for ci in 0..self.comps.len() {
                 let n = (self.comps[ci].flows.1 - self.comps[ci].flows.0) as usize;
-                let use_warm = record && n >= self.warm_threshold;
+                let use_warm = record && n >= self.warm_threshold && n <= self.warm_flow_cap;
                 if n <= 1 && !use_warm {
                     continue;
                 }
@@ -1194,7 +1267,7 @@ impl MaxMinSolver {
                 // skipped levels outweigh the replay validation; smaller
                 // ones solve cold and just drop their stale records.
                 let n = (span.flows.1 - span.flows.0) as usize;
-                let use_warm = record && n >= self.warm_threshold;
+                let use_warm = record && n >= self.warm_threshold && n <= self.warm_flow_cap;
                 if !use_warm && n <= 1 {
                     self.solve_trivial(ci, record);
                     continue;
@@ -1235,7 +1308,7 @@ impl MaxMinSolver {
             // bit-identical to the sequential path at any worker count.
             for ci in 0..self.comps.len() {
                 let n = (self.comps[ci].flows.1 - self.comps[ci].flows.0) as usize;
-                if n <= 1 && !(record && n >= self.warm_threshold) {
+                if n <= 1 && !(record && n >= self.warm_threshold && n <= self.warm_flow_cap) {
                     self.solve_trivial(ci, record);
                 }
             }
@@ -1251,7 +1324,9 @@ impl MaxMinSolver {
                     let flows =
                         &self.comp_flows[span.flows.0 as usize..span.flows.1 as usize];
                     let res = &self.comp_res[span.res.0 as usize..span.res.1 as usize];
-                    let use_warm = record && flows.len() >= self.warm_threshold;
+                    let use_warm = record
+                        && flows.len() >= self.warm_threshold
+                        && flows.len() <= self.warm_flow_cap;
                     let warm = if use_warm { self.warm.lookup(res) } else { None };
                     (ci, flows, res, warm, use_warm)
                 })

@@ -5,7 +5,7 @@
 //! [`Platform`] or a [`BuildError`] listing *all* problems found (easier to
 //! fix generated platforms than failing one error at a time).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use super::routing::{Element, RoutingKind, ZoneRouting};
@@ -40,6 +40,10 @@ pub struct PlatformBuilder {
     links: Vec<Link>,
     zones: Vec<Zone>,
     by_name: HashMap<String, NetPointId>,
+    /// Duplicate-name checks in O(1) — a linear scan over `links` per
+    /// `add_link` call turns 100k-link platform construction quadratic.
+    link_names: HashSet<String>,
+    zone_names: HashSet<String>,
     root: ZoneId,
     problems: Vec<String>,
 }
@@ -60,6 +64,8 @@ impl PlatformBuilder {
             links: Vec::new(),
             zones: vec![root],
             by_name: HashMap::new(),
+            link_names: HashSet::new(),
+            zone_names: std::iter::once(root_name.to_string()).collect(),
             root: ZoneId(0),
             problems: Vec::new(),
         }
@@ -73,7 +79,7 @@ impl PlatformBuilder {
     /// Adds a child zone.
     pub fn add_zone(&mut self, parent: ZoneId, name: &str, kind: RoutingKind) -> ZoneId {
         let id = ZoneId(self.zones.len() as u32);
-        if self.zones.iter().any(|z| z.name == name) {
+        if !self.zone_names.insert(name.to_string()) {
             self.problems.push(format!("duplicate zone name '{name}'"));
         }
         self.zones.push(Zone {
@@ -126,7 +132,7 @@ impl PlatformBuilder {
             self.problems
                 .push(format!("link '{name}': latency must be finite and non-negative"));
         }
-        if self.links.iter().any(|l| l.name == name) {
+        if !self.link_names.insert(name.to_string()) {
             self.problems.push(format!("duplicate link name '{name}'"));
         }
         let id = LinkId(self.links.len() as u32);
@@ -301,14 +307,49 @@ impl PlatformBuilder {
         for z in &mut self.zones {
             z.routing.finalize_with_costs(&|l: LinkId| latencies[l.0 as usize]);
         }
-        Ok(Platform {
-            netpoints: self.netpoints,
-            hosts: self.hosts,
-            links: self.links,
-            zones: self.zones,
-            by_name: self.by_name,
-            root: self.root,
-        })
+        let memo_ready = self.compute_memo_ready();
+        Ok(Platform::assemble(
+            self.netpoints,
+            self.hosts,
+            self.links,
+            self.zones,
+            self.by_name,
+            self.root,
+            memo_ready,
+        ))
+    }
+
+    /// For which zones the gateway-splice route decomposition is exact:
+    /// leaf zones whose gateway is a direct member, where no strict
+    /// ancestor's gateway aliases into the leaf under a different point
+    /// (such an alias would let an intermediate recursion step terminate
+    /// inside the leaf without passing its gateway). See the route-memo
+    /// section of the `platform` module docs.
+    fn compute_memo_ready(&self) -> Vec<bool> {
+        self.zones
+            .iter()
+            .enumerate()
+            .map(|(zi, z)| {
+                if !z.children.is_empty() {
+                    return false;
+                }
+                let Some(ga) = z.gateway else { return false };
+                if self.netpoints[ga.0 as usize].zone != ZoneId(zi as u32) {
+                    return false;
+                }
+                let mut anc = z.parent;
+                while let Some(c) = anc {
+                    let cz = &self.zones[c.0 as usize];
+                    if let Some(g) = cz.gateway {
+                        if g != ga && self.netpoints[g.0 as usize].zone == ZoneId(zi as u32) {
+                            return false;
+                        }
+                    }
+                    anc = cz.parent;
+                }
+                true
+            })
+            .collect()
     }
 }
 

@@ -14,12 +14,38 @@
 //! of Grid'5000 tractable — with a flat full routing table "it was
 //! impossible to wholly simulate Grid'5000". The `routing_ablation` bench
 //! reproduces that comparison.
+//!
+//! ## Hierarchical route memoization
+//!
+//! At 10k–100k hosts, resolving every host pair through the full zone
+//! recursion dominates simulation setup, and caching per *host pair* is
+//! hopeless (10¹⁰ pairs). [`Platform::route`] therefore memoizes the
+//! host-independent **middle segment** of cross-zone routes, keyed by the
+//! *(source leaf zone, destination leaf zone)* pair: a route between hosts
+//! `a ∈ A` and `b ∈ B` decomposes as
+//!
+//! ```text
+//! route(a, b) = local(a → gw_A) ++ MID(A, B) ++ local(gw_B → b)
+//! ```
+//!
+//! where `MID(A, B) = route(gw_A, gw_B)` is resolved once per zone pair
+//! and replayed for every subsequent pair of hosts, and the `local` ends
+//! are O(1) cluster access-link lookups. The decomposition is applied only
+//! to zones the builder proved it exact for (leaf zones whose gateway is a
+//! direct member, with no ancestor gateway aliased into the leaf), and is
+//! **bit-identical** to the uncached recursion — same link sequence, and
+//! the latency is summed over the final concatenated sequence in order, so
+//! the f64 grouping matches too. [`Platform::route_uncached`] keeps the
+//! plain recursion callable; `tests/routing_properties.rs` pins equality
+//! across all zone-routing variants.
 
 pub mod builder;
 pub mod routing;
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use crate::units::Duration;
 use routing::{Element, ZoneRouting};
@@ -172,6 +198,34 @@ impl fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
+/// Counters of the hierarchical route memo (see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouteMemoStats {
+    /// Route resolutions served by splicing a memoized middle segment.
+    pub hits: u64,
+    /// Memoized (zone, zone) middle segments currently stored.
+    pub entries: u64,
+    /// Total links across all memoized middle segments (memory proxy).
+    pub links: u64,
+}
+
+/// The hierarchical route memo: middle segments of cross-zone routes
+/// keyed by (source leaf zone, destination leaf zone). Thread-safe
+/// interior mutability — the platform itself stays shareable by `&`.
+#[derive(Debug, Default)]
+struct RouteMemo {
+    mid: RwLock<HashMap<(u32, u32), MidSegment>>,
+    hits: AtomicU64,
+}
+
+/// One memoized gateway-to-gateway link sequence.
+type MidSegment = Arc<Vec<LinkId>>;
+
+/// Middle-segment entries beyond this are not memoized (a backstop for
+/// adversarial all-pairs zone traffic; ordinary workloads touch a tiny
+/// fraction of the zone-pair space).
+const ROUTE_MEMO_CAP: usize = 1 << 20;
+
 /// An immutable platform description. Cheap to share across threads.
 #[derive(Debug)]
 pub struct Platform {
@@ -181,9 +235,36 @@ pub struct Platform {
     pub(crate) zones: Vec<Zone>,
     pub(crate) by_name: HashMap<String, NetPointId>,
     pub(crate) root: ZoneId,
+    /// Per zone: the gateway-splice decomposition is exact for hosts of
+    /// this zone (computed once by the builder; see the module docs).
+    pub(crate) memo_ready: Vec<bool>,
+    memo: RouteMemo,
 }
 
 impl Platform {
+    /// Assembles a validated platform (builder-only entry point; the
+    /// route memo starts empty).
+    pub(crate) fn assemble(
+        netpoints: Vec<NetPoint>,
+        hosts: Vec<Host>,
+        links: Vec<Link>,
+        zones: Vec<Zone>,
+        by_name: HashMap<String, NetPointId>,
+        root: ZoneId,
+        memo_ready: Vec<bool>,
+    ) -> Self {
+        Platform {
+            netpoints,
+            hosts,
+            links,
+            zones,
+            by_name,
+            root,
+            memo_ready,
+            memo: RouteMemo::default(),
+        }
+    }
+
     /// Number of hosts.
     pub fn host_count(&self) -> usize {
         self.hosts.len()
@@ -277,10 +358,31 @@ impl Platform {
             .map(|i| ZoneId(i as u32))
     }
 
-    /// Resolves the route between two netpoints through the zone hierarchy.
+    /// Resolves the route between two netpoints through the zone hierarchy,
+    /// splicing a memoized (zone, zone) middle segment when the endpoints
+    /// live in memo-eligible leaf zones (see the module docs). The result
+    /// is bit-identical to [`Platform::route_uncached`].
     ///
     /// Returns an empty route when `src == dst`.
     pub fn route(&self, src: NetPointId, dst: NetPointId) -> Result<Route, RouteError> {
+        if src == dst {
+            return Ok(Route::empty());
+        }
+        let zs = self.netpoints[src.0 as usize].zone;
+        let zd = self.netpoints[dst.0 as usize].zone;
+        if zs != zd && self.memo_ready[zs.0 as usize] && self.memo_ready[zd.0 as usize] {
+            return self.route_spliced(src, dst, zs, zd);
+        }
+        self.route_uncached(src, dst)
+    }
+
+    /// The plain hierarchical resolution, bypassing the route memo. Kept
+    /// public as the reference the memoized path is property-tested
+    /// against.
+    pub fn route_uncached(&self, src: NetPointId, dst: NetPointId) -> Result<Route, RouteError> {
+        if src == dst {
+            return Ok(Route::empty());
+        }
         let mut links = Vec::with_capacity(8);
         self.route_rec(src, dst, &mut links)?;
         let latency = links
@@ -288,6 +390,63 @@ impl Platform {
             .map(|l| self.links[l.0 as usize].latency)
             .sum();
         Ok(Route { links, latency })
+    }
+
+    /// Cross-zone resolution via the memoized middle segment:
+    /// `local(src → gw_src) ++ MID(zs, zd) ++ local(gw_dst → dst)`, with
+    /// `MID` resolved once per zone pair through the full recursion. The
+    /// latency is summed over the final concatenated link sequence in
+    /// order, so the f64 result is bitwise the uncached one.
+    fn route_spliced(
+        &self,
+        src: NetPointId,
+        dst: NetPointId,
+        zs: ZoneId,
+        zd: ZoneId,
+    ) -> Result<Route, RouteError> {
+        let ga = self.zones[zs.0 as usize].gateway.expect("memo_ready implies gateway");
+        let gb = self.zones[zd.0 as usize].gateway.expect("memo_ready implies gateway");
+        let mut links = Vec::with_capacity(8);
+        if src != ga {
+            self.route_rec(src, ga, &mut links)?;
+        }
+        let key = (zs.0, zd.0);
+        let cached = self.memo.mid.read().expect("route memo poisoned").get(&key).cloned();
+        match cached {
+            Some(mid) => {
+                self.memo.hits.fetch_add(1, Ordering::Relaxed);
+                links.extend_from_slice(&mid);
+            }
+            None => {
+                let mut mid = Vec::new();
+                self.route_rec(ga, gb, &mut mid)?;
+                links.extend_from_slice(&mid);
+                let mut w = self.memo.mid.write().expect("route memo poisoned");
+                if w.len() < ROUTE_MEMO_CAP {
+                    w.entry(key).or_insert_with(|| Arc::new(mid));
+                }
+            }
+        }
+        if gb != dst {
+            self.route_rec(gb, dst, &mut links)?;
+        }
+        let latency = links
+            .iter()
+            .map(|l| self.links[l.0 as usize].latency)
+            .sum();
+        Ok(Route { links, latency })
+    }
+
+    /// Route-memo counters: hits, stored (zone, zone) entries, and total
+    /// links across stored segments. Sessions fold the hit delta into
+    /// telemetry after each run; the bench memory column records entries.
+    pub fn route_memo_stats(&self) -> RouteMemoStats {
+        let m = self.memo.mid.read().expect("route memo poisoned");
+        RouteMemoStats {
+            hits: self.memo.hits.load(Ordering::Relaxed),
+            entries: m.len() as u64,
+            links: m.values().map(|v| v.len() as u64).sum(),
+        }
     }
 
     /// Convenience: route between two hosts.

@@ -13,6 +13,14 @@
 //!   cluster, routes synthesized in O(1) with O(hosts) memory. This is the
 //!   zone type whose introduction (Bobelin et al. 2011) made whole-platform
 //!   Grid'5000 simulation possible, per the paper.
+//!
+//! On top of these per-zone strategies, [`Platform::route`] memoizes the
+//! host-independent middle segment of cross-zone routes per (leaf zone,
+//! leaf zone) pair, so at 100k hosts a workload's route resolution costs
+//! O(zone pairs) full recursions plus O(1) access-link splices per host
+//! pair — see the memoization section of the `platform` module docs. The
+//! strategies here stay oblivious: the memo replays exactly the link
+//! sequences `local_route` emitted the first time.
 
 use std::collections::HashMap;
 

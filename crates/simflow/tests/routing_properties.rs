@@ -10,11 +10,18 @@ use simflow::{Platform, SharingPolicy};
 /// root, each site holding one cluster zone of `hosts_per_cluster` hosts
 /// behind a router, sites pairwise connected by backbone links.
 fn build_grid(n_sites: usize, hosts_per_cluster: usize) -> Platform {
+    build_grid_with(RoutingKind::Floyd, n_sites, hosts_per_cluster)
+}
+
+/// [`build_grid`] with a chosen intra-site routing strategy, so the
+/// memo-equivalence property runs against every [`RoutingKind`] the
+/// middle segment can be resolved through.
+fn build_grid_with(site_kind: RoutingKind, n_sites: usize, hosts_per_cluster: usize) -> Platform {
     let mut b = PlatformBuilder::new("grid", RoutingKind::Full);
     let root = b.root_zone();
     let mut sites = Vec::new();
     for s in 0..n_sites {
-        let site = b.add_zone(root, &format!("site{s}"), RoutingKind::Floyd);
+        let site = b.add_zone(root, &format!("site{s}"), site_kind);
         let gw = b.add_router(site, &format!("gw{s}"));
         b.set_gateway(site, gw);
         let cl = b.add_zone(site, &format!("cluster{s}"), RoutingKind::Cluster);
@@ -94,6 +101,40 @@ proptest! {
         let r = p.route_hosts(a, c).unwrap();
         let sum: f64 = r.links.iter().map(|l| p.link(*l).latency).sum();
         prop_assert!((r.latency - sum).abs() < 1e-15);
+    }
+
+    /// The memoized fast path ([`Platform::route`]) is bitwise the plain
+    /// recursion ([`Platform::route_uncached`]): identical link sequences
+    /// and bit-identical f64 latency, under every intra-site routing
+    /// strategy, in both directions, on first resolution (memo fill) and
+    /// on repeat queries (memo replay) alike.
+    #[test]
+    fn memoized_route_is_bitwise_uncached(
+        kind_idx in 0usize..3,
+        n_sites in 2usize..4,
+        hosts in 2usize..5,
+        queries in proptest::collection::vec((0usize..64, 0usize..64), 2..10),
+    ) {
+        let kind = [RoutingKind::Full, RoutingKind::Floyd, RoutingKind::Dijkstra][kind_idx];
+        let p = build_grid_with(kind, n_sites, hosts);
+        for (x, y) in queries {
+            let a = p.host_by_name(&format!("h{}-{}", x % n_sites, x / n_sites % hosts)).unwrap();
+            let b = p.host_by_name(&format!("h{}-{}", y % n_sites, y / n_sites % hosts)).unwrap();
+            for (s, d) in [(a, b), (b, a)] {
+                let slow = p.route_uncached(s.netpoint(), d.netpoint()).unwrap();
+                // First call resolves and fills the memo, second replays
+                // the stored middle segment: both must match the
+                // reference exactly.
+                for _ in 0..2 {
+                    let fast = p.route_hosts(s, d).unwrap();
+                    prop_assert_eq!(&fast.links, &slow.links);
+                    prop_assert_eq!(fast.latency.to_bits(), slow.latency.to_bits());
+                }
+            }
+        }
+        // The memo stores (zone, zone) middle segments, never host pairs.
+        let stats = p.route_memo_stats();
+        prop_assert!((stats.entries as usize) <= n_sites * n_sites);
     }
 
     /// Hierarchical storage stays linear in hosts: the memory proxy of the
